@@ -1,0 +1,68 @@
+//! Paper §VII's "over 100 customer designs" experiment, on the synthetic
+//! fleet (DESIGN.md §5): prints the measured average saving (paper: ~5%)
+//! and a saving histogram, then benchmarks one representative design.
+
+use adhls_core::sched::{run_hls, Flow, HlsOptions};
+use adhls_reslib::tsmc90;
+use adhls_workloads::random;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let lib = tsmc90::library();
+    let fleet = random::fleet(100, 2026);
+    let mut savings: Vec<f64> = Vec::new();
+    for (_, design, clock) in &fleet {
+        let mk = |flow| HlsOptions { clock_ps: *clock, flow, ..Default::default() };
+        let (Ok(conv), Ok(slack)) = (
+            run_hls(design, &lib, &mk(Flow::Conventional)),
+            run_hls(design, &lib, &mk(Flow::SlackBased)),
+        ) else {
+            continue;
+        };
+        savings.push((conv.area.total - slack.area.total) / conv.area.total * 100.0);
+    }
+    savings.sort_by(f64::total_cmp);
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    println!("=== Customer-design fleet (paper: ~5% average on >100 designs) ===");
+    println!("{} of {} designs schedulable at their corner", savings.len(), fleet.len());
+    println!("average saving {avg:.1}%  (min {:.1}%, median {:.1}%, max {:.1}%)",
+        savings.first().unwrap(),
+        savings[savings.len() / 2],
+        savings.last().unwrap());
+    // 10-bucket histogram.
+    let (lo, hi) = (savings[0].floor(), savings[savings.len() - 1].ceil());
+    let step = ((hi - lo) / 10.0).max(1.0);
+    for k in 0..10 {
+        let (a, b) = (lo + step * f64::from(k), lo + step * f64::from(k + 1));
+        let n = savings.iter().filter(|&&s| s >= a && s < b).count();
+        println!("  [{a:>6.1}%, {b:>6.1}%)  {}", "#".repeat(n));
+    }
+    println!();
+
+    let (_, design, clock) = &fleet[0];
+    c.bench_function("customer/representative_slack_flow", |b| {
+        b.iter(|| {
+            black_box(
+                run_hls(
+                    design,
+                    &lib,
+                    &HlsOptions {
+                        clock_ps: *clock,
+                        flow: Flow::SlackBased,
+                        ..Default::default()
+                    },
+                )
+                .unwrap()
+                .area
+                .total,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Paper Table 1 — the resource library's area/delay trade-off curves.
+//!
+//! Prints the reproduced table (verbatim TSMC-90nm rows) and benchmarks
+//! the library queries the budgeting loop leans on: candidate Pareto
+//! merging and piecewise-linear interpolation.
+
+use adhls_core::report::Table;
+use adhls_reslib::{tsmc90, ResClass};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn print_table1() {
+    let lib = tsmc90::library();
+    let mut t = Table::new(["resource", "metric", "g0", "g1", "g2", "g3", "g4", "g5"]);
+    let mul = lib.grades(ResClass::Multiplier, 8).unwrap();
+    let add = lib.grades(ResClass::Adder, 16).unwrap();
+    let row = |name: &str, metric: &str, vals: Vec<String>| {
+        let mut cells = vec![name.to_string(), metric.to_string()];
+        cells.extend(vals);
+        cells
+    };
+    let mut push = |name: &str, gs: &[adhls_reslib::SpeedGrade]| {
+        t.row(row(name, "delay(ps)", gs.iter().map(|g| g.delay_ps.to_string()).collect()));
+        t.row(row(name, "area", gs.iter().map(|g| format!("{:.0}", g.area)).collect()));
+    };
+    push("mul 8x8", &mul);
+    push("add 16", &add);
+    println!("=== Paper Table 1 (reproduced verbatim) ===\n{t}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table1();
+    let lib = tsmc90::library();
+    c.bench_function("table1/candidates_add16_pareto_merge", |b| {
+        b.iter(|| black_box(lib.candidates(adhls_ir::OpKind::Add, black_box(16))))
+    });
+    c.bench_function("table1/grades_mul_width_scaled_24", |b| {
+        b.iter(|| black_box(lib.grades(ResClass::Multiplier, black_box(24))))
+    });
+    c.bench_function("table1/interpolate_mul8_at_550ps", |b| {
+        b.iter(|| black_box(lib.area_at(ResClass::Multiplier, 8, black_box(550))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

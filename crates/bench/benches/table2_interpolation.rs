@@ -1,0 +1,74 @@
+//! Paper Fig. 2 / Table 2 — the interpolation motivating example.
+//!
+//! Prints the reproduced Table 2 (Case 1 / Case 2 / slack-based areas with
+//! per-instance grades) and benchmarks each flow end to end.
+
+use adhls_core::report::Table;
+use adhls_core::sched::{run_hls, Flow, HlsOptions};
+use adhls_reslib::{tsmc90, Library, ResClass};
+use adhls_workloads::interpolation;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn table2_lib() -> Library {
+    let mut lib = tsmc90::library();
+    lib.set_io_delay_ps(0); // the paper's illustration ignores I/O delay
+    lib
+}
+
+fn opts(flow: Flow) -> HlsOptions {
+    HlsOptions { clock_ps: 1100, flow, zero_overhead: true, ..Default::default() }
+}
+
+fn print_table2() {
+    let (design, _) = interpolation::paper_example();
+    let lib = table2_lib();
+    let mut t = Table::new(["Impl.", "Mults", "Adds", "Area", "paper"]);
+    for (name, flow, paper) in [
+        ("Case 1 (fastest + recovery)", Flow::Conventional, "3408"),
+        ("Case 2 (slowest + upgrade)", Flow::SlowestUpgrade, "3419"),
+        ("Slack-based (proposed)", Flow::SlackBased, "2180 (opt.)"),
+    ] {
+        let r = run_hls(&design, &lib, &opts(flow)).expect("schedulable");
+        let fmt = |want_mul: bool| -> String {
+            let v: Vec<String> = r
+                .schedule
+                .allocation
+                .instances()
+                .iter()
+                .filter(|i| (i.class() == ResClass::Multiplier) == want_mul)
+                .map(|i| i.delay_ps().to_string())
+                .collect();
+            format!("{}x [{}]ps", v.len(), v.join(","))
+        };
+        t.row([
+            name.to_string(),
+            fmt(true),
+            fmt(false),
+            format!("{:.0}", r.area.total),
+            paper.to_string(),
+        ]);
+    }
+    println!("=== Paper Table 2 (7 muls + 4 adds, 3 states @ 1100 ps) ===\n{t}");
+}
+
+fn bench(c: &mut Criterion) {
+    print_table2();
+    let (design, _) = interpolation::paper_example();
+    let lib = table2_lib();
+    for (tag, flow) in [
+        ("case1_conventional", Flow::Conventional),
+        ("case2_slowest_upgrade", Flow::SlowestUpgrade),
+        ("slack_based", Flow::SlackBased),
+    ] {
+        c.bench_function(&format!("table2/{tag}"), |b| {
+            b.iter(|| black_box(run_hls(&design, &lib, &opts(flow)).unwrap().area.total))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

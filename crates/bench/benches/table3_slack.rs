@@ -1,0 +1,61 @@
+//! Paper Fig. 5/6 and Table 3 — sequential slack computation.
+//!
+//! Prints the Table 3 closed-form check, then benchmarks the linear
+//! two-sweep algorithm against the Bellman-Ford formulation of prior work
+//! \[10\] on an IDCT-sized timed DFG — the per-call comparison behind the
+//! paper's Table 5 argument.
+
+use adhls_timing::bellman::compute_slack_bellman;
+use adhls_timing::slack::{compute_slack, SlackMode};
+use adhls_timing::TimedDfg;
+use adhls_workloads::idct;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    // The Table 3 closed forms are pinned by unit/integration tests
+    // (`adhls-timing` slack tests, examples/slack_analysis.rs); here we
+    // benchmark at the paper's evaluation scale.
+    let design = idct::build_2d(&idct::IdctConfig { cycles: 16, pipelined: None });
+    let (info, spans) = design.analyze().unwrap();
+    let tdfg = TimedDfg::build(&design.dfg, &info, &spans).unwrap();
+    let delays: Vec<i64> = (0..design.dfg.len_ids() as i64)
+        .map(|i| 200 + (i * 97) % 1300)
+        .collect();
+    println!(
+        "=== Slack engines on the 8x8 IDCT timed DFG ({} ops, {} edges) ===",
+        tdfg.topo().len(),
+        tdfg.len_edges()
+    );
+    let a = compute_slack(&tdfg, &delays, 2200, SlackMode::Aligned);
+    let b = compute_slack_bellman(&tdfg, &delays, 2200, SlackMode::Aligned);
+    assert_eq!(a.slack, b.slack, "engines must agree exactly");
+    println!("both engines agree; min slack = {}", a.min_slack());
+
+    c.bench_function("table3/sequential_slack_topological_plain", |bch| {
+        bch.iter(|| {
+            black_box(compute_slack(&tdfg, black_box(&delays), 2200, SlackMode::Plain))
+        })
+    });
+    c.bench_function("table3/sequential_slack_topological_aligned", |bch| {
+        bch.iter(|| {
+            black_box(compute_slack(&tdfg, black_box(&delays), 2200, SlackMode::Aligned))
+        })
+    });
+    c.bench_function("table3/sequential_slack_bellman_ford_aligned", |bch| {
+        bch.iter(|| {
+            black_box(compute_slack_bellman(
+                &tdfg,
+                black_box(&delays),
+                2200,
+                SlackMode::Aligned,
+            ))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(30);
+    targets = bench
+}
+criterion_main!(benches);

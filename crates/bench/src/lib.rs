@@ -1,0 +1,1 @@
+//! Benchmark harness library (bench targets live under benches/).

@@ -1,0 +1,209 @@
+//! Design-space-exploration driver (paper §VII, Table 4).
+//!
+//! Runs the conventional and slack-based flows over a set of design points
+//! (workload instances at different latency budgets, clocks and pipelining
+//! modes), producing the paper's `A_conv` / `A_slack` / `Save %` rows plus
+//! the power/throughput/area ranges quoted in the text.
+
+use crate::power::{estimate, PowerReport};
+use crate::report::Table;
+use crate::sched::{run_hls, Flow, HlsOptions};
+use adhls_ir::{Design, Result};
+use adhls_reslib::Library;
+
+/// One design point to explore.
+#[derive(Debug, Clone)]
+pub struct DsePoint {
+    /// Point name (D1..D15 in the paper).
+    pub name: String,
+    /// The elaborated design (latency budget baked in as soft states).
+    pub design: Design,
+    /// Clock period.
+    pub clock_ps: u64,
+    /// Pipeline initiation interval (None = sequential).
+    pub pipeline_ii: Option<u32>,
+    /// Cycles between successive data items (II or loop latency).
+    pub cycles_per_item: u32,
+}
+
+/// Result row for one design point.
+#[derive(Debug, Clone)]
+pub struct DseRow {
+    /// Point name.
+    pub name: String,
+    /// Conventional-flow area (paper `A_conv`).
+    pub a_conv: f64,
+    /// Slack-based-flow area (paper `A_slack`).
+    pub a_slack: f64,
+    /// Saving percentage `(a_conv - a_slack) / a_conv * 100`.
+    pub save_pct: f64,
+    /// Power of the slack implementation.
+    pub power: PowerReport,
+    /// Throughput in items per microsecond.
+    pub throughput: f64,
+    /// Clock period used.
+    pub clock_ps: u64,
+}
+
+/// Aggregate statistics across a sweep (the §VII text claims).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DseSummary {
+    /// Mean of per-point `save_pct` (paper: 8.9%).
+    pub avg_save_pct: f64,
+    /// Points where the slack flow lost area (paper: D5–D7).
+    pub regressions: usize,
+    /// max/min total power across points (paper: ~20×).
+    pub power_range: f64,
+    /// max/min throughput across points (paper: ~7×).
+    pub throughput_range: f64,
+    /// max/min slack-flow area across points (paper: ~1.5×).
+    pub area_range: f64,
+}
+
+/// Runs both flows on every point.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (a point whose clock/latency combination
+/// is overconstrained).
+pub fn explore(points: &[DsePoint], lib: &Library, base: &HlsOptions) -> Result<Vec<DseRow>> {
+    let mut rows = Vec::with_capacity(points.len());
+    for p in points {
+        let mk_opts = |flow: Flow| HlsOptions {
+            clock_ps: p.clock_ps,
+            flow,
+            pipeline_ii: p.pipeline_ii,
+            ..base.clone()
+        };
+        let conv = run_hls(&p.design, lib, &mk_opts(Flow::Conventional))?;
+        let slack = run_hls(&p.design, lib, &mk_opts(Flow::SlackBased))?;
+        let power = estimate(
+            &p.design,
+            &slack.schedule,
+            &slack.area,
+            p.cycles_per_item,
+            p.clock_ps,
+        );
+        let item_time_ps = f64::from(p.cycles_per_item) * p.clock_ps as f64;
+        rows.push(DseRow {
+            name: p.name.clone(),
+            a_conv: conv.area.total,
+            a_slack: slack.area.total,
+            save_pct: (conv.area.total - slack.area.total) / conv.area.total * 100.0,
+            power,
+            throughput: 1.0e6 / item_time_ps,
+            clock_ps: p.clock_ps,
+        });
+    }
+    Ok(rows)
+}
+
+/// Aggregates a sweep.
+///
+/// # Panics
+///
+/// Panics when `rows` is empty.
+#[must_use]
+pub fn summarize(rows: &[DseRow]) -> DseSummary {
+    assert!(!rows.is_empty(), "summarize needs at least one row");
+    let avg_save_pct = rows.iter().map(|r| r.save_pct).sum::<f64>() / rows.len() as f64;
+    let regressions = rows.iter().filter(|r| r.save_pct < 0.0).count();
+    let minmax = |it: &mut dyn Iterator<Item = f64>| -> (f64, f64) {
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for v in it {
+            lo = lo.min(v);
+            hi = hi.max(v);
+        }
+        (lo, hi)
+    };
+    let (plo, phi) = minmax(&mut rows.iter().map(|r| r.power.total));
+    let (tlo, thi) = minmax(&mut rows.iter().map(|r| r.throughput));
+    let (alo, ahi) = minmax(&mut rows.iter().map(|r| r.a_slack));
+    DseSummary {
+        avg_save_pct,
+        regressions,
+        power_range: phi / plo,
+        throughput_range: thi / tlo,
+        area_range: ahi / alo,
+    }
+}
+
+/// Renders rows as the paper's Table 4.
+#[must_use]
+pub fn table4(rows: &[DseRow]) -> String {
+    let mut t = Table::new(["Des", "A_conv", "A_slack", "Save %"]);
+    for r in rows {
+        t.row([
+            r.name.clone(),
+            format!("{:.0}", r.a_conv),
+            format!("{:.0}", r.a_slack),
+            format!("{:.1}", r.save_pct),
+        ]);
+    }
+    let s = summarize(rows);
+    t.row([
+        "Average".to_string(),
+        String::new(),
+        String::new(),
+        format!("{:.1}", s.avg_save_pct),
+    ]);
+    t.render()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::op::OpKind;
+    use adhls_reslib::tsmc90;
+
+    fn point(name: &str, soft: u32, clock: u64) -> DsePoint {
+        let mut b = DesignBuilder::new(name);
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let m1 = b.binop(OpKind::Mul, x, y, 8);
+        let m2 = b.binop(OpKind::Mul, m1, x, 8);
+        let a = b.binop(OpKind::Add, m1, m2, 16);
+        b.soft_waits(soft);
+        b.write("z", a);
+        DsePoint {
+            name: name.into(),
+            design: b.finish().unwrap(),
+            clock_ps: clock,
+            pipeline_ii: None,
+            cycles_per_item: soft + 1,
+        }
+    }
+
+    #[test]
+    fn explore_produces_rows_and_summary() {
+        let lib = tsmc90::library();
+        let points =
+            vec![point("P1", 1, 1100), point("P2", 2, 1100), point("P3", 3, 900)];
+        let rows = explore(&points, &lib, &HlsOptions::default()).unwrap();
+        assert_eq!(rows.len(), 3);
+        let s = summarize(&rows);
+        assert!(s.throughput_range >= 1.0);
+        assert!(s.power_range >= 1.0);
+        let rendered = table4(&rows);
+        assert!(rendered.contains("A_conv"));
+        assert!(rendered.contains("Average"));
+    }
+
+    #[test]
+    fn looser_budget_saves_area() {
+        // 1400ps fits the whole chain incl. mux-sharing penalties
+        // (490+490+280+100) in one cycle, so
+        // the tight point is feasible but everything is critical.
+        let lib = tsmc90::library();
+        let rows = explore(
+            &[point("tight", 0, 1400), point("loose", 3, 1400)],
+            &lib,
+            &HlsOptions::default(),
+        )
+        .unwrap();
+        // The loose point must save at least as much as the tight one.
+        assert!(rows[1].save_pct >= rows[0].save_pct - 1.0);
+    }
+}

@@ -1,0 +1,115 @@
+//! Toy dynamic-power model.
+//!
+//! Paper §VII reports the IDCT design-space exploration spanning "a 20X
+//! power range, a 7X throughput range and a 1.5X area range". We model
+//! dynamic power as switched capacitance — proportional to active area ×
+//! activity × frequency — plus a small leakage term proportional to total
+//! area. Absolute units are arbitrary; only ratios across design points
+//! matter (DESIGN.md §5).
+
+use crate::area::AreaReport;
+use crate::schedule::Schedule;
+use adhls_ir::Design;
+
+/// Power estimate (arbitrary units).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerReport {
+    /// Switching (dynamic) component.
+    pub dynamic: f64,
+    /// Leakage component (∝ area).
+    pub leakage: f64,
+    /// Sum.
+    pub total: f64,
+}
+
+/// Estimates power for a scheduled design.
+///
+/// `cycles_per_item` is the initiation interval — clock cycles between
+/// successive data items (loop iterations); lower means higher throughput
+/// and higher activity per functional unit.
+///
+/// # Panics
+///
+/// Panics if `cycles_per_item` is zero.
+#[must_use]
+pub fn estimate(
+    design: &Design,
+    schedule: &Schedule,
+    area: &AreaReport,
+    cycles_per_item: u32,
+    clock_ps: u64,
+) -> PowerReport {
+    assert!(cycles_per_item > 0, "cycles_per_item must be positive");
+    let f_ghz = 1000.0 / clock_ps as f64;
+    // Per-instance activity: ops bound / cycles available per item.
+    let mut switched = 0.0;
+    let mut uses = vec![0usize; schedule.allocation.len()];
+    for o in design.dfg.op_ids() {
+        if let Some(i) = schedule.instance_of[o.0 as usize] {
+            uses[i.0 as usize] += 1;
+        }
+    }
+    for (idx, inst) in schedule.allocation.iter() {
+        let activity = uses[idx.0 as usize] as f64 / f64::from(cycles_per_item);
+        switched += inst.area() * activity.min(1.0);
+    }
+    // Registers/muxes toggle with low average activity.
+    switched += (area.regs + area.mux) * 0.10;
+    let dynamic = switched * f_ghz;
+    let leakage = 0.02 * area.total;
+    PowerReport { dynamic, leakage, total: dynamic + leakage }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{run_hls, Flow, HlsOptions};
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::op::OpKind;
+    use adhls_reslib::tsmc90;
+
+    fn mk() -> adhls_ir::Design {
+        let mut b = DesignBuilder::new("p");
+        let x = b.input("x", 8);
+        let m = b.binop(OpKind::Mul, x, x, 8);
+        b.wait();
+        b.write("y", m);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn faster_clock_means_more_power() {
+        let d = mk();
+        let lib = tsmc90::library();
+        let slow = run_hls(
+            &d,
+            &lib,
+            &HlsOptions { clock_ps: 2000, flow: Flow::SlackBased, ..Default::default() },
+        )
+        .unwrap();
+        let fast = run_hls(
+            &d,
+            &lib,
+            &HlsOptions { clock_ps: 700, flow: Flow::SlackBased, ..Default::default() },
+        )
+        .unwrap();
+        let p_slow = estimate(&d, &slow.schedule, &slow.area, 2, 2000);
+        let p_fast = estimate(&d, &fast.schedule, &fast.area, 2, 700);
+        assert!(p_fast.dynamic > p_slow.dynamic);
+    }
+
+    #[test]
+    fn higher_ii_means_less_power() {
+        let d = mk();
+        let lib = tsmc90::library();
+        let r = run_hls(
+            &d,
+            &lib,
+            &HlsOptions { clock_ps: 1000, flow: Flow::SlackBased, ..Default::default() },
+        )
+        .unwrap();
+        let busy = estimate(&d, &r.schedule, &r.area, 1, 1000);
+        let idle = estimate(&d, &r.schedule, &r.area, 8, 1000);
+        assert!(busy.total > idle.total);
+    }
+}

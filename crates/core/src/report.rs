@@ -1,0 +1,103 @@
+//! Minimal ASCII table rendering for examples and benches.
+
+use std::fmt::Write as _;
+
+/// A simple right-padded ASCII table.
+#[derive(Debug, Clone, Default)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with column headers.
+    #[must_use]
+    pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
+        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header count).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut r: Vec<String> = cells.into_iter().map(Into::into).collect();
+        r.resize(self.headers.len(), String::new());
+        self.rows.push(r);
+        self
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let ncol = self.headers.len();
+        let mut w = vec![0usize; ncol];
+        for (i, h) in self.headers.iter().enumerate() {
+            w[i] = h.len();
+        }
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                w[i] = w[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let line = |out: &mut String, cells: &[String]| {
+            for (i, c) in cells.iter().enumerate() {
+                let _ = write!(out, "| {:<width$} ", c, width = w[i]);
+            }
+            out.push_str("|\n");
+        };
+        line(&mut out, &self.headers);
+        for (i, width) in w.iter().enumerate() {
+            let _ = write!(out, "|{:-<width$}", "", width = width + 2);
+            if i + 1 == ncol {
+                out.push_str("|\n");
+            }
+        }
+        for r in &self.rows {
+            line(&mut out, r);
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["Des", "A_conv", "A_slack", "Save %"]);
+        t.row(["D1", "90085", "89287", "0.1"]);
+        t.row(["D13", "79871", "63232", "26.2"]);
+        let s = t.render();
+        assert!(s.contains("| D1 "));
+        assert!(s.contains("| Save % |"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()));
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only"]);
+        assert!(t.render().lines().count() == 3);
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based tests for the scheduler: every flow produces schedules
+//! that pass the independent validator and preserve design semantics; the
+//! slack-based flow never loses to conventional by more than the
+//! documented regression band on loose designs.
+
+use adhls_core::sched::{run_hls, Flow, HlsOptions};
+use adhls_ir::builder::DesignBuilder;
+use adhls_ir::interp::{run, run_placed, Stimulus};
+use adhls_ir::{Design, OpKind};
+use adhls_reslib::tsmc90;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+struct Recipe {
+    ops: Vec<(u8, usize, usize)>,
+    soft_states: u32,
+    clock: u64,
+}
+
+fn recipe() -> impl Strategy<Value = Recipe> {
+    (
+        prop::collection::vec((0u8..5, 0usize..64, 0usize..64), 1..28),
+        1u32..5,
+        1400u64..3200,
+    )
+        .prop_map(|(ops, soft_states, clock)| Recipe { ops, soft_states, clock })
+}
+
+fn build(r: &Recipe) -> Design {
+    let mut b = DesignBuilder::new("sprop");
+    let x = b.input("x", 16);
+    let y = b.input("y", 16);
+    let mut pool = vec![x, y];
+    for &(k, ia, ib) in &r.ops {
+        let a = pool[ia % pool.len()];
+        let c = pool[ib % pool.len()];
+        let kind = match k {
+            0 => OpKind::Add,
+            1 => OpKind::Sub,
+            2 => OpKind::Mul,
+            3 => OpKind::And,
+            _ => OpKind::Xor,
+        };
+        pool.push(b.binop(kind, a, c, 16));
+    }
+    b.soft_waits(r.soft_states);
+    b.write("out", *pool.last().unwrap());
+    b.finish().unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// All three flows produce schedules accepted by the independent
+    /// validator (run_hls already validates; this re-validates from
+    /// scratch) and the scheduled placement computes the same outputs.
+    #[test]
+    fn schedules_validate_and_preserve_semantics(
+        r in recipe(),
+        vals in prop::collection::vec(0u64..5000, 2),
+    ) {
+        let d = build(&r);
+        let lib = tsmc90::library();
+        let stim = Stimulus::new().input("x", vals[0]).input("y", vals[1]);
+        let reference = run(&d, &stim, 10_000).unwrap();
+        for flow in [Flow::Conventional, Flow::SlowestUpgrade, Flow::SlackBased] {
+            let opts = HlsOptions { clock_ps: r.clock, flow, ..Default::default() };
+            let Ok(res) = run_hls(&d, &lib, &opts) else {
+                // Overconstrained points may fail; that is a valid outcome
+                // for arbitrary random (clock, design) pairs.
+                continue;
+            };
+            let info = d.validate().unwrap();
+            let spans = adhls_ir::span::OpSpans::compute(&d.dfg, &info).unwrap();
+            res.schedule.validate(&d, &info, &spans).unwrap();
+            // Semantics: execute ops at their scheduled edges.
+            let placed = run_placed(&d, &stim, 10_000, |o| res.schedule.edge(o)).unwrap();
+            prop_assert_eq!(&placed.outputs, &reference.outputs, "{:?} changed outputs", flow);
+            // Structural sanity.
+            prop_assert!(res.area.total > 0.0);
+            prop_assert!(res.area.fu <= res.area.total);
+        }
+    }
+
+    /// Every resource-backed op is bound, and no instance hosts two ops in
+    /// the same cycle (re-checked here independently of the validator).
+    #[test]
+    fn binding_is_conflict_free(r in recipe()) {
+        let d = build(&r);
+        let lib = tsmc90::library();
+        let opts = HlsOptions { clock_ps: r.clock, flow: Flow::SlackBased, ..Default::default() };
+        let Ok(res) = run_hls(&d, &lib, &opts) else { return Ok(()) };
+        let info = d.validate().unwrap();
+        let bound: Vec<_> = d
+            .dfg
+            .op_ids()
+            .filter(|&o| res.schedule.instance_of[o.0 as usize].is_some())
+            .collect();
+        for (i, &a) in bound.iter().enumerate() {
+            for &b in &bound[i + 1..] {
+                if res.schedule.instance_of[a.0 as usize]
+                    == res.schedule.instance_of[b.0 as usize]
+                {
+                    prop_assert!(
+                        !res.schedule.ops_conflict(&info, a, b),
+                        "{a} and {b} conflict on one instance"
+                    );
+                }
+            }
+        }
+        // Resource-backed kinds must carry an instance.
+        for o in d.dfg.op_ids() {
+            let needs = !adhls_reslib::class::classes_for(d.dfg.op(o).kind()).is_empty();
+            let shift_by_const = matches!(d.dfg.op(o).kind(), OpKind::Shl | OpKind::Shr)
+                && d.dfg.operands(o).get(1).is_some_and(|&p| d.dfg.op(p).kind().is_const());
+            if needs && !shift_by_const {
+                prop_assert!(
+                    res.schedule.instance_of[o.0 as usize].is_some(),
+                    "{o} unbound"
+                );
+            }
+        }
+    }
+
+    /// On designs with generous budgets, the slack-based flow's FU area is
+    /// never more than marginally worse than conventional's (and usually
+    /// much better): the paper's headline inequality.
+    #[test]
+    fn slack_flow_fu_area_competitive_when_loose(r in recipe()) {
+        prop_assume!(r.soft_states >= 3 && r.clock >= 2400);
+        let d = build(&r);
+        let lib = tsmc90::library();
+        let conv = run_hls(
+            &d,
+            &lib,
+            &HlsOptions { clock_ps: r.clock, flow: Flow::Conventional, ..Default::default() },
+        );
+        let slack = run_hls(
+            &d,
+            &lib,
+            &HlsOptions { clock_ps: r.clock, flow: Flow::SlackBased, ..Default::default() },
+        );
+        let (Ok(conv), Ok(slack)) = (conv, slack) else { return Ok(()) };
+        prop_assert!(
+            slack.area.fu <= conv.area.fu * 1.10 + 600.0,
+            "slack fu {} far above conventional {}",
+            slack.area.fu,
+            conv.area.fu
+        );
+    }
+}

@@ -1,0 +1,227 @@
+//! Directed scheduler tests for behaviors the paper relies on but that the
+//! random property tests only hit incidentally: resource sharing across
+//! mutually exclusive branches, multi-cycle operations, cross-class
+//! sharing on adder/subtractors, and width-compatible sharing.
+
+use adhls_core::sched::{run_hls, Flow, HlsOptions};
+use adhls_ir::cfg::{Cfg, NodeKind, StateKind};
+use adhls_ir::interp::{run, run_placed, Stimulus};
+use adhls_ir::{Design, Dfg, Op, OpKind};
+use adhls_reslib::{tsmc90, ResClass};
+
+/// Two multiplications on mutually exclusive branches of an `if` can share
+/// one multiplier even though they execute in the same clock cycle — the
+/// single thread of control never runs both (paper §VI: sharing merges
+/// critical paths; exclusivity makes it free).
+#[test]
+fn exclusive_branches_share_one_instance() {
+    // start -> A --cond--> (then: mul1) / (else: mul2) -> join -> s -> write
+    let mut g = Cfg::new("excl");
+    let start = g.add_node(NodeKind::Start);
+    let fork = g.add_node(NodeKind::Fork);
+    let j = g.add_node(NodeKind::Join);
+    let s = g.add_node(NodeKind::State(StateKind::Hard));
+    let end = g.add_node(NodeKind::Plain);
+    let e0 = g.add_edge(start, fork);
+    let et = g.add_branch_edge(fork, j, true);
+    let ee = g.add_branch_edge(fork, j, false);
+    let ej = g.add_edge(j, s);
+    let ew = g.add_edge(s, end);
+
+    let mut d = Dfg::new();
+    let c = d.add_op(Op::new(OpKind::Input, 1).named("c"), e0, &[]);
+    // Reads are protocol-fixed on their branch edges, pinning the muls to
+    // the branches (otherwise the scheduler legally speculates both muls
+    // above the fork and needs two instances).
+    let ra = d.add_op(Op::new(OpKind::Read, 8).named("a"), et, &[]);
+    let rb = d.add_op(Op::new(OpKind::Read, 8).named("b"), ee, &[]);
+    let m1 = d.add_op(Op::new(OpKind::Mul, 8), et, &[ra, ra]);
+    let m2 = d.add_op(Op::new(OpKind::Mul, 8), ee, &[rb, rb]);
+    let mx = d.add_op(Op::new(OpKind::Mux, 8), ej, &[c, m1, m2]);
+    let _w = d.add_op(Op::new(OpKind::Write, 8).named("o"), ew, &[mx]);
+    g.set_cond(fork, c);
+    let design = Design::new(g, d);
+    design.validate().unwrap();
+
+    let lib = tsmc90::library();
+    let r = run_hls(
+        &design,
+        &lib,
+        &HlsOptions { clock_ps: 1500, flow: Flow::SlackBased, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(
+        r.schedule.allocation.count(ResClass::Multiplier),
+        1,
+        "exclusive-branch muls must share one multiplier"
+    );
+    assert_eq!(r.schedule.instance_of[m1.0 as usize], r.schedule.instance_of[m2.0 as usize]);
+
+    // Both paths still compute correctly at the scheduled placement.
+    for (cond, want) in [(1u64, 9u64), (0, 25)] {
+        let stim = Stimulus::new()
+            .input("c", cond)
+            .stream("a", vec![3])
+            .stream("b", vec![5]);
+        let reference = run(&design, &stim, 100).unwrap();
+        assert_eq!(reference.outputs["o"], vec![want]);
+        let placed =
+            run_placed(&design, &stim, 100, |o| r.schedule.edge(o)).unwrap();
+        assert_eq!(placed.outputs, reference.outputs);
+    }
+}
+
+/// A divider slower than the clock is scheduled as a multi-cycle operation
+/// starting at a clock boundary, and its consumer waits the right number
+/// of cycles.
+#[test]
+fn multicycle_division_schedules_at_boundary() {
+    use adhls_ir::builder::DesignBuilder;
+    let mut b = DesignBuilder::new("mc");
+    let x = b.input("x", 16);
+    let y = b.input("y", 16);
+    let q = b.binop(OpKind::Div, x, y, 16);
+    b.soft_waits(3); // room for a multi-cycle div
+    let s = b.binop(OpKind::Add, q, x, 16);
+    b.write("z", s);
+    let d = b.finish().unwrap();
+    let lib = tsmc90::library();
+    // Clock shorter than the fastest divider (900ps) forces multi-cycle.
+    let r = run_hls(
+        &d,
+        &lib,
+        &HlsOptions { clock_ps: 800, flow: Flow::SlackBased, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(r.schedule.start_ps[q.0 as usize], 0, "multi-cycle op starts at boundary");
+    assert!(r.schedule.cycles_of(q) >= 2, "divider must occupy >= 2 cycles");
+    // Functional check.
+    let stim = Stimulus::new().input("x", 100).input("y", 7);
+    let placed = run_placed(&d, &stim, 100, |o| r.schedule.edge(o)).unwrap();
+    assert_eq!(placed.outputs["z"], vec![100 / 7 + 100]);
+}
+
+/// `add` and `sub` in different cycles share one AddSub instance when the
+/// allocation limit forces it (the paper's §II.A resource-type choice).
+#[test]
+fn add_and_sub_can_share_addsub() {
+    use adhls_ir::builder::DesignBuilder;
+    let mut b = DesignBuilder::new("addsub");
+    let x = b.input("x", 16);
+    let y = b.input("y", 16);
+    let a = b.binop(OpKind::Add, x, y, 16);
+    b.wait();
+    let s = b.binop(OpKind::Sub, a, y, 16);
+    b.write("z", s);
+    let d = b.finish().unwrap();
+    let lib = tsmc90::library();
+    let r = run_hls(
+        &d,
+        &lib,
+        &HlsOptions { clock_ps: 1500, flow: Flow::SlackBased, ..Default::default() },
+    )
+    .unwrap();
+    // Sharing across cycles must use at most 2 instances; if the binder
+    // merged onto an AddSub (or compatible pair), both ops carry instances
+    // and semantics hold.
+    assert!(r.schedule.allocation.len() <= 2);
+    let stim = Stimulus::new().input("x", 30).input("y", 12);
+    let placed = run_placed(&d, &stim, 100, |o| r.schedule.edge(o)).unwrap();
+    assert_eq!(placed.outputs["z"], vec![30]);
+}
+
+/// A narrow operation may ride a wider instance (paper §II.A width
+/// grouping: adder(6,8) serving add(6,6) and add(3,8)).
+#[test]
+fn narrow_op_shares_wide_instance() {
+    use adhls_ir::builder::DesignBuilder;
+    let mut b = DesignBuilder::new("widths");
+    let x = b.input("x", 16);
+    let y = b.input("y", 8);
+    let wide = b.binop(OpKind::Mul, x, x, 16);
+    b.wait();
+    let narrow = b.binop(OpKind::Mul, y, y, 8);
+    let s = b.binop(OpKind::Add, wide, narrow, 16);
+    b.wait();
+    b.write("z", s);
+    let d = b.finish().unwrap();
+    let lib = tsmc90::library();
+    let r = run_hls(
+        &d,
+        &lib,
+        &HlsOptions { clock_ps: 2500, flow: Flow::SlackBased, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(
+        r.schedule.allocation.count(ResClass::Multiplier),
+        1,
+        "8-bit mul should reuse the 16-bit multiplier across cycles"
+    );
+    let inst = r.schedule.instance_of[narrow.0 as usize].unwrap();
+    assert_eq!(r.schedule.allocation.instance(inst).width, 16);
+}
+
+/// zero_overhead mode permits longer chains: a chain that misses timing
+/// with sharing penalties fits without them.
+#[test]
+fn zero_overhead_lengthens_feasible_chains() {
+    use adhls_ir::builder::DesignBuilder;
+    let build = || {
+        let mut b = DesignBuilder::new("chain3");
+        let x = b.input("x", 8);
+        let m1 = b.binop(OpKind::Mul, x, x, 8);
+        let m2 = b.binop(OpKind::Mul, m1, x, 8);
+        let m3 = b.binop(OpKind::Mul, m2, x, 8);
+        b.write("y", m3);
+        b.finish().unwrap()
+    };
+    let lib = tsmc90::library();
+    let d = build();
+    // 3x430 + 100 io = 1390; with 3x60 penalty = 1570.
+    let with_penalty = run_hls(
+        &d,
+        &lib,
+        &HlsOptions { clock_ps: 1450, flow: Flow::Conventional, ..Default::default() },
+    );
+    assert!(with_penalty.is_err(), "penalties should break 1450ps");
+    let without = run_hls(
+        &d,
+        &lib,
+        &HlsOptions {
+            clock_ps: 1450,
+            flow: Flow::Conventional,
+            zero_overhead: true,
+            ..Default::default()
+        },
+    );
+    assert!(without.is_ok(), "without penalties the chain fits 1450ps");
+}
+
+/// The relaxation expert grows resources under deadline pressure: a
+/// one-cycle budget with two independent multiplies ends with two
+/// instances even though the initial limit is tighter.
+#[test]
+fn relaxation_grows_resources_under_pressure() {
+    use adhls_ir::builder::DesignBuilder;
+    let mut b = DesignBuilder::new("grow");
+    let x = b.input("x", 8);
+    let y = b.input("y", 8);
+    let m1 = b.binop(OpKind::Mul, x, x, 8);
+    let m2 = b.binop(OpKind::Mul, y, y, 8);
+    b.wait();
+    let s = b.binop(OpKind::Add, m1, m2, 16);
+    b.write("z", s);
+    let d = b.finish().unwrap();
+    let lib = tsmc90::library();
+    let r = run_hls(
+        &d,
+        &lib,
+        &HlsOptions { clock_ps: 1100, flow: Flow::SlackBased, ..Default::default() },
+    )
+    .unwrap();
+    assert_eq!(
+        r.schedule.allocation.count(ResClass::Multiplier),
+        2,
+        "both muls must run in cycle 0: two multipliers required"
+    );
+}

@@ -1,0 +1,122 @@
+//! Graphviz (`dot`) export of CFGs and DFGs, mirroring the paper's Fig. 4.
+
+use crate::cfg::{Cfg, NodeKind, StateKind};
+use crate::design::Design;
+use crate::dfg::Dfg;
+use std::fmt::Write as _;
+
+/// Renders the CFG: state nodes shaded (as in paper Fig. 4), back edges
+/// dashed, fork branches labeled T/F.
+#[must_use]
+pub fn cfg_to_dot(cfg: &Cfg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph \"{}_cfg\" {{", cfg.name());
+    let _ = writeln!(s, "  rankdir=TB; node [fontsize=10];");
+    for n in cfg.node_ids() {
+        let label = cfg.node_name(n).map(str::to_owned).unwrap_or_else(|| n.to_string());
+        let style = match cfg.node_kind(n) {
+            NodeKind::State(StateKind::Hard) => {
+                "shape=circle, style=filled, fillcolor=gray70"
+            }
+            NodeKind::State(StateKind::Soft) => {
+                "shape=circle, style=filled, fillcolor=gray90"
+            }
+            NodeKind::Start => "shape=doublecircle",
+            NodeKind::Fork => "shape=diamond",
+            NodeKind::Join => "shape=invtriangle",
+            NodeKind::Plain => "shape=point, width=0.1",
+        };
+        let _ = writeln!(s, "  n{} [label=\"{}\", {}];", n.0, label, style);
+    }
+    for e in cfg.edge_ids() {
+        let mut attrs = vec![format!("label=\"e{}\"", e.0)];
+        if cfg.edge_is_back(e) {
+            attrs.push("style=dashed".into());
+        }
+        match cfg.edge_branch(e) {
+            Some(true) => attrs.push("taillabel=\"T\"".into()),
+            Some(false) => attrs.push("taillabel=\"F\"".into()),
+            None => {}
+        }
+        let _ = writeln!(
+            s,
+            "  n{} -> n{} [{}];",
+            cfg.edge_from(e).0,
+            cfg.edge_to(e).0,
+            attrs.join(", ")
+        );
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders the DFG: operation mnemonics with widths; loop-carried edges
+/// dashed.
+#[must_use]
+pub fn dfg_to_dot(dfg: &Dfg) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "digraph dfg {{");
+    let _ = writeln!(s, "  rankdir=TB; node [fontsize=10, shape=ellipse];");
+    for o in dfg.op_ids() {
+        let op = dfg.op(o);
+        let name = op.name().map(|n| format!(" {n}")).unwrap_or_default();
+        let _ = writeln!(
+            s,
+            "  o{} [label=\"{}{} @e{}\"];",
+            o.0,
+            op.kind(),
+            name,
+            dfg.birth(o).0
+        );
+    }
+    for o in dfg.op_ids() {
+        for (i, &p) in dfg.operands(o).iter().enumerate() {
+            let style = if dfg.is_loop_carried(o, i) { " [style=dashed]" } else { "" };
+            let _ = writeln!(s, "  o{} -> o{}{};", p.0, o.0, style);
+        }
+    }
+    s.push_str("}\n");
+    s
+}
+
+/// Renders both graphs of a design into one string (two `digraph`s).
+#[must_use]
+pub fn design_to_dot(design: &Design) -> String {
+    format!("{}\n{}", cfg_to_dot(&design.cfg), dfg_to_dot(&design.dfg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dot_output_mentions_every_element() {
+        let mut b = DesignBuilder::new("dotty");
+        let x = b.input("x", 8);
+        let y = b.binop(OpKind::Mul, x, x, 8);
+        b.wait();
+        b.write("out", y);
+        let d = b.finish().unwrap();
+        let dot = design_to_dot(&d);
+        assert!(dot.contains("digraph"));
+        assert!(dot.contains("mul"));
+        assert!(dot.contains("write"));
+        for e in d.cfg.edge_ids() {
+            assert!(dot.contains(&format!("e{}", e.0)));
+        }
+    }
+
+    #[test]
+    fn back_edges_are_dashed() {
+        let mut b = DesignBuilder::new("loopy");
+        let lp = b.enter_loop();
+        let c = b.constant(1, 8);
+        b.write("y", c);
+        b.wait();
+        b.close_loop(lp);
+        let d = b.finish().unwrap();
+        assert!(cfg_to_dot(&d.cfg).contains("style=dashed"));
+    }
+}

@@ -1,0 +1,299 @@
+//! Abstract syntax tree of the behavioral DSL.
+
+/// Port direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dir {
+    /// Input port, read with `read(name)`.
+    In,
+    /// Output port, written with `write(name, expr)`.
+    Out,
+}
+
+/// A declared port: `in a: u16`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Port {
+    /// Port name.
+    pub name: String,
+    /// Direction.
+    pub dir: Dir,
+    /// Bit width.
+    pub width: u16,
+    /// Signedness (`iN` vs `uN`).
+    pub signed: bool,
+}
+
+/// A process: `proc name(ports) { body }`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Proc {
+    /// Process name.
+    pub name: String,
+    /// Declared ports.
+    pub ports: Vec<Port>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// Statements.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let x (: ty)? = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Optional `(width, signed)` annotation guiding literal widths.
+        ty: Option<(u16, bool)>,
+        /// Initializer.
+        expr: Expr,
+    },
+    /// `x = expr;` — assigns (declaring on first use).
+    Assign {
+        /// Variable name.
+        name: String,
+        /// Value.
+        expr: Expr,
+    },
+    /// `if cond { .. } (else { .. })?`
+    If {
+        /// Branch condition.
+        cond: Expr,
+        /// Taken branch.
+        then_body: Vec<Stmt>,
+        /// Other branch (may be empty).
+        else_body: Vec<Stmt>,
+    },
+    /// `while cond { .. }`
+    While {
+        /// Loop condition (checked at the top).
+        cond: Expr,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `loop { .. }` — infinite process loop.
+    Loop {
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `for i in a..b (unroll)? { .. }`
+    For {
+        /// Induction variable.
+        var: String,
+        /// Inclusive start.
+        start: i64,
+        /// Exclusive end.
+        end: i64,
+        /// Fully unroll at elaboration time.
+        unroll: bool,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `wait;` — a hard state (clock boundary).
+    Wait,
+    /// `budget n;` — n soft states (latency budget for the region).
+    Budget(u32),
+    /// `write(port, expr);`
+    Write {
+        /// Output port name.
+        port: String,
+        /// Value to write.
+        expr: Expr,
+    },
+}
+
+/// Binary operators, in DSL surface syntax order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Rem,
+    /// `&`
+    And,
+    /// `|`
+    Or,
+    /// `^`
+    Xor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    /// `-`
+    Neg,
+    /// `~` (or `!` on 1-bit values)
+    Not,
+}
+
+/// Expressions.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Variable reference.
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `read(port)` — blocking port read.
+    Read(String),
+    /// Unary operation.
+    Unary(UnOp, Box<Expr>),
+    /// Binary operation.
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Substitutes every `Ident(var)` with `Int(value)` — used by loop
+    /// unrolling.
+    #[must_use]
+    pub fn substitute(&self, var: &str, value: i64) -> Expr {
+        match self {
+            Expr::Ident(n) if n == var => Expr::Int(value),
+            Expr::Ident(_) | Expr::Int(_) | Expr::Read(_) => self.clone(),
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(e.substitute(var, value))),
+            Expr::Binary(op, a, b) => Expr::Binary(
+                *op,
+                Box::new(a.substitute(var, value)),
+                Box::new(b.substitute(var, value)),
+            ),
+        }
+    }
+}
+
+/// Substitutes `var -> value` through a statement list (loop unrolling).
+#[must_use]
+pub fn substitute_stmts(stmts: &[Stmt], var: &str, value: i64) -> Vec<Stmt> {
+    stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::Let { name, ty, expr } => Stmt::Let {
+                name: name.clone(),
+                ty: *ty,
+                expr: expr.substitute(var, value),
+            },
+            Stmt::Assign { name, expr } => {
+                Stmt::Assign { name: name.clone(), expr: expr.substitute(var, value) }
+            }
+            Stmt::If { cond, then_body, else_body } => Stmt::If {
+                cond: cond.substitute(var, value),
+                then_body: substitute_stmts(then_body, var, value),
+                else_body: substitute_stmts(else_body, var, value),
+            },
+            Stmt::While { cond, body } => Stmt::While {
+                cond: cond.substitute(var, value),
+                body: substitute_stmts(body, var, value),
+            },
+            Stmt::Loop { body } => Stmt::Loop { body: substitute_stmts(body, var, value) },
+            Stmt::For { var: v, start, end, unroll, body } => {
+                // Inner loop shadows `var`: stop substitution if names match.
+                if v == var {
+                    s.clone()
+                } else {
+                    Stmt::For {
+                        var: v.clone(),
+                        start: *start,
+                        end: *end,
+                        unroll: *unroll,
+                        body: substitute_stmts(body, var, value),
+                    }
+                }
+            }
+            Stmt::Wait | Stmt::Budget(_) => s.clone(),
+            Stmt::Write { port, expr } => {
+                Stmt::Write { port: port.clone(), expr: expr.substitute(var, value) }
+            }
+        })
+        .collect()
+}
+
+/// Collects the names assigned anywhere in a statement list (used to create
+/// loop φs).
+#[must_use]
+pub fn assigned_vars(stmts: &[Stmt]) -> Vec<String> {
+    let mut out = Vec::new();
+    collect_assigned(stmts, &mut out);
+    out.sort();
+    out.dedup();
+    out
+}
+
+fn collect_assigned(stmts: &[Stmt], out: &mut Vec<String>) {
+    for s in stmts {
+        match s {
+            Stmt::Let { name, .. } | Stmt::Assign { name, .. } => out.push(name.clone()),
+            Stmt::If { then_body, else_body, .. } => {
+                collect_assigned(then_body, out);
+                collect_assigned(else_body, out);
+            }
+            Stmt::While { body, .. } | Stmt::Loop { body } => collect_assigned(body, out),
+            Stmt::For { var, body, .. } => {
+                out.push(var.clone());
+                collect_assigned(body, out);
+            }
+            Stmt::Wait | Stmt::Budget(_) | Stmt::Write { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn substitute_replaces_only_target_var() {
+        let e = Expr::Binary(
+            BinOp::Add,
+            Box::new(Expr::Ident("i".into())),
+            Box::new(Expr::Ident("x".into())),
+        );
+        let s = e.substitute("i", 7);
+        assert_eq!(
+            s,
+            Expr::Binary(BinOp::Add, Box::new(Expr::Int(7)), Box::new(Expr::Ident("x".into())))
+        );
+    }
+
+    #[test]
+    fn assigned_vars_sees_nested() {
+        let body = vec![
+            Stmt::Assign { name: "a".into(), expr: Expr::Int(1) },
+            Stmt::If {
+                cond: Expr::Int(1),
+                then_body: vec![Stmt::Assign { name: "b".into(), expr: Expr::Int(2) }],
+                else_body: vec![],
+            },
+        ];
+        assert_eq!(assigned_vars(&body), vec!["a".to_string(), "b".to_string()]);
+    }
+
+    #[test]
+    fn inner_for_shadows_substitution() {
+        let inner = Stmt::For {
+            var: "i".into(),
+            start: 0,
+            end: 2,
+            unroll: false,
+            body: vec![Stmt::Assign { name: "x".into(), expr: Expr::Ident("i".into()) }],
+        };
+        let subbed = substitute_stmts(&[inner.clone()], "i", 9);
+        assert_eq!(subbed[0], inner, "shadowed induction var must not be substituted");
+    }
+}

@@ -1,0 +1,225 @@
+//! Hand-rolled lexer for the behavioral DSL.
+
+use crate::error::{Error, Result};
+
+/// A token with source position (for diagnostics).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Token payload.
+    pub kind: Tok,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// Token kinds.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords resolved by the parser).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `:`
+    Colon,
+    /// `=`
+    Assign,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `!`
+    Bang,
+    /// `~`
+    Tilde,
+    /// `..`
+    DotDot,
+    /// End of input.
+    Eof,
+}
+
+/// Lexes `source` into tokens (terminated by [`Tok::Eof`]).
+///
+/// # Errors
+///
+/// Returns [`Error::Lex`] on unknown characters or malformed literals.
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    let mut out = Vec::new();
+    let bytes: Vec<char> = source.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    let n = bytes.len();
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            out.push(Token { kind: $kind, line, col });
+            i += $len;
+            col += $len as u32;
+        }};
+    }
+
+    while i < n {
+        let c = bytes[i];
+        let c2 = if i + 1 < n { bytes[i + 1] } else { '\0' };
+        match c {
+            '\n' => {
+                i += 1;
+                line += 1;
+                col = 1;
+            }
+            ' ' | '\t' | '\r' => {
+                i += 1;
+                col += 1;
+            }
+            '/' if c2 == '/' => {
+                while i < n && bytes[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '(' => push!(Tok::LParen, 1),
+            ')' => push!(Tok::RParen, 1),
+            '{' => push!(Tok::LBrace, 1),
+            '}' => push!(Tok::RBrace, 1),
+            ',' => push!(Tok::Comma, 1),
+            ';' => push!(Tok::Semi, 1),
+            ':' => push!(Tok::Colon, 1),
+            '+' => push!(Tok::Plus, 1),
+            '-' => push!(Tok::Minus, 1),
+            '*' => push!(Tok::Star, 1),
+            '/' => push!(Tok::Slash, 1),
+            '%' => push!(Tok::Percent, 1),
+            '&' => push!(Tok::Amp, 1),
+            '|' => push!(Tok::Pipe, 1),
+            '^' => push!(Tok::Caret, 1),
+            '~' => push!(Tok::Tilde, 1),
+            '.' if c2 == '.' => push!(Tok::DotDot, 2),
+            '=' if c2 == '=' => push!(Tok::EqEq, 2),
+            '=' => push!(Tok::Assign, 1),
+            '!' if c2 == '=' => push!(Tok::NotEq, 2),
+            '!' => push!(Tok::Bang, 1),
+            '<' if c2 == '<' => push!(Tok::Shl, 2),
+            '<' if c2 == '=' => push!(Tok::Le, 2),
+            '<' => push!(Tok::Lt, 1),
+            '>' if c2 == '>' => push!(Tok::Shr, 2),
+            '>' if c2 == '=' => push!(Tok::Ge, 2),
+            '>' => push!(Tok::Gt, 1),
+            '0'..='9' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_digit() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().filter(|&&c| c != '_').collect();
+                let v: i64 = text.parse().map_err(|_| Error::Lex {
+                    line,
+                    col,
+                    msg: format!("bad integer literal '{text}'"),
+                })?;
+                out.push(Token { kind: Tok::Int(v), line, col });
+                col += (i - start) as u32;
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < n && (bytes[i].is_ascii_alphanumeric() || bytes[i] == '_') {
+                    i += 1;
+                }
+                let text: String = bytes[start..i].iter().collect();
+                out.push(Token { kind: Tok::Ident(text), line, col });
+                col += (i - start) as u32;
+            }
+            other => {
+                return Err(Error::Lex {
+                    line,
+                    col,
+                    msg: format!("unexpected character '{other}'"),
+                })
+            }
+        }
+    }
+    out.push(Token { kind: Tok::Eof, line, col });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lexes_operators_and_idents() {
+        let toks = lex("x = a + b * 3; // comment\ny <= 4").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.kind).collect();
+        assert!(matches!(kinds[0], Tok::Ident(s) if s == "x"));
+        assert!(kinds.contains(&&Tok::Assign));
+        assert!(kinds.contains(&&Tok::Star));
+        assert!(kinds.contains(&&Tok::Le));
+        assert!(kinds.contains(&&Tok::Int(3)));
+        assert_eq!(*kinds.last().unwrap(), &Tok::Eof);
+    }
+
+    #[test]
+    fn tracks_positions() {
+        let toks = lex("a\n  bb").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn rejects_unknown_chars() {
+        assert!(matches!(lex("a @ b"), Err(Error::Lex { .. })));
+    }
+
+    #[test]
+    fn underscores_in_literals() {
+        let toks = lex("1_000").unwrap();
+        assert_eq!(toks[0].kind, Tok::Int(1000));
+    }
+
+    #[test]
+    fn dotdot_and_shifts() {
+        let toks = lex("0..8 >> <<").unwrap();
+        let kinds: Vec<&Tok> = toks.iter().map(|t| &t.kind).collect();
+        assert!(kinds.contains(&&Tok::DotDot));
+        assert!(kinds.contains(&&Tok::Shr));
+        assert!(kinds.contains(&&Tok::Shl));
+    }
+}

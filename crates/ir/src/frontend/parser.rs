@@ -1,0 +1,395 @@
+//! Recursive-descent parser for the behavioral DSL.
+
+use super::ast::{BinOp, Dir, Expr, Port, Proc, Stmt, UnOp};
+use super::lexer::{Tok, Token};
+use crate::error::{Error, Result};
+
+/// Parses a token stream (from [`super::lexer::lex`]) into one [`Proc`].
+///
+/// # Errors
+///
+/// Returns [`Error::Parse`] with the offending source position.
+pub fn parse(tokens: &[Token]) -> Result<Proc> {
+    let mut p = Parser { toks: tokens, pos: 0 };
+    let proc = p.proc()?;
+    p.expect_eof()?;
+    Ok(proc)
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Tok {
+        &self.toks[self.pos].kind
+    }
+
+    fn here(&self) -> (u32, u32) {
+        let t = &self.toks[self.pos];
+        (t.line, t.col)
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        let (line, col) = self.here();
+        Err(Error::Parse { line, col, msg: msg.into() })
+    }
+
+    fn bump(&mut self) -> Tok {
+        let t = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Tok) -> bool {
+        if self.peek() == t {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: &Tok, what: &str) -> Result<()> {
+        if self.eat(t) {
+            Ok(())
+        } else {
+            self.err(format!("expected {what}, found {:?}", self.peek()))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if *self.peek() == Tok::Eof {
+            Ok(())
+        } else {
+            self.err("expected end of input")
+        }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String> {
+        match self.peek().clone() {
+            Tok::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            _ => self.err(format!("expected {what}")),
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<()> {
+        match self.peek() {
+            Tok::Ident(s) if s == kw => {
+                self.bump();
+                Ok(())
+            }
+            _ => self.err(format!("expected keyword '{kw}'")),
+        }
+    }
+
+    fn peek_keyword(&self, kw: &str) -> bool {
+        matches!(self.peek(), Tok::Ident(s) if s == kw)
+    }
+
+    fn int(&mut self, what: &str) -> Result<i64> {
+        match *self.peek() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(v)
+            }
+            _ => self.err(format!("expected {what}")),
+        }
+    }
+
+    fn ty(&mut self) -> Result<(u16, bool)> {
+        let name = self.ident("type like u16 or i8")?;
+        let (signed, digits) = match name.as_bytes() {
+            [b'u', rest @ ..] if !rest.is_empty() => (false, &name[1..]),
+            [b'i', rest @ ..] if !rest.is_empty() => (true, &name[1..]),
+            _ => return self.err(format!("unknown type '{name}'")),
+        };
+        let width: u16 = digits
+            .parse()
+            .ok()
+            .filter(|&w| (1..=64).contains(&w))
+            .ok_or_else(|| {
+                let (line, col) = self.here();
+                Error::Parse { line, col, msg: format!("bad width in type '{name}'") }
+            })?;
+        Ok((width, signed))
+    }
+
+    fn proc(&mut self) -> Result<Proc> {
+        self.keyword("proc")?;
+        let name = self.ident("process name")?;
+        self.expect(&Tok::LParen, "'('")?;
+        let mut ports = Vec::new();
+        if !self.eat(&Tok::RParen) {
+            loop {
+                let dir = if self.peek_keyword("in") {
+                    self.bump();
+                    Dir::In
+                } else if self.peek_keyword("out") {
+                    self.bump();
+                    Dir::Out
+                } else {
+                    return self.err("expected 'in' or 'out'");
+                };
+                let pname = self.ident("port name")?;
+                self.expect(&Tok::Colon, "':'")?;
+                let (width, signed) = self.ty()?;
+                ports.push(Port { name: pname, dir, width, signed });
+                if self.eat(&Tok::RParen) {
+                    break;
+                }
+                self.expect(&Tok::Comma, "','")?;
+            }
+        }
+        let body = self.block()?;
+        Ok(Proc { name, ports, body })
+    }
+
+    fn block(&mut self) -> Result<Vec<Stmt>> {
+        self.expect(&Tok::LBrace, "'{'")?;
+        let mut stmts = Vec::new();
+        while !self.eat(&Tok::RBrace) {
+            if *self.peek() == Tok::Eof {
+                return self.err("unexpected end of input inside block");
+            }
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn stmt(&mut self) -> Result<Stmt> {
+        if self.peek_keyword("let") {
+            self.bump();
+            let name = self.ident("variable name")?;
+            let ty = if self.eat(&Tok::Colon) { Some(self.ty()?) } else { None };
+            self.expect(&Tok::Assign, "'='")?;
+            let expr = self.expr()?;
+            self.expect(&Tok::Semi, "';'")?;
+            return Ok(Stmt::Let { name, ty, expr });
+        }
+        if self.peek_keyword("if") {
+            self.bump();
+            let cond = self.expr()?;
+            let then_body = self.block()?;
+            let else_body = if self.peek_keyword("else") {
+                self.bump();
+                self.block()?
+            } else {
+                Vec::new()
+            };
+            return Ok(Stmt::If { cond, then_body, else_body });
+        }
+        if self.peek_keyword("while") {
+            self.bump();
+            let cond = self.expr()?;
+            let body = self.block()?;
+            return Ok(Stmt::While { cond, body });
+        }
+        if self.peek_keyword("loop") {
+            self.bump();
+            let body = self.block()?;
+            return Ok(Stmt::Loop { body });
+        }
+        if self.peek_keyword("for") {
+            self.bump();
+            let var = self.ident("induction variable")?;
+            self.keyword("in")?;
+            let start = self.int("range start")?;
+            self.expect(&Tok::DotDot, "'..'")?;
+            let end = self.int("range end")?;
+            let unroll = if self.peek_keyword("unroll") {
+                self.bump();
+                true
+            } else {
+                false
+            };
+            let body = self.block()?;
+            return Ok(Stmt::For { var, start, end, unroll, body });
+        }
+        if self.peek_keyword("wait") {
+            self.bump();
+            self.expect(&Tok::Semi, "';'")?;
+            return Ok(Stmt::Wait);
+        }
+        if self.peek_keyword("budget") {
+            self.bump();
+            let n = self.int("budget size")?;
+            if n < 0 {
+                return self.err("budget must be non-negative");
+            }
+            self.expect(&Tok::Semi, "';'")?;
+            return Ok(Stmt::Budget(n as u32));
+        }
+        if self.peek_keyword("write") {
+            self.bump();
+            self.expect(&Tok::LParen, "'('")?;
+            let port = self.ident("port name")?;
+            self.expect(&Tok::Comma, "','")?;
+            let expr = self.expr()?;
+            self.expect(&Tok::RParen, "')'")?;
+            self.expect(&Tok::Semi, "';'")?;
+            return Ok(Stmt::Write { port, expr });
+        }
+        // assignment: ident = expr ;
+        let name = self.ident("statement")?;
+        self.expect(&Tok::Assign, "'=' (assignment)")?;
+        let expr = self.expr()?;
+        self.expect(&Tok::Semi, "';'")?;
+        Ok(Stmt::Assign { name, expr })
+    }
+
+    fn expr(&mut self) -> Result<Expr> {
+        self.binary(0)
+    }
+
+    /// Precedence climbing. Levels (loosest first): `|`, `^`, `&`,
+    /// comparisons, shifts, `+ -`, `* / %`.
+    fn binary(&mut self, level: u8) -> Result<Expr> {
+        const LEVELS: usize = 7;
+        if level as usize >= LEVELS {
+            return self.unary();
+        }
+        let mut lhs = self.binary(level + 1)?;
+        loop {
+            let op = match (level, self.peek()) {
+                (0, Tok::Pipe) => BinOp::Or,
+                (1, Tok::Caret) => BinOp::Xor,
+                (2, Tok::Amp) => BinOp::And,
+                (3, Tok::EqEq) => BinOp::Eq,
+                (3, Tok::NotEq) => BinOp::Ne,
+                (3, Tok::Lt) => BinOp::Lt,
+                (3, Tok::Le) => BinOp::Le,
+                (3, Tok::Gt) => BinOp::Gt,
+                (3, Tok::Ge) => BinOp::Ge,
+                (4, Tok::Shl) => BinOp::Shl,
+                (4, Tok::Shr) => BinOp::Shr,
+                (5, Tok::Plus) => BinOp::Add,
+                (5, Tok::Minus) => BinOp::Sub,
+                (6, Tok::Star) => BinOp::Mul,
+                (6, Tok::Slash) => BinOp::Div,
+                (6, Tok::Percent) => BinOp::Rem,
+                _ => break,
+            };
+            self.bump();
+            let rhs = self.binary(level + 1)?;
+            lhs = Expr::Binary(op, Box::new(lhs), Box::new(rhs));
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr> {
+        if self.eat(&Tok::Minus) {
+            return Ok(Expr::Unary(UnOp::Neg, Box::new(self.unary()?)));
+        }
+        if self.eat(&Tok::Tilde) || self.eat(&Tok::Bang) {
+            return Ok(Expr::Unary(UnOp::Not, Box::new(self.unary()?)));
+        }
+        self.primary()
+    }
+
+    fn primary(&mut self) -> Result<Expr> {
+        match self.peek().clone() {
+            Tok::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            Tok::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(&Tok::RParen, "')'")?;
+                Ok(e)
+            }
+            Tok::Ident(name) => {
+                self.bump();
+                if name == "read" {
+                    self.expect(&Tok::LParen, "'('")?;
+                    let port = self.ident("port name")?;
+                    self.expect(&Tok::RParen, "')'")?;
+                    Ok(Expr::Read(port))
+                } else {
+                    Ok(Expr::Ident(name))
+                }
+            }
+            _ => self.err("expected expression"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frontend::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Proc> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn parses_minimal_proc() {
+        let p = parse_src("proc p(in a: u8, out y: u8) { write(y, read(a) + 1); }").unwrap();
+        assert_eq!(p.name, "p");
+        assert_eq!(p.ports.len(), 2);
+        assert_eq!(p.body.len(), 1);
+    }
+
+    #[test]
+    fn precedence_mul_over_add() {
+        let p = parse_src("proc p(out y: u8) { let x = 1 + 2 * 3; write(y, x); }").unwrap();
+        match &p.body[0] {
+            Stmt::Let { expr: Expr::Binary(BinOp::Add, _, rhs), .. } => {
+                assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn comparison_binds_looser_than_arith() {
+        let p = parse_src("proc p(out y: u1) { let c = 1 + 2 > 2; write(y, c); }").unwrap();
+        match &p.body[0] {
+            Stmt::Let { expr: Expr::Binary(BinOp::Gt, lhs, _), .. } => {
+                assert!(matches!(**lhs, Expr::Binary(BinOp::Add, _, _)));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let src = "proc p(in a: u8, out y: u8) {
+            loop {
+                let x = read(a);
+                if x > 3 { wait; y0 = x; } else { wait; y0 = x + 1; }
+                for i in 0..4 unroll { y0 = y0 * 2; }
+                while x < 10 { x = x + 1; wait; }
+                budget 2;
+                wait;
+                write(y, y0);
+            }
+        }";
+        let p = parse_src(src).unwrap();
+        assert!(matches!(p.body[0], Stmt::Loop { .. }));
+    }
+
+    #[test]
+    fn error_reports_position() {
+        let err = parse_src("proc p() { let = 3; }").unwrap_err();
+        match err {
+            Error::Parse { line, .. } => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_type() {
+        assert!(parse_src("proc p(in a: q8) { }").is_err());
+        assert!(parse_src("proc p(in a: u0) { }").is_err());
+        assert!(parse_src("proc p(in a: u65) { }").is_err());
+    }
+}

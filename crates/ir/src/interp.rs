@@ -1,0 +1,468 @@
+//! Functional interpreter for [`Design`]s.
+//!
+//! The interpreter walks the CFG from the start node, evaluating the DFG
+//! operations attached to each traversed edge (by birth, or by an arbitrary
+//! *placement* — e.g. a schedule), counting clock cycles at state nodes.
+//! Its purpose is verification: a schedule is semantics-preserving iff the
+//! design produces the same output streams under the scheduled placement as
+//! under the birth placement.
+//!
+//! Semantics notes:
+//!
+//! * Values are width-masked unsigned 64-bit integers; signed operations
+//!   sign-extend from the operand width.
+//! * `div`/`rem` by zero produce 0 — the hardware-friendly convention that
+//!   makes speculation safe (a speculated division's garbage result is never
+//!   consumed).
+//! * A `read` from an exhausted input stream ends the run gracefully
+//!   (`finished_by_starvation`), which is how infinite-loop designs
+//!   terminate.
+
+use crate::cfg::{EdgeId, NodeKind};
+use crate::design::Design;
+use crate::dfg::OpId;
+use crate::error::{Error, Result};
+use crate::op::OpKind;
+use std::collections::BTreeMap;
+
+/// Input data for a run: per-port streams for `read` ops and fixed values
+/// for `input` ops.
+#[derive(Debug, Clone, Default)]
+pub struct Stimulus {
+    /// Stream per `read` port name, consumed front to back.
+    pub streams: BTreeMap<String, Vec<u64>>,
+    /// Value per `input` (primary input) name.
+    pub inputs: BTreeMap<String, u64>,
+}
+
+impl Stimulus {
+    /// Creates an empty stimulus.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds an input-port stream.
+    #[must_use]
+    pub fn stream(mut self, port: impl Into<String>, data: Vec<u64>) -> Self {
+        self.streams.insert(port.into(), data);
+        self
+    }
+
+    /// Sets a primary-input value.
+    #[must_use]
+    pub fn input(mut self, name: impl Into<String>, value: u64) -> Self {
+        self.inputs.insert(name.into(), value);
+        self
+    }
+}
+
+/// Result of an interpreter run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    /// Values written per output port, in write order.
+    pub outputs: BTreeMap<String, Vec<u64>>,
+    /// Clock cycles elapsed (state nodes crossed).
+    pub cycles: u64,
+    /// True when the run ended because a read stream was exhausted.
+    pub finished_by_starvation: bool,
+}
+
+/// Runs `design` with operations executed on their **birth** edges.
+///
+/// # Errors
+///
+/// Returns [`Error::Interp`] on malformed designs or when `max_cycles` is
+/// exceeded before the design terminates or starves.
+pub fn run(design: &Design, stim: &Stimulus, max_cycles: u64) -> Result<Trace> {
+    run_placed(design, stim, max_cycles, |o| design.dfg.birth(o))
+}
+
+/// Runs `design` with operations executed on arbitrary placement edges
+/// (e.g. scheduled edges). Used to check that a schedule preserves
+/// semantics.
+///
+/// # Errors
+///
+/// Returns [`Error::Interp`] when an operand is consumed before any
+/// placement has produced it, and in the cases listed for [`run`].
+pub fn run_placed(
+    design: &Design,
+    stim: &Stimulus,
+    max_cycles: u64,
+    place: impl Fn(OpId) -> EdgeId,
+) -> Result<Trace> {
+    let cfg = &design.cfg;
+    let dfg = &design.dfg;
+    let topo = dfg.topo_order()?;
+    let mut topo_pos = vec![0u32; dfg.len_ids()];
+    for (i, &o) in topo.iter().enumerate() {
+        topo_pos[o.0 as usize] = i as u32;
+    }
+
+    // Ops per placement edge, in dependence order.
+    let mut per_edge: Vec<Vec<OpId>> = vec![Vec::new(); cfg.len_edges()];
+    for o in dfg.op_ids() {
+        let e = place(o);
+        if (e.0 as usize) >= cfg.len_edges() {
+            return Err(Error::Interp(format!("{o} placed on nonexistent edge {e}")));
+        }
+        per_edge[e.0 as usize].push(o);
+    }
+    for list in &mut per_edge {
+        list.sort_by_key(|&o| topo_pos[o.0 as usize]);
+    }
+
+    let mut value: Vec<Option<u64>> = vec![None; dfg.len_ids()];
+    // Constants are literals, available regardless of where their edge sits
+    // relative to (possibly hoisted) consumers.
+    for o in dfg.op_ids() {
+        if let OpKind::Const(c) = dfg.op(o).kind() {
+            value[o.0 as usize] = Some(mask(dfg.op(o).width(), c as u64));
+        }
+    }
+    let mut streams: BTreeMap<&str, std::collections::VecDeque<u64>> = stim
+        .streams
+        .iter()
+        .map(|(k, v)| (k.as_str(), v.iter().copied().collect()))
+        .collect();
+    let mut outputs: BTreeMap<String, Vec<u64>> = BTreeMap::new();
+
+    let mut cycles: u64 = 0;
+    let mut starved = false;
+    let mut node = cfg.start();
+
+    'walk: loop {
+        // Pick the outgoing edge: forks consult their condition, other nodes
+        // must have at most one outgoing edge.
+        let outs: Vec<EdgeId> = cfg.out_edges(node).collect();
+        let next_edge = match cfg.node_kind(node) {
+            NodeKind::Fork => {
+                let cond_op = cfg
+                    .cond(node)
+                    .ok_or_else(|| Error::Interp(format!("fork {node} has no condition")))?;
+                let c = value[cond_op.0 as usize]
+                    .ok_or_else(|| Error::Interp(format!("condition {cond_op} unevaluated")))?;
+                let want = c != 0;
+                outs.iter()
+                    .copied()
+                    .find(|&e| cfg.edge_branch(e) == Some(want))
+                    .ok_or_else(|| {
+                        Error::Interp(format!("fork {node} lacks branch for {want}"))
+                    })?
+            }
+            _ => match outs.len() {
+                0 => break 'walk, // terminal node
+                1 => outs[0],
+                _ => {
+                    return Err(Error::Interp(format!(
+                        "non-fork node {node} has {} outgoing edges",
+                        outs.len()
+                    )))
+                }
+            },
+        };
+
+        // Execute ops placed on this edge. Loop φs are state registers:
+        // they all load the *previous* iteration's values simultaneously,
+        // so their new values are computed against a snapshot before any of
+        // them (or anything else on the edge) commits.
+        let edge_ops = &per_edge[next_edge.0 as usize];
+        let mut phi_updates: Vec<(OpId, u64)> = Vec::new();
+        for &o in edge_ops {
+            if design.dfg.op(o).kind() == OpKind::LoopPhi {
+                let carried = design.dfg.operands(o)[1];
+                let w = design.dfg.op(o).width();
+                let v = match value[carried.0 as usize] {
+                    Some(v) => mask(w, v),
+                    None => {
+                        let init = design.dfg.operands(o)[0];
+                        mask(
+                            w,
+                            value[init.0 as usize].ok_or_else(|| {
+                                Error::Interp(format!("φ {o} init unevaluated"))
+                            })?,
+                        )
+                    }
+                };
+                phi_updates.push((o, v));
+            }
+        }
+        for (o, v) in phi_updates {
+            value[o.0 as usize] = Some(v);
+        }
+        for &o in edge_ops {
+            if design.dfg.op(o).kind() == OpKind::LoopPhi {
+                continue;
+            }
+            match eval_op(design, o, &mut value, &mut streams, &mut outputs, stim)? {
+                EvalOutcome::Ok => {}
+                EvalOutcome::Starved => {
+                    starved = true;
+                    break 'walk;
+                }
+            }
+        }
+
+        node = cfg.edge_to(next_edge);
+        if cfg.node_kind(node).is_state() {
+            cycles += 1;
+            if cycles >= max_cycles {
+                break 'walk;
+            }
+        }
+    }
+
+    Ok(Trace { outputs, cycles, finished_by_starvation: starved })
+}
+
+enum EvalOutcome {
+    Ok,
+    Starved,
+}
+
+fn mask(width: u16, v: u64) -> u64 {
+    if width >= 64 {
+        v
+    } else {
+        v & ((1u64 << width) - 1)
+    }
+}
+
+fn sext(width: u16, v: u64) -> i64 {
+    if width >= 64 {
+        v as i64
+    } else {
+        let shift = 64 - width as u32;
+        ((v << shift) as i64) >> shift
+    }
+}
+
+fn eval_op(
+    design: &Design,
+    o: OpId,
+    value: &mut [Option<u64>],
+    streams: &mut BTreeMap<&str, std::collections::VecDeque<u64>>,
+    outputs: &mut BTreeMap<String, Vec<u64>>,
+    stim: &Stimulus,
+) -> Result<EvalOutcome> {
+    let dfg = &design.dfg;
+    let op = dfg.op(o);
+    let w = op.width();
+    let get = |value: &[Option<u64>], idx: usize| -> Result<u64> {
+        let p = dfg.operands(o)[idx];
+        value[p.0 as usize]
+            .ok_or_else(|| Error::Interp(format!("{o} consumes unevaluated operand {p}")))
+    };
+    let v = match op.kind() {
+        OpKind::Const(c) => mask(w, c as u64),
+        OpKind::Input => {
+            let name = op.name().unwrap_or("");
+            mask(
+                w,
+                *stim.inputs.get(name).ok_or_else(|| {
+                    Error::Interp(format!("no stimulus for input '{name}'"))
+                })?,
+            )
+        }
+        OpKind::Read => {
+            let name = op.name().unwrap_or("");
+            let q = streams
+                .get_mut(name)
+                .ok_or_else(|| Error::Interp(format!("no stream for port '{name}'")))?;
+            match q.pop_front() {
+                Some(v) => mask(w, v),
+                None => return Ok(EvalOutcome::Starved),
+            }
+        }
+        OpKind::Write => {
+            let v = get(value, 0)?;
+            let name = op.name().unwrap_or("").to_string();
+            outputs.entry(name).or_default().push(mask(w, v));
+            mask(w, v)
+        }
+        OpKind::LoopPhi => {
+            // First arrival uses the init operand; afterwards the carried
+            // value from the previous iteration (which persists in `value`).
+            let carried = dfg.operands(o)[1];
+            match value[carried.0 as usize] {
+                Some(v) => mask(w, v),
+                None => get(value, 0)?,
+            }
+        }
+        OpKind::Mux => {
+            let c = get(value, 0)?;
+            if c != 0 {
+                get(value, 1)?
+            } else {
+                get(value, 2)?
+            }
+        }
+        OpKind::Neg => mask(w, (get(value, 0)? as i64).wrapping_neg() as u64),
+        OpKind::Not => mask(w, !get(value, 0)?),
+        kind => {
+            let a = get(value, 0)?;
+            let b = get(value, 1)?;
+            let aw = dfg.op(dfg.operands(o)[0]).width();
+            let bw = dfg.op(dfg.operands(o)[1]).width();
+            let signed = op.is_signed();
+            let (sa, sb) = (sext(aw, a), sext(bw, b));
+            let r: u64 = match kind {
+                OpKind::Add => a.wrapping_add(b),
+                OpKind::Sub => a.wrapping_sub(b),
+                OpKind::Mul => {
+                    if signed {
+                        sa.wrapping_mul(sb) as u64
+                    } else {
+                        a.wrapping_mul(b)
+                    }
+                }
+                OpKind::Div => {
+                    if b == 0 {
+                        0 // speculation-safe semantics
+                    } else if signed {
+                        sa.wrapping_div(sb) as u64
+                    } else {
+                        a / b
+                    }
+                }
+                OpKind::Rem => {
+                    if b == 0 {
+                        0
+                    } else if signed {
+                        sa.wrapping_rem(sb) as u64
+                    } else {
+                        a % b
+                    }
+                }
+                OpKind::And => a & b,
+                OpKind::Or => a | b,
+                OpKind::Xor => a ^ b,
+                OpKind::Shl => a.wrapping_shl(b as u32),
+                OpKind::Shr => {
+                    if signed {
+                        (sa >> (b as u32).min(63)) as u64
+                    } else {
+                        a.wrapping_shr(b as u32)
+                    }
+                }
+                OpKind::Lt => u64::from(if signed { sa < sb } else { a < b }),
+                OpKind::Le => u64::from(if signed { sa <= sb } else { a <= b }),
+                OpKind::Gt => u64::from(if signed { sa > sb } else { a > b }),
+                OpKind::Ge => u64::from(if signed { sa >= sb } else { a >= b }),
+                OpKind::Eq => u64::from(a == b),
+                OpKind::Ne => u64::from(a != b),
+                _ => unreachable!("handled above"),
+            };
+            mask(w, r)
+        }
+    };
+    value[o.0 as usize] = Some(v);
+    Ok(EvalOutcome::Ok)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::op::OpKind;
+
+    #[test]
+    fn accumulator_loop() {
+        let mut b = DesignBuilder::new("acc");
+        let zero = b.constant(0, 16);
+        let lp = b.enter_loop();
+        let acc = b.loop_phi(zero, 16);
+        let x = b.read("in", 16);
+        let sum = b.binop(OpKind::Add, acc, x, 16);
+        b.write("out", sum);
+        b.wait();
+        b.connect_phi(acc, sum);
+        b.close_loop(lp);
+        let d = b.finish().unwrap();
+        let stim = Stimulus::new().stream("in", vec![1, 2, 3, 4]);
+        let t = run(&d, &stim, 1000).unwrap();
+        assert_eq!(t.outputs["out"], vec![1, 3, 6, 10]);
+        assert!(t.finished_by_starvation);
+    }
+
+    #[test]
+    fn width_masking() {
+        let mut b = DesignBuilder::new("mask");
+        let a = b.input("a", 4);
+        let c = b.constant(9, 4);
+        let s = b.binop(OpKind::Add, a, c, 4); // 12 + 9 = 21 -> 5 (mod 16)
+        b.write("y", s);
+        let d = b.finish().unwrap();
+        let t = run(&d, &Stimulus::new().input("a", 12), 10).unwrap();
+        assert_eq!(t.outputs["y"], vec![5]);
+    }
+
+    #[test]
+    fn signed_comparison() {
+        let mut b = DesignBuilder::new("cmp");
+        let a = b.input("a", 8);
+        let zero = b.constant(0, 8);
+        let lt = b.op(crate::op::Op::new(OpKind::Lt, 1).signed(), &[a, zero]);
+        b.write("neg", lt);
+        let d = b.finish().unwrap();
+        // 0xFF = -1 as signed 8-bit.
+        let t = run(&d, &Stimulus::new().input("a", 0xFF), 10).unwrap();
+        assert_eq!(t.outputs["neg"], vec![1]);
+    }
+
+    #[test]
+    fn division_by_zero_yields_zero() {
+        let mut b = DesignBuilder::new("div0");
+        let a = b.input("a", 8);
+        let z = b.constant(0, 8);
+        let q = b.binop(OpKind::Div, a, z, 8);
+        b.write("q", q);
+        let d = b.finish().unwrap();
+        let t = run(&d, &Stimulus::new().input("a", 42), 10).unwrap();
+        assert_eq!(t.outputs["q"], vec![0]);
+    }
+
+    #[test]
+    fn placement_equivalence_under_sinking() {
+        // x*x computed either before or after a soft state must give the
+        // same output stream.
+        let mut b = DesignBuilder::new("sink");
+        let lp = b.enter_loop();
+        let x = b.read("in", 8);
+        let sq = b.binop(OpKind::Mul, x, x, 8);
+        b.soft_wait();
+        b.write("out", sq);
+        b.wait();
+        b.close_loop(lp);
+        let d = b.finish().unwrap();
+        let (_, spans) = d.analyze().unwrap();
+        let late = spans.late(sq);
+        assert_ne!(late, d.dfg.birth(sq), "sq should be sinkable");
+        let stim = Stimulus::new().stream("in", vec![2, 3, 4]);
+        let t_birth = run(&d, &stim, 1000).unwrap();
+        let t_late = run_placed(&d, &stim, 1000, |o| {
+            if o == sq {
+                late
+            } else {
+                d.dfg.birth(o)
+            }
+        })
+        .unwrap();
+        assert_eq!(t_birth.outputs, t_late.outputs);
+    }
+
+    #[test]
+    fn cycle_limit_enforced() {
+        let mut b = DesignBuilder::new("inf");
+        let lp = b.enter_loop();
+        let x = b.constant(1, 8);
+        let _ = b.write("y", x);
+        b.wait();
+        b.close_loop(lp);
+        let d = b.finish().unwrap();
+        let t = run(&d, &Stimulus::new(), 5).unwrap();
+        assert_eq!(t.cycles, 5);
+        assert!(!t.finished_by_starvation);
+    }
+}

@@ -1,0 +1,516 @@
+//! Operation spans (paper §IV, Definition 4).
+//!
+//! The *opSpan* of an operation is the topologically ordered set of CFG
+//! edges it may legally be scheduled on — the generalization of an
+//! ASAP/ALAP interval to arbitrary control structures.
+//!
+//! The paper's Definition 4 specifies spans through `early`/`late`
+//! reachability but leaves the *control legality* of code motion implicit.
+//! We make it explicit (and verify against every span the paper lists for
+//! its Fig. 4/5 resizer example):
+//!
+//! * **Fixed** operations (I/O reads/writes — they implement the
+//!   communication protocol) and source-like operations (constants, inputs,
+//!   loop φs) stay on their birth edge.
+//! * An operation may be **hoisted** (speculated) to any edge that
+//!   *edge-dominates* its birth edge within the same loop nest: every
+//!   execution reaching the birth edge has already executed the hoisted
+//!   position, so operands permitting, the value is simply computed earlier.
+//! * An operation may be **sunk** only to control-equivalent later edges
+//!   (its birth edge dominates them and they post-dominate it) that are not
+//!   separated from the birth edge by a **hard** state: `wait()` is an
+//!   observable synchronization point, so computation does not migrate
+//!   across it, while scheduler-inserted soft states exist precisely to give
+//!   operations room to move.
+//!
+//! `early(o)` is then the first legal edge where every operand value is
+//!   available (an operand computed on the same edge can be *chained*
+//!   combinationally), and `late(o)` the last legal edge from which every
+//!   consumer's `late` edge is still reachable.
+
+use crate::cfg::{CfgInfo, EdgeId};
+use crate::dfg::{Dfg, OpId};
+use crate::error::{Error, Result};
+
+/// Span of one operation: `early`/`late` edges plus the full legal edge set
+/// between them, in topological order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanInfo {
+    /// Earliest legal edge (paper: `early(o)`, the head of the span).
+    pub early: EdgeId,
+    /// Latest legal edge (paper: `late(o)`).
+    pub late: EdgeId,
+    /// All legal edges `e` with `early →* e →* late`, topologically ordered.
+    pub edges: Vec<EdgeId>,
+}
+
+impl SpanInfo {
+    /// True when `e` belongs to the span.
+    #[must_use]
+    pub fn contains(&self, e: EdgeId) -> bool {
+        self.edges.contains(&e)
+    }
+
+    /// Number of edges in the span (1 = the operation cannot move).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True when the span is a single edge.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+/// Reusable legality sets: which edges each operation may ever be scheduled
+/// on, independent of operand positions. Compute once, then derive
+/// [`OpSpans`] (or the allocation-free [`SpanBounds`]) repeatedly as
+/// scheduling pins operations.
+#[derive(Debug, Clone)]
+pub struct SpanAnalysis {
+    /// Per op id: legal edges sorted by topological position.
+    legal: Vec<Vec<EdgeId>>,
+    /// Cached forward topological order of the DFG (invariant under
+    /// pinning).
+    topo: Vec<OpId>,
+}
+
+impl SpanAnalysis {
+    /// Builds the legality sets for every live operation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadBirth`] if an operation's birth edge is a back
+    /// edge (cannot host operations).
+    pub fn new(dfg: &Dfg, info: &CfgInfo) -> Result<Self> {
+        let topo = dfg.topo_order()?;
+        let mut legal = vec![Vec::new(); dfg.len_ids()];
+        for o in dfg.op_ids() {
+            let birth = dfg.birth(o);
+            if info.is_back_edge(birth) {
+                return Err(Error::BadBirth(format!("{o} born on back edge {birth}")));
+            }
+            let kind = dfg.op(o).kind();
+            let mut set: Vec<EdgeId> = Vec::new();
+            if kind.is_fixed() || kind.is_source_like() {
+                set.push(birth);
+            } else {
+                let birth_loops = info.loops_of(birth);
+                for f in 0..info.len_edges() {
+                    let e = EdgeId(f as u32);
+                    if info.is_back_edge(e) || info.loops_of(e) != birth_loops {
+                        continue;
+                    }
+                    let hoist = info.edge_dominates(e, birth);
+                    let sink = info.edge_dominates(birth, e)
+                        && info.edge_postdominates(e, birth)
+                        && info.hard_latency(birth, e) == Some(0);
+                    if hoist || sink {
+                        set.push(e);
+                    }
+                }
+            }
+            set.sort_by_key(|&e| info.edge_topo_pos(e));
+            legal[o.0 as usize] = set;
+        }
+        Ok(SpanAnalysis { legal, topo })
+    }
+
+    /// Legal edges for `o`, in topological order.
+    #[must_use]
+    pub fn legal(&self, o: OpId) -> &[EdgeId] {
+        &self.legal[o.0 as usize]
+    }
+
+    /// Computes spans with no operations pinned (the pre-scheduling
+    /// analysis of the paper's Fig. 6 step 1).
+    ///
+    /// # Errors
+    ///
+    /// See [`SpanAnalysis::compute_pinned`].
+    pub fn compute(&self, dfg: &Dfg, info: &CfgInfo) -> Result<OpSpans> {
+        self.compute_pinned(dfg, info, |_| None)
+    }
+
+    /// Computes spans while honoring scheduling decisions already made:
+    /// `pin(o) = Some(e)` fixes `o` to edge `e` (its span collapses to that
+    /// edge, and consumers see its value there). Used by `Schedule_pass`
+    /// step (c) — "recompute opspan of not-scheduled operations".
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedDfg`] when no legal edge can satisfy an
+    /// operation's operand availability (inconsistent pinning or a
+    /// malformed graph).
+    pub fn compute_pinned(
+        &self,
+        dfg: &Dfg,
+        info: &CfgInfo,
+        pin: impl Fn(OpId) -> Option<EdgeId>,
+    ) -> Result<OpSpans> {
+        let bounds = self.bounds_pinned(dfg, info, &pin)?;
+        // Assemble span edge lists.
+        let n = dfg.len_ids();
+        let mut spans: Vec<Option<SpanInfo>> = vec![None; n];
+        for o in dfg.op_ids() {
+            let e = bounds.early(o);
+            let l = bounds.late(o);
+            let edges: Vec<EdgeId> = if pin(o).is_some() {
+                vec![e]
+            } else {
+                self.legal(o)
+                    .iter()
+                    .copied()
+                    .filter(|&x| info.reaches(e, x) && info.reaches(x, l))
+                    .collect()
+            };
+            spans[o.0 as usize] = Some(SpanInfo { early: e, late: l, edges });
+        }
+        Ok(OpSpans { spans })
+    }
+
+    /// Allocation-free pinned span computation: only `early`/`late` bounds
+    /// (the scheduler's per-edge re-analysis needs nothing more; full
+    /// [`OpSpans`] edge lists are built once for final validation).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SpanAnalysis::compute_pinned`].
+    pub fn bounds_pinned(
+        &self,
+        dfg: &Dfg,
+        info: &CfgInfo,
+        pin: impl Fn(OpId) -> Option<EdgeId>,
+    ) -> Result<SpanBounds> {
+        let topo = &self.topo;
+        let n = dfg.len_ids();
+        let mut early: Vec<Option<EdgeId>> = vec![None; n];
+        let mut late: Vec<Option<EdgeId>> = vec![None; n];
+
+        // Forward sweep: earliest legal edge with all operand values
+        // available (chaining on the same edge allowed → reflexive reach).
+        for &o in topo {
+            if let Some(e) = pin(o) {
+                early[o.0 as usize] = Some(e);
+                continue;
+            }
+            let mut found = None;
+            'edges: for &e in self.legal(o) {
+                for p in dfg.forward_operands(o) {
+                    if dfg.op(p).kind().is_const() {
+                        continue; // constants are always available
+                    }
+                    let pe = early[p.0 as usize].ok_or_else(|| {
+                        Error::MalformedDfg(format!("operand {p} of {o} has no early edge"))
+                    })?;
+                    if !info.reaches(pe, e) {
+                        continue 'edges;
+                    }
+                }
+                found = Some(e);
+                break;
+            }
+            early[o.0 as usize] = Some(found.ok_or_else(|| {
+                Error::MalformedDfg(format!(
+                    "no legal edge for {o} satisfies operand availability"
+                ))
+            })?);
+        }
+
+        // Backward sweep: latest legal edge from which every consumer's late
+        // edge is still reachable.
+        for &o in topo.iter().rev() {
+            if let Some(e) = pin(o) {
+                late[o.0 as usize] = Some(e);
+                continue;
+            }
+            // Constants are hardwired literals: they have no timing position
+            // and never constrain (nor are constrained by) their consumers —
+            // a consumer may even be hoisted above the constant's birth.
+            if dfg.op(o).kind().is_const() {
+                late[o.0 as usize] = early[o.0 as usize];
+                continue;
+            }
+            let users: Vec<OpId> = dfg.forward_users(o).map(|(u, _)| u).collect();
+            let eo = early[o.0 as usize].expect("early computed in forward sweep");
+            let mut found = None;
+            for &e in self.legal(o).iter().rev() {
+                if !info.reaches(eo, e) {
+                    continue; // must stay within [early, ...]
+                }
+                let ok = users.iter().all(|&u| {
+                    late[u.0 as usize].is_some_and(|ul| info.reaches(e, ul))
+                });
+                if ok {
+                    found = Some(e);
+                    break;
+                }
+            }
+            // No users (dead value): collapse to early.
+            if users.is_empty() {
+                found = Some(found.unwrap_or(eo));
+            }
+            late[o.0 as usize] = Some(found.ok_or_else(|| {
+                Error::MalformedDfg(format!("no legal edge for {o} satisfies its users"))
+            })?);
+        }
+
+        Ok(SpanBounds { early, late })
+    }
+}
+
+/// Early/late scheduling bounds per operation, without materialized edge
+/// lists. Produced by [`SpanAnalysis::bounds_pinned`].
+#[derive(Debug, Clone)]
+pub struct SpanBounds {
+    early: Vec<Option<EdgeId>>,
+    late: Vec<Option<EdgeId>>,
+}
+
+impl SpanBounds {
+    /// Early edge of `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for dead/unknown ops.
+    #[must_use]
+    pub fn early(&self, o: OpId) -> EdgeId {
+        self.early[o.0 as usize].expect("bounds queried for unknown/dead op")
+    }
+
+    /// Late edge of `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics for dead/unknown ops.
+    #[must_use]
+    pub fn late(&self, o: OpId) -> EdgeId {
+        self.late[o.0 as usize].expect("bounds queried for unknown/dead op")
+    }
+
+    /// Whether `o` may be scheduled on `e`: `e` must be legal for `o` and
+    /// lie between the current early and late bounds.
+    #[must_use]
+    pub fn contains(
+        &self,
+        analysis: &SpanAnalysis,
+        info: &CfgInfo,
+        o: OpId,
+        e: EdgeId,
+    ) -> bool {
+        let (early, late) = (self.early(o), self.late(o));
+        info.reaches(early, e)
+            && info.reaches(e, late)
+            && (e == early || analysis.legal(o).contains(&e))
+    }
+}
+
+/// Spans for every live operation of a DFG. Produced by [`SpanAnalysis`];
+/// the convenience constructor [`OpSpans::compute`] does both steps.
+#[derive(Debug, Clone)]
+pub struct OpSpans {
+    spans: Vec<Option<SpanInfo>>,
+}
+
+impl OpSpans {
+    /// One-shot span computation (builds a throwaway [`SpanAnalysis`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SpanAnalysis::new`] and [`SpanAnalysis::compute_pinned`].
+    pub fn compute(dfg: &Dfg, info: &CfgInfo) -> Result<OpSpans> {
+        SpanAnalysis::new(dfg, info)?.compute(dfg, info)
+    }
+
+    /// Span of operation `o`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `o` is dead or was added after the spans were computed.
+    #[must_use]
+    pub fn span(&self, o: OpId) -> &SpanInfo {
+        self.spans[o.0 as usize].as_ref().expect("span queried for unknown/dead op")
+    }
+
+    /// Early edge of `o`.
+    #[must_use]
+    pub fn early(&self, o: OpId) -> EdgeId {
+        self.span(o).early
+    }
+
+    /// Late edge of `o`.
+    #[must_use]
+    pub fn late(&self, o: OpId) -> EdgeId {
+        self.span(o).late
+    }
+
+    /// Paper Definition V.1 part 2: the latency of DFG edge `(a, b)` is
+    /// `latency(early(a), early(b))` in the CFG.
+    #[must_use]
+    pub fn dfg_edge_latency(&self, info: &CfgInfo, a: OpId, b: OpId) -> Option<u32> {
+        info.latency(self.early(a), self.early(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::{Cfg, NodeKind, StateKind};
+    use crate::op::{Op, OpKind};
+
+    /// Builds the paper's full Fig. 4 resizer example: CFG + DFG for the
+    /// main computation. Returns (design, edge ids, op ids by name).
+    pub(crate) fn resizer_design() -> (crate::Design, [EdgeId; 9], ResizerOps) {
+        let mut g = Cfg::new("resizer");
+        let start = g.add_node(NodeKind::Start);
+        let loop_top = g.add_node(NodeKind::Join);
+        let if_top = g.add_node(NodeKind::Fork);
+        let s0 = g.add_node(NodeKind::State(StateKind::Hard));
+        let s1 = g.add_node(NodeKind::State(StateKind::Hard));
+        let if_bottom = g.add_node(NodeKind::Join);
+        let s2 = g.add_node(NodeKind::State(StateKind::Hard));
+        let loop_bottom = g.add_node(NodeKind::Plain);
+        let e0 = g.add_edge(start, loop_top);
+        let e1 = g.add_edge(loop_top, if_top);
+        let e2 = g.add_branch_edge(if_top, s0, true);
+        let e3 = g.add_branch_edge(if_top, s1, false);
+        let e4 = g.add_edge(s0, if_bottom);
+        let e5 = g.add_edge(s1, if_bottom);
+        let e6 = g.add_edge(if_bottom, s2);
+        let e7 = g.add_edge(s2, loop_bottom);
+        let e8 = g.add_back_edge(loop_bottom, loop_top);
+
+        let mut d = Dfg::new();
+        let w = 16;
+        // x = a.read() + offset;  (born e1)
+        let rd_a = d.add_op(Op::new(OpKind::Read, w).named("a"), e1, &[]);
+        let offset = d.add_op(Op::new(OpKind::Const(3), w), e1, &[]);
+        let add = d.add_op(Op::new(OpKind::Add, w).named("x"), e1, &[rd_a, offset]);
+        // cond: x > th (born e1)
+        let th = d.add_op(Op::new(OpKind::Const(100), w), e1, &[]);
+        let gt = d.add_op(Op::new(OpKind::Gt, 1), e1, &[add, th]);
+        g.set_cond(if_top, gt);
+        // then-branch, after s0: y0 = x / scale - offset (born e4)
+        let scale = d.add_op(Op::new(OpKind::Const(2), w), e4, &[]);
+        let div = d.add_op(Op::new(OpKind::Div, w), e4, &[add, scale]);
+        let sub = d.add_op(Op::new(OpKind::Sub, w), e4, &[div, offset]);
+        // else-branch, after s1: y1 = x * b.read() (born e5)
+        let rd_b = d.add_op(Op::new(OpKind::Read, w).named("b"), e5, &[]);
+        let mul = d.add_op(Op::new(OpKind::Mul, w), e5, &[add, rd_b]);
+        // join: y = mux(cond, y0, y1) (born e6)
+        let mux = d.add_op(Op::new(OpKind::Mux, w).named("y"), e6, &[gt, sub, mul]);
+        // after s2: out.write(y) (born e7)
+        let wr = d.add_op(Op::new(OpKind::Write, w).named("out"), e7, &[mux]);
+
+        let design = crate::Design::new(g, d);
+        (
+            design,
+            [e0, e1, e2, e3, e4, e5, e6, e7, e8],
+            ResizerOps { rd_a, add, gt, div, sub, rd_b, mul, mux, wr },
+        )
+    }
+
+    pub(crate) struct ResizerOps {
+        pub rd_a: OpId,
+        pub add: OpId,
+        pub gt: OpId,
+        pub div: OpId,
+        pub sub: OpId,
+        pub rd_b: OpId,
+        pub mul: OpId,
+        pub mux: OpId,
+        pub wr: OpId,
+    }
+
+    #[test]
+    fn paper_fig4_spans_reproduced_exactly() {
+        let (design, e, ops) = resizer_design();
+        let (_info, spans) = design.analyze().unwrap();
+        // Paper §IV/Fig. 5: span(wr) = {e7}, span(div) = {e1,e2,e4},
+        // span(rd_a) = {e1}, span(add) = {e1}, span(sub) = {e1,e2,e4},
+        // span(rd_b) = {e5}, span(mul) = {e5}, span(mux) = {e6}.
+        assert_eq!(spans.span(ops.wr).edges, vec![e[7]]);
+        assert_eq!(spans.span(ops.div).edges, vec![e[1], e[2], e[4]]);
+        assert_eq!(spans.span(ops.sub).edges, vec![e[1], e[2], e[4]]);
+        assert_eq!(spans.span(ops.rd_a).edges, vec![e[1]]);
+        assert_eq!(spans.span(ops.add).edges, vec![e[1]]);
+        assert_eq!(spans.span(ops.rd_b).edges, vec![e[5]]);
+        assert_eq!(spans.span(ops.mul).edges, vec![e[5]]);
+        assert_eq!(spans.span(ops.mux).edges, vec![e[6]]);
+    }
+
+    #[test]
+    fn paper_fig5_dfg_edge_latencies() {
+        let (design, _e, ops) = resizer_design();
+        let (info, spans) = design.analyze().unwrap();
+        // Paper §V: latency(add,div) = 0, latency(add,mul) = 1.
+        assert_eq!(spans.dfg_edge_latency(&info, ops.add, ops.div), Some(0));
+        assert_eq!(spans.dfg_edge_latency(&info, ops.add, ops.mul), Some(1));
+        // From Fig. 5(b): div->sub weight 0, sub->mux weight 1,
+        // mul->mux weight 0, mux->wr weight 1, rd_a->add 0, rd_b->mul 0.
+        assert_eq!(spans.dfg_edge_latency(&info, ops.div, ops.sub), Some(0));
+        assert_eq!(spans.dfg_edge_latency(&info, ops.sub, ops.mux), Some(1));
+        assert_eq!(spans.dfg_edge_latency(&info, ops.mul, ops.mux), Some(0));
+        assert_eq!(spans.dfg_edge_latency(&info, ops.mux, ops.wr), Some(1));
+        assert_eq!(spans.dfg_edge_latency(&info, ops.rd_a, ops.add), Some(0));
+        assert_eq!(spans.dfg_edge_latency(&info, ops.rd_b, ops.mul), Some(0));
+    }
+
+    #[test]
+    fn pinning_collapses_spans_and_constrains_consumers() {
+        let (design, e, ops) = resizer_design();
+        let (info, _) = design.analyze().unwrap();
+        let analysis = SpanAnalysis::new(&design.dfg, &info).unwrap();
+        // Pin div to e4 (its latest edge): sub's early must move to e4.
+        let spans = analysis
+            .compute_pinned(&design.dfg, &info, |o| (o == ops.div).then_some(e[4]))
+            .unwrap();
+        assert_eq!(spans.span(ops.div).edges, vec![e[4]]);
+        assert_eq!(spans.early(ops.sub), e[4]);
+    }
+
+    #[test]
+    fn soft_states_allow_sinking() {
+        // start -> A -e1-> B with 2 soft states inserted on e1: an op born on
+        // e1 may sink across the soft states.
+        let mut g = Cfg::new("soft");
+        let start = g.add_node(NodeKind::Start);
+        let a = g.add_node(NodeKind::Plain);
+        let b = g.add_node(NodeKind::Plain);
+        g.add_edge(start, a);
+        let e1 = g.add_edge(a, b);
+        let extra = g.insert_soft_states(e1, 2);
+        let mut d = Dfg::new();
+        let x = d.add_op(Op::new(OpKind::Input, 8).named("x"), e1, &[]);
+        let y = d.add_op(Op::new(OpKind::Input, 8).named("y"), e1, &[]);
+        let m = d.add_op(Op::new(OpKind::Mul, 8), e1, &[x, y]);
+        let m2 = d.add_op(Op::new(OpKind::Mul, 8), e1, &[m, y]);
+        let design = crate::Design::new(g, d);
+        let (_info, spans) = design.analyze().unwrap();
+        // m may occupy e1 or either soft-state edge.
+        assert_eq!(spans.span(m).edges, vec![e1, extra[0], extra[1]]);
+        assert_eq!(spans.span(m2).edges, vec![e1, extra[0], extra[1]]);
+        assert_eq!(spans.early(m2), e1); // chaining with m on e1 is allowed
+    }
+
+    #[test]
+    fn hard_states_block_sinking() {
+        let mut g = Cfg::new("hard");
+        let start = g.add_node(NodeKind::Start);
+        let a = g.add_node(NodeKind::Plain);
+        let s = g.add_node(NodeKind::State(StateKind::Hard));
+        let b = g.add_node(NodeKind::Plain);
+        g.add_edge(start, a);
+        let e1 = g.add_edge(a, s);
+        let e2 = g.add_edge(s, b);
+        let mut d = Dfg::new();
+        let x = d.add_op(Op::new(OpKind::Input, 8), e1, &[]);
+        let m = d.add_op(Op::new(OpKind::Mul, 8), e1, &[x, x]);
+        let _w = d.add_op(Op::new(OpKind::Write, 8).named("o"), e2, &[m]);
+        let design = crate::Design::new(g, d);
+        let (_info, spans) = design.analyze().unwrap();
+        assert_eq!(spans.span(m).edges, vec![e1], "must not sink across wait()");
+    }
+}

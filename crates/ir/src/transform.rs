@@ -1,0 +1,328 @@
+//! Design-level transformations: dead-code elimination, constant folding
+//! and common-subexpression elimination.
+//!
+//! Loop *unrolling* — needed by the paper's interpolation example — is
+//! performed during elaboration (see [`crate::frontend`]) or by the workload
+//! generators, where the loop structure is still explicit; at the graph
+//! level only these cleanup passes are required.
+
+use crate::design::Design;
+use crate::dfg::OpId;
+use crate::op::{Op, OpKind};
+use std::collections::HashMap;
+
+/// Removes operations whose results are never used, transitively. I/O
+/// operations (`read`/`write`) and fork conditions are roots and never
+/// removed (`read` consumes from a stream; removing it would change
+/// semantics). Returns the number of operations removed.
+pub fn dead_code_elimination(design: &mut Design) -> usize {
+    let dfg = &mut design.dfg;
+    let mut roots: Vec<OpId> = dfg
+        .op_ids()
+        .filter(|&o| matches!(dfg.op(o).kind(), OpKind::Read | OpKind::Write))
+        .collect();
+    for n in design.cfg.node_ids() {
+        if let Some(c) = design.cfg.cond(n) {
+            roots.push(c);
+        }
+    }
+    let mut live = vec![false; dfg.len_ids()];
+    let mut stack = roots;
+    while let Some(o) = stack.pop() {
+        if live[o.0 as usize] {
+            continue;
+        }
+        live[o.0 as usize] = true;
+        for &p in dfg.operands(o) {
+            if !live[p.0 as usize] {
+                stack.push(p);
+            }
+        }
+    }
+    // Kill dead ops in reverse id order so users are killed before operands.
+    let dead: Vec<OpId> = dfg.op_ids().filter(|&o| !live[o.0 as usize]).collect();
+    let mut removed = 0;
+    for &o in dead.iter().rev() {
+        if dfg.is_dead(o) {
+            continue;
+        }
+        // All users of a dead op are themselves dead and already killed
+        // (reverse order), except loop-carried self-references.
+        if dfg.users(o).iter().all(|&(u, _)| dfg.is_dead(u)) {
+            dfg.kill(o);
+            removed += 1;
+        }
+    }
+    removed
+}
+
+/// Folds operations whose operands are all constants into `Const` ops.
+/// Iterates to a fixpoint. Returns the number of operations folded.
+pub fn constant_fold(design: &mut Design) -> usize {
+    let mut folded = 0;
+    loop {
+        let dfg = &design.dfg;
+        let mut target: Option<(OpId, i64)> = None;
+        'search: for o in dfg.op_ids() {
+            let kind = dfg.op(o).kind();
+            if kind.is_const()
+                || kind.arity() == 0
+                || kind.is_fixed()
+                || kind == OpKind::LoopPhi
+            {
+                continue;
+            }
+            let mut vals = Vec::new();
+            for &p in dfg.operands(o) {
+                match dfg.op(p).kind() {
+                    OpKind::Const(v) => vals.push(v),
+                    _ => continue 'search,
+                }
+            }
+            if let Some(v) = eval_const(kind, dfg.op(o).width(), dfg.op(o).is_signed(), &vals)
+            {
+                target = Some((o, v));
+                break;
+            }
+        }
+        match target {
+            None => break,
+            Some((o, v)) => {
+                let width = design.dfg.op(o).width();
+                let birth = design.dfg.birth(o);
+                let c = design.dfg.add_op(Op::new(OpKind::Const(v), width), birth, &[]);
+                design.dfg.replace_all_uses(o, c);
+                design.dfg.kill(o);
+                folded += 1;
+            }
+        }
+    }
+    folded
+}
+
+fn eval_const(kind: OpKind, width: u16, signed: bool, vals: &[i64]) -> Option<i64> {
+    let m = |v: i64| -> i64 {
+        if width >= 64 {
+            v
+        } else {
+            let masked = (v as u64) & ((1u64 << width) - 1);
+            if signed {
+                let shift = 64 - width as u32;
+                ((masked << shift) as i64) >> shift
+            } else {
+                masked as i64
+            }
+        }
+    };
+    let r = match (kind, vals) {
+        (OpKind::Add, [a, b]) => a.wrapping_add(*b),
+        (OpKind::Sub, [a, b]) => a.wrapping_sub(*b),
+        (OpKind::Mul, [a, b]) => a.wrapping_mul(*b),
+        (OpKind::Div, [a, b]) => {
+            if *b == 0 {
+                0
+            } else {
+                a.wrapping_div(*b)
+            }
+        }
+        (OpKind::Rem, [a, b]) => {
+            if *b == 0 {
+                0
+            } else {
+                a.wrapping_rem(*b)
+            }
+        }
+        (OpKind::And, [a, b]) => a & b,
+        (OpKind::Or, [a, b]) => a | b,
+        (OpKind::Xor, [a, b]) => a ^ b,
+        (OpKind::Shl, [a, b]) => a.wrapping_shl(*b as u32),
+        (OpKind::Shr, [a, b]) => a.wrapping_shr(*b as u32),
+        (OpKind::Lt, [a, b]) => i64::from(a < b),
+        (OpKind::Le, [a, b]) => i64::from(a <= b),
+        (OpKind::Gt, [a, b]) => i64::from(a > b),
+        (OpKind::Ge, [a, b]) => i64::from(a >= b),
+        (OpKind::Eq, [a, b]) => i64::from(a == b),
+        (OpKind::Ne, [a, b]) => i64::from(a != b),
+        (OpKind::Neg, [a]) => a.wrapping_neg(),
+        (OpKind::Not, [a]) => !a,
+        (OpKind::Mux, [c, t, f]) => {
+            if *c != 0 {
+                *t
+            } else {
+                *f
+            }
+        }
+        _ => return None,
+    };
+    Some(m(r))
+}
+
+/// Common-subexpression elimination: merges structurally identical pure
+/// operations born on the **same edge** (same kind, width, signedness and
+/// operands — considering commutativity). Returns the number merged.
+pub fn common_subexpression_elimination(design: &mut Design) -> usize {
+    let mut merged = 0;
+    loop {
+        let dfg = &design.dfg;
+        let mut seen: HashMap<(OpKind, u16, bool, u32, Vec<OpId>), OpId> = HashMap::new();
+        let mut pair: Option<(OpId, OpId)> = None;
+        let topo = match dfg.topo_order() {
+            Ok(t) => t,
+            Err(_) => return merged,
+        };
+        for &o in &topo {
+            let op = dfg.op(o);
+            let kind = op.kind();
+            if kind.arity() == 0 || kind.is_fixed() || kind == OpKind::LoopPhi {
+                continue;
+            }
+            let mut operands = dfg.operands(o).to_vec();
+            if kind.is_commutative() {
+                operands.sort();
+            }
+            let key = (kind, op.width(), op.is_signed(), dfg.birth(o).0, operands);
+            match seen.get(&key) {
+                Some(&prev) => {
+                    pair = Some((o, prev));
+                    break;
+                }
+                None => {
+                    seen.insert(key, o);
+                }
+            }
+        }
+        match pair {
+            None => break,
+            Some((dup, keep)) => {
+                design.dfg.replace_all_uses(dup, keep);
+                design.dfg.kill(dup);
+                merged += 1;
+            }
+        }
+    }
+    merged
+}
+
+/// Runs constant folding, CSE and DCE to a combined fixpoint.
+pub fn cleanup(design: &mut Design) -> usize {
+    let mut total = 0;
+    loop {
+        let n = constant_fold(design)
+            + common_subexpression_elimination(design)
+            + dead_code_elimination(design);
+        total += n;
+        if n == 0 {
+            break;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::DesignBuilder;
+    use crate::op::OpKind;
+
+    #[test]
+    fn dce_removes_unused_chain() {
+        let mut b = DesignBuilder::new("dce");
+        let x = b.input("x", 8);
+        let dead1 = b.binop(OpKind::Mul, x, x, 8);
+        let _dead2 = b.binop(OpKind::Add, dead1, x, 8);
+        let live = b.binop(OpKind::Add, x, x, 8);
+        b.write("y", live);
+        let mut d = b.finish().unwrap();
+        let removed = dead_code_elimination(&mut d);
+        assert_eq!(removed, 2);
+        assert_eq!(d.dfg.len_ops(), 3);
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn dce_keeps_reads() {
+        let mut b = DesignBuilder::new("keep");
+        let lp = b.enter_loop();
+        let _unused = b.read("in", 8);
+        let c = b.constant(7, 8);
+        b.write("y", c);
+        b.wait();
+        b.close_loop(lp);
+        let mut d = b.finish().unwrap();
+        dead_code_elimination(&mut d);
+        // The read stays: it consumes stream data (observable).
+        assert!(d
+            .dfg
+            .op_ids()
+            .any(|o| d.dfg.op(o).kind() == OpKind::Read));
+    }
+
+    #[test]
+    fn const_fold_chain() {
+        let mut b = DesignBuilder::new("cf");
+        let two = b.constant(2, 8);
+        let three = b.constant(3, 8);
+        let six = b.binop(OpKind::Mul, two, three, 8);
+        let x = b.input("x", 8);
+        let y = b.binop(OpKind::Add, x, six, 8);
+        b.write("y", y);
+        let mut d = b.finish().unwrap();
+        let folded = constant_fold(&mut d);
+        assert_eq!(folded, 1);
+        dead_code_elimination(&mut d);
+        d.validate().unwrap();
+        // The mul is gone; a const(6) feeds the add.
+        assert!(d.dfg.op_ids().all(|o| d.dfg.op(o).kind() != OpKind::Mul));
+        let t = crate::interp::run(
+            &d,
+            &crate::interp::Stimulus::new().input("x", 10),
+            10,
+        )
+        .unwrap();
+        assert_eq!(t.outputs["y"], vec![16]);
+    }
+
+    #[test]
+    fn cse_merges_commutative_duplicates() {
+        let mut b = DesignBuilder::new("cse");
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let a1 = b.binop(OpKind::Add, x, y, 8);
+        let a2 = b.binop(OpKind::Add, y, x, 8); // same value, swapped operands
+        let m = b.binop(OpKind::Mul, a1, a2, 8);
+        b.write("z", m);
+        let mut d = b.finish().unwrap();
+        let merged = common_subexpression_elimination(&mut d);
+        assert_eq!(merged, 1);
+        dead_code_elimination(&mut d);
+        assert_eq!(
+            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Add).count(),
+            1
+        );
+        d.validate().unwrap();
+    }
+
+    #[test]
+    fn cleanup_reaches_fixpoint() {
+        let mut b = DesignBuilder::new("fix");
+        let c1 = b.constant(4, 8);
+        let c2 = b.constant(5, 8);
+        let s = b.binop(OpKind::Add, c1, c2, 8);
+        let t = b.binop(OpKind::Add, c1, c2, 8);
+        let u = b.binop(OpKind::Mul, s, t, 8); // (4+5)*(4+5) = 81
+        b.write("y", u);
+        let mut d = b.finish().unwrap();
+        cleanup(&mut d);
+        // Everything folds to const 81.
+        let consts: Vec<i64> = d
+            .dfg
+            .op_ids()
+            .filter_map(|o| match d.dfg.op(o).kind() {
+                OpKind::Const(v) => Some(v),
+                _ => None,
+            })
+            .collect();
+        assert!(consts.contains(&81));
+        assert_eq!(d.dfg.len_ops(), 2); // const 81 + write
+    }
+}

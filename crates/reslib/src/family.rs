@@ -1,0 +1,180 @@
+//! Resource families: a grade curve at a reference width plus analytic
+//! width scaling.
+//!
+//! Real libraries characterize each width separately; the paper only
+//! publishes the 8×8 multiplier and 16-bit adder rows (Table 1). For other
+//! widths we scale the reference curve with standard asymptotic models
+//! (ripple adder delay grows linearly with width, array multiplier area
+//! quadratically, …); DESIGN.md §5 records this substitution. The scaling
+//! exponents are per-class and the result is clamped to stay a valid
+//! tradeoff curve.
+
+use crate::class::ResClass;
+use crate::grade::{is_tradeoff_curve, SpeedGrade};
+
+/// Grade curve of one resource class at a reference width, with scaling
+/// exponents to derive other widths.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Family {
+    class: ResClass,
+    ref_width: u16,
+    grades: Vec<SpeedGrade>,
+    delay_exp: f64,
+    area_exp: f64,
+}
+
+impl Family {
+    /// Creates a family.
+    ///
+    /// `delay_exp`/`area_exp` are the exponents of `(w / ref_width)` applied
+    /// to delay and area when scaling to width `w`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the grade list is empty or not a strict tradeoff curve
+    /// (delays increasing, areas decreasing).
+    #[must_use]
+    pub fn new(
+        class: ResClass,
+        ref_width: u16,
+        grades: Vec<SpeedGrade>,
+        delay_exp: f64,
+        area_exp: f64,
+    ) -> Self {
+        assert!(!grades.is_empty(), "family {class} has no grades");
+        assert!(
+            is_tradeoff_curve(&grades),
+            "family {class} grades must be strictly faster-is-bigger"
+        );
+        assert!(ref_width >= 1, "reference width must be positive");
+        Family { class, ref_width, grades, delay_exp, area_exp }
+    }
+
+    /// The resource class.
+    #[must_use]
+    pub fn class(&self) -> ResClass {
+        self.class
+    }
+
+    /// Reference width of the characterized curve.
+    #[must_use]
+    pub fn ref_width(&self) -> u16 {
+        self.ref_width
+    }
+
+    /// The curve at the reference width, fastest first.
+    #[must_use]
+    pub fn reference_grades(&self) -> &[SpeedGrade] {
+        &self.grades
+    }
+
+    /// Delay scaling exponent.
+    #[must_use]
+    pub fn delay_exp(&self) -> f64 {
+        self.delay_exp
+    }
+
+    /// Area scaling exponent.
+    #[must_use]
+    pub fn area_exp(&self) -> f64 {
+        self.area_exp
+    }
+
+    /// The grade curve scaled to width `w`. At the reference width this is
+    /// the characterized data verbatim.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `w` is zero.
+    #[must_use]
+    pub fn grades_at(&self, w: u16) -> Vec<SpeedGrade> {
+        assert!(w >= 1, "width must be positive");
+        if w == self.ref_width {
+            return self.grades.clone();
+        }
+        let r = f64::from(w) / f64::from(self.ref_width);
+        let ds = r.powf(self.delay_exp);
+        let asc = r.powf(self.area_exp);
+        let mut out: Vec<SpeedGrade> = self
+            .grades
+            .iter()
+            .map(|g| SpeedGrade {
+                delay_ps: ((g.delay_ps as f64) * ds).round().max(1.0) as u64,
+                area: (g.area * asc).max(0.5),
+            })
+            .collect();
+        // Rounding can merge adjacent delays for tiny widths; enforce strict
+        // monotonicity so downstream interpolation stays well-defined.
+        for i in 1..out.len() {
+            if out[i].delay_ps <= out[i - 1].delay_ps {
+                out[i].delay_ps = out[i - 1].delay_ps + 1;
+            }
+            if out[i].area >= out[i - 1].area {
+                out[i].area = out[i - 1].area * 0.995;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mul_family() -> Family {
+        Family::new(
+            ResClass::Multiplier,
+            8,
+            vec![
+                SpeedGrade::new(430, 878.0),
+                SpeedGrade::new(470, 662.0),
+                SpeedGrade::new(510, 618.0),
+                SpeedGrade::new(540, 575.0),
+                SpeedGrade::new(570, 545.0),
+                SpeedGrade::new(610, 510.0),
+            ],
+            0.85,
+            1.8,
+        )
+    }
+
+    #[test]
+    fn reference_width_is_verbatim() {
+        let f = mul_family();
+        assert_eq!(f.grades_at(8), f.reference_grades());
+    }
+
+    #[test]
+    fn wider_is_slower_and_bigger() {
+        let f = mul_family();
+        let w8 = f.grades_at(8);
+        let w16 = f.grades_at(16);
+        for (a, b) in w8.iter().zip(&w16) {
+            assert!(b.delay_ps > a.delay_ps);
+            assert!(b.area > a.area);
+        }
+    }
+
+    #[test]
+    fn scaled_curves_remain_tradeoffs() {
+        let f = mul_family();
+        for w in [1u16, 2, 3, 4, 7, 8, 12, 16, 24, 32, 48, 64] {
+            assert!(
+                is_tradeoff_curve(&f.grades_at(w)),
+                "width {w} curve is not a tradeoff curve"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "faster-is-bigger")]
+    fn dominated_grade_rejected() {
+        let _ = Family::new(
+            ResClass::Adder,
+            16,
+            vec![SpeedGrade::new(220, 556.0), SpeedGrade::new(400, 600.0)],
+            1.0,
+            1.0,
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Speed grades: single (delay, area) implementation points.
+
+use std::fmt;
+
+/// One implementation point of a resource: its pin-to-pin delay and cell
+/// area (paper Table 1 rows).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpeedGrade {
+    /// Pin-to-pin delay in picoseconds.
+    pub delay_ps: u64,
+    /// Cell area in library units (the paper's Table 1 scale).
+    pub area: f64,
+}
+
+impl SpeedGrade {
+    /// Creates a grade.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delay_ps` is zero or `area` is not finite and positive.
+    #[must_use]
+    pub fn new(delay_ps: u64, area: f64) -> Self {
+        assert!(delay_ps > 0, "grade delay must be positive");
+        assert!(area.is_finite() && area > 0.0, "grade area must be positive");
+        SpeedGrade { delay_ps, area }
+    }
+}
+
+impl fmt::Display for SpeedGrade {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}ps/{:.0}au", self.delay_ps, self.area)
+    }
+}
+
+/// Checks that a grade list forms a proper tradeoff curve: delays strictly
+/// increasing, areas strictly decreasing (faster must cost more or it would
+/// never be chosen).
+#[must_use]
+pub fn is_tradeoff_curve(grades: &[SpeedGrade]) -> bool {
+    grades.windows(2).all(|w| w[0].delay_ps < w[1].delay_ps && w[0].area > w[1].area)
+}
+
+/// Piecewise-linear interpolated area at `delay_ps` along a tradeoff curve.
+/// Returns `None` outside the curve's delay range.
+#[must_use]
+pub fn interpolate_area(grades: &[SpeedGrade], delay_ps: u64) -> Option<f64> {
+    let first = grades.first()?;
+    let last = grades.last()?;
+    if delay_ps < first.delay_ps || delay_ps > last.delay_ps {
+        return None;
+    }
+    for w in grades.windows(2) {
+        let (a, b) = (w[0], w[1]);
+        if delay_ps >= a.delay_ps && delay_ps <= b.delay_ps {
+            let t = (delay_ps - a.delay_ps) as f64 / (b.delay_ps - a.delay_ps) as f64;
+            return Some(a.area + t * (b.area - a.area));
+        }
+    }
+    Some(last.area)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> Vec<SpeedGrade> {
+        vec![
+            SpeedGrade::new(430, 878.0),
+            SpeedGrade::new(470, 662.0),
+            SpeedGrade::new(510, 618.0),
+            SpeedGrade::new(540, 575.0),
+            SpeedGrade::new(570, 545.0),
+            SpeedGrade::new(610, 510.0),
+        ]
+    }
+
+    #[test]
+    fn table1_mul_is_a_tradeoff_curve() {
+        assert!(is_tradeoff_curve(&curve()));
+    }
+
+    #[test]
+    fn non_monotone_rejected() {
+        let mut c = curve();
+        c[1].area = 900.0; // slower but bigger: dominated
+        assert!(!is_tradeoff_curve(&c));
+    }
+
+    #[test]
+    fn interpolation_hits_grade_points_exactly() {
+        let c = curve();
+        for g in &c {
+            assert_eq!(interpolate_area(&c, g.delay_ps), Some(g.area));
+        }
+    }
+
+    #[test]
+    fn interpolation_between_points() {
+        let c = curve();
+        // Paper Table 2 uses mul@550ps. Between (540, 575) and (570, 545):
+        // 575 + (10/30)*(545-575) = 565.
+        let a = interpolate_area(&c, 550).unwrap();
+        assert!((a - 565.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn interpolation_outside_range_is_none() {
+        let c = curve();
+        assert_eq!(interpolate_area(&c, 100), None);
+        assert_eq!(interpolate_area(&c, 10_000), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_delay_panics() {
+        let _ = SpeedGrade::new(0, 1.0);
+    }
+}

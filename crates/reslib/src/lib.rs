@@ -1,0 +1,42 @@
+//! # adhls-reslib — resource library with area/delay speed grades
+//!
+//! The paper's premise (§II.A, Table 1) is that datapath resources come in
+//! multiple implementations trading area for delay — a TSMC-90nm 8×8
+//! multiplier spans 430–610 ps and 878–510 area units; a 16-bit adder spans
+//! 220–1220 ps and 556–206 area units (ripple-carry to carry-lookahead).
+//!
+//! This crate models that library:
+//!
+//! * [`SpeedGrade`] — one (delay, area) implementation point,
+//! * [`ResClass`] — resource classes (adder, add/sub, multiplier, …) and the
+//!   operation → class compatibility relation,
+//! * [`Family`] — the grade curve of one class at a reference width plus
+//!   analytic width-scaling,
+//! * [`Library`] — the queryable library, including Pareto-merged candidate
+//!   grades per operation, piecewise-linear interpolation between grades
+//!   (used by the paper's Table 2 numbers), and register/mux cost
+//!   parameters,
+//! * [`tsmc90`] — the calibrated dataset reproducing Table 1 verbatim.
+//!
+//! # Example
+//!
+//! ```
+//! use adhls_reslib::{tsmc90, ResClass};
+//!
+//! let lib = tsmc90::library();
+//! let grades = lib.grades(ResClass::Multiplier, 8).unwrap();
+//! assert_eq!(grades.first().unwrap().delay_ps, 430); // fastest 8x8 mul
+//! assert_eq!(grades.first().unwrap().area, 878.0);   // paper Table 1
+//! ```
+
+pub mod class;
+pub mod family;
+pub mod grade;
+pub mod library;
+pub mod text;
+pub mod tsmc90;
+
+pub use class::ResClass;
+pub use family::Family;
+pub use grade::SpeedGrade;
+pub use library::{Candidate, Library};

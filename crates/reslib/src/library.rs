@@ -1,0 +1,261 @@
+//! The queryable resource library.
+
+use crate::class::{classes_for, ResClass};
+use crate::family::Family;
+use crate::grade::{interpolate_area, SpeedGrade};
+use adhls_ir::{Dfg, OpId, OpKind};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// One candidate implementation for an operation: a class plus a grade at
+/// the operation's resource width. Candidate lists are Pareto-merged across
+/// all compatible classes and sorted fastest-first.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// Implementing resource class.
+    pub class: ResClass,
+    /// Grade at the queried width.
+    pub grade: SpeedGrade,
+}
+
+impl fmt::Display for Candidate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}@{}", self.class, self.grade)
+    }
+}
+
+/// A resource library: families per class plus the cost parameters of the
+/// structural area model (registers and sharing muxes) and the I/O delay
+/// used for `read`/`write` operations (the paper's Table 3 symbol `d`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Library {
+    name: String,
+    families: BTreeMap<ResClass, Family>,
+    reg_area_per_bit: f64,
+    mux_area_per_bit: f64,
+    mux_share_delay_ps: u64,
+    io_delay_ps: u64,
+}
+
+impl Library {
+    /// Creates an empty library with default cost parameters.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Library {
+            name: name.into(),
+            families: BTreeMap::new(),
+            reg_area_per_bit: 5.5,
+            mux_area_per_bit: 2.0,
+            mux_share_delay_ps: 60,
+            io_delay_ps: 100,
+        }
+    }
+
+    /// Library name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Registers (adds or replaces) a family.
+    pub fn add_family(&mut self, family: Family) -> &mut Self {
+        self.families.insert(family.class(), family);
+        self
+    }
+
+    /// Sets the per-bit register area used by the structural area model.
+    pub fn set_reg_area_per_bit(&mut self, a: f64) -> &mut Self {
+        self.reg_area_per_bit = a;
+        self
+    }
+
+    /// Sets the per-input-per-bit steering-mux area.
+    pub fn set_mux_area_per_bit(&mut self, a: f64) -> &mut Self {
+        self.mux_area_per_bit = a;
+        self
+    }
+
+    /// Sets the steering-mux delay added per shared input.
+    pub fn set_mux_share_delay_ps(&mut self, d: u64) -> &mut Self {
+        self.mux_share_delay_ps = d;
+        self
+    }
+
+    /// Sets the delay of `read`/`write` operations.
+    pub fn set_io_delay_ps(&mut self, d: u64) -> &mut Self {
+        self.io_delay_ps = d;
+        self
+    }
+
+    /// Per-bit register area.
+    #[must_use]
+    pub fn reg_area_per_bit(&self) -> f64 {
+        self.reg_area_per_bit
+    }
+
+    /// Per-input-per-bit steering-mux area.
+    #[must_use]
+    pub fn mux_area_per_bit(&self) -> f64 {
+        self.mux_area_per_bit
+    }
+
+    /// Steering-mux delay per shared input.
+    #[must_use]
+    pub fn mux_share_delay_ps(&self) -> u64 {
+        self.mux_share_delay_ps
+    }
+
+    /// Delay of `read`/`write` operations (Table 3's `d`).
+    #[must_use]
+    pub fn io_delay_ps(&self) -> u64 {
+        self.io_delay_ps
+    }
+
+    /// The family for a class, if registered.
+    #[must_use]
+    pub fn family(&self, class: ResClass) -> Option<&Family> {
+        self.families.get(&class)
+    }
+
+    /// Iterates registered families.
+    pub fn families(&self) -> impl Iterator<Item = &Family> {
+        self.families.values()
+    }
+
+    /// Grade curve of `class` at width `w` (fastest first).
+    #[must_use]
+    pub fn grades(&self, class: ResClass, w: u16) -> Option<Vec<SpeedGrade>> {
+        self.families.get(&class).map(|f| f.grades_at(w))
+    }
+
+    /// Piecewise-linear interpolated area of `class` at width `w` and
+    /// `delay_ps` — the paper's Table 2 works with such interpolated
+    /// implementations (e.g. mul@550 ps ⇒ area ≈ 565).
+    #[must_use]
+    pub fn area_at(&self, class: ResClass, w: u16, delay_ps: u64) -> Option<f64> {
+        let grades = self.grades(class, w)?;
+        interpolate_area(&grades, delay_ps)
+    }
+
+    /// Pareto-merged candidate implementations for an operation kind at a
+    /// resource width, sorted fastest-first. Returns an empty vector for
+    /// kinds that need no resource (constants, φs, I/O).
+    #[must_use]
+    pub fn candidates(&self, kind: OpKind, w: u16) -> Vec<Candidate> {
+        let mut all: Vec<Candidate> = Vec::new();
+        for &class in classes_for(kind) {
+            if let Some(grades) = self.grades(class, w) {
+                all.extend(grades.into_iter().map(|grade| Candidate { class, grade }));
+            }
+        }
+        all.sort_by(|a, b| {
+            a.grade
+                .delay_ps
+                .cmp(&b.grade.delay_ps)
+                .then(a.grade.area.total_cmp(&b.grade.area))
+        });
+        // Pareto prune: keep only strictly-area-decreasing points.
+        let mut out: Vec<Candidate> = Vec::new();
+        for c in all {
+            match out.last() {
+                Some(last) if c.grade.area >= last.grade.area => {}
+                Some(last) if c.grade.delay_ps == last.grade.delay_ps => {}
+                _ => out.push(c),
+            }
+        }
+        out
+    }
+
+    /// Fastest candidate for a kind at a width.
+    #[must_use]
+    pub fn fastest(&self, kind: OpKind, w: u16) -> Option<Candidate> {
+        self.candidates(kind, w).into_iter().next()
+    }
+
+    /// Slowest (cheapest) candidate for a kind at a width.
+    #[must_use]
+    pub fn slowest(&self, kind: OpKind, w: u16) -> Option<Candidate> {
+        self.candidates(kind, w).into_iter().last()
+    }
+
+    /// Intrinsic delay of operations that never occupy a datapath resource:
+    /// `read`/`write` take the I/O delay, constants/inputs/φs are free.
+    /// Returns `None` for resource-backed kinds.
+    #[must_use]
+    pub fn fixed_delay_ps(&self, kind: OpKind) -> Option<u64> {
+        match kind {
+            OpKind::Read | OpKind::Write => Some(self.io_delay_ps),
+            OpKind::Const(_) | OpKind::Input | OpKind::LoopPhi => Some(0),
+            _ => None,
+        }
+    }
+}
+
+/// Resource width needed by an operation: the maximum of its result width
+/// and its forward operand widths (a compare of two 16-bit values needs a
+/// 16-bit comparator even though its result is 1 bit).
+#[must_use]
+pub fn op_resource_width(dfg: &Dfg, o: OpId) -> u16 {
+    let mut w = dfg.op(o).width();
+    for p in dfg.forward_operands(o) {
+        w = w.max(dfg.op(p).width());
+    }
+    w
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsmc90;
+    use adhls_ir::Op;
+
+    #[test]
+    fn candidates_are_pareto_and_sorted() {
+        let lib = tsmc90::library();
+        // Add merges adder + addsub curves; must stay sorted / strictly
+        // area-decreasing.
+        let cands = lib.candidates(OpKind::Add, 16);
+        assert!(!cands.is_empty());
+        for w in cands.windows(2) {
+            assert!(w[0].grade.delay_ps < w[1].grade.delay_ps);
+            assert!(w[0].grade.area > w[1].grade.area);
+        }
+        // The fastest 16-bit add candidate is the paper's 220ps/556 adder.
+        assert_eq!(cands[0].grade.delay_ps, 220);
+        assert_eq!(cands[0].grade.area, 556.0);
+    }
+
+    #[test]
+    fn fastest_and_slowest() {
+        let lib = tsmc90::library();
+        let f = lib.fastest(OpKind::Mul, 8).unwrap();
+        let s = lib.slowest(OpKind::Mul, 8).unwrap();
+        assert_eq!(f.grade.delay_ps, 430);
+        assert_eq!(s.grade.delay_ps, 610);
+        assert!(f.grade.area > s.grade.area);
+    }
+
+    #[test]
+    fn fixed_delays() {
+        let lib = tsmc90::library();
+        assert_eq!(lib.fixed_delay_ps(OpKind::Read), Some(lib.io_delay_ps()));
+        assert_eq!(lib.fixed_delay_ps(OpKind::Const(1)), Some(0));
+        assert_eq!(lib.fixed_delay_ps(OpKind::Mul), None);
+    }
+
+    #[test]
+    fn resource_width_covers_operands() {
+        let mut dfg = Dfg::new();
+        let a = dfg.add_op(Op::new(OpKind::Input, 16), adhls_ir::EdgeId(0), &[]);
+        let b = dfg.add_op(Op::new(OpKind::Input, 12), adhls_ir::EdgeId(0), &[]);
+        let cmp = dfg.add_op(Op::new(OpKind::Lt, 1), adhls_ir::EdgeId(0), &[a, b]);
+        assert_eq!(op_resource_width(&dfg, cmp), 16);
+    }
+
+    #[test]
+    fn no_candidates_for_io() {
+        let lib = tsmc90::library();
+        assert!(lib.candidates(OpKind::Read, 16).is_empty());
+        assert!(lib.candidates(OpKind::LoopPhi, 16).is_empty());
+    }
+}

@@ -1,0 +1,178 @@
+//! Plain-text serialization of libraries.
+//!
+//! A deliberately simple line-oriented format (no serde data-format crate is
+//! available offline; DESIGN.md §7):
+//!
+//! ```text
+//! library tsmc90
+//! reg_area_per_bit 5.5
+//! mux_area_per_bit 2
+//! mux_share_delay_ps 60
+//! io_delay_ps 100
+//! family multiplier ref 8 dexp 0.85 aexp 1.8
+//! grade 430 878
+//! grade 470 662
+//! end
+//! ```
+
+use crate::class::ResClass;
+use crate::family::Family;
+use crate::grade::SpeedGrade;
+use crate::library::Library;
+use std::fmt::Write as _;
+
+/// Serializes a library to the text format.
+#[must_use]
+pub fn to_text(lib: &Library) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "library {}", lib.name());
+    let _ = writeln!(s, "reg_area_per_bit {}", lib.reg_area_per_bit());
+    let _ = writeln!(s, "mux_area_per_bit {}", lib.mux_area_per_bit());
+    let _ = writeln!(s, "mux_share_delay_ps {}", lib.mux_share_delay_ps());
+    let _ = writeln!(s, "io_delay_ps {}", lib.io_delay_ps());
+    for f in lib.families() {
+        let _ = writeln!(
+            s,
+            "family {} ref {} dexp {} aexp {}",
+            f.class(),
+            f.ref_width(),
+            f.delay_exp(),
+            f.area_exp()
+        );
+        for g in f.reference_grades() {
+            let _ = writeln!(s, "grade {} {}", g.delay_ps, g.area);
+        }
+        s.push_str("end\n");
+    }
+    s
+}
+
+/// Parses a library from the text format.
+///
+/// # Errors
+///
+/// Returns a descriptive message naming the offending line.
+pub fn from_text(text: &str) -> Result<Library, String> {
+    let mut lib: Option<Library> = None;
+    let mut cur: Option<(ResClass, u16, f64, f64, Vec<SpeedGrade>)> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let head = it.next().unwrap();
+        let err = |msg: &str| format!("line {}: {msg}", lineno + 1);
+        match head {
+            "library" => {
+                let name = it.next().ok_or_else(|| err("missing library name"))?;
+                lib = Some(Library::new(name));
+            }
+            "reg_area_per_bit" | "mux_area_per_bit" => {
+                let v: f64 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("expected a number"))?;
+                let l = lib.as_mut().ok_or_else(|| err("before 'library' header"))?;
+                if head == "reg_area_per_bit" {
+                    l.set_reg_area_per_bit(v);
+                } else {
+                    l.set_mux_area_per_bit(v);
+                }
+            }
+            "mux_share_delay_ps" | "io_delay_ps" => {
+                let v: u64 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("expected an integer"))?;
+                let l = lib.as_mut().ok_or_else(|| err("before 'library' header"))?;
+                if head == "mux_share_delay_ps" {
+                    l.set_mux_share_delay_ps(v);
+                } else {
+                    l.set_io_delay_ps(v);
+                }
+            }
+            "family" => {
+                if cur.is_some() {
+                    return Err(err("nested 'family' (missing 'end'?)"));
+                }
+                let class_name = it.next().ok_or_else(|| err("missing class"))?;
+                let class = ResClass::from_name(class_name)
+                    .ok_or_else(|| err(&format!("unknown class '{class_name}'")))?;
+                let mut ref_w = None;
+                let mut dexp = None;
+                let mut aexp = None;
+                while let Some(key) = it.next() {
+                    let val = it.next().ok_or_else(|| err("dangling key"))?;
+                    match key {
+                        "ref" => ref_w = val.parse::<u16>().ok(),
+                        "dexp" => dexp = val.parse::<f64>().ok(),
+                        "aexp" => aexp = val.parse::<f64>().ok(),
+                        _ => return Err(err(&format!("unknown key '{key}'"))),
+                    }
+                }
+                let (Some(r), Some(d), Some(a)) = (ref_w, dexp, aexp) else {
+                    return Err(err("family needs ref/dexp/aexp"));
+                };
+                cur = Some((class, r, d, a, Vec::new()));
+            }
+            "grade" => {
+                let c = cur.as_mut().ok_or_else(|| err("'grade' outside family"))?;
+                let d: u64 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad grade delay"))?;
+                let a: f64 = it
+                    .next()
+                    .and_then(|t| t.parse().ok())
+                    .ok_or_else(|| err("bad grade area"))?;
+                c.4.push(SpeedGrade::new(d, a));
+            }
+            "end" => {
+                let (class, r, d, a, grades) =
+                    cur.take().ok_or_else(|| err("'end' without family"))?;
+                if grades.is_empty() {
+                    return Err(err("family has no grades"));
+                }
+                let l = lib.as_mut().ok_or_else(|| err("before 'library' header"))?;
+                l.add_family(Family::new(class, r, grades, d, a));
+            }
+            other => return Err(err(&format!("unknown directive '{other}'"))),
+        }
+    }
+    if cur.is_some() {
+        return Err("unterminated family at end of input".into());
+    }
+    lib.ok_or_else(|| "no 'library' header".into())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsmc90;
+
+    #[test]
+    fn roundtrip_tsmc90() {
+        let lib = tsmc90::library();
+        let text = to_text(&lib);
+        let back = from_text(&text).unwrap();
+        assert_eq!(lib, back);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "# header\nlibrary x\n\n# done\n";
+        let lib = from_text(src).unwrap();
+        assert_eq!(lib.name(), "x");
+    }
+
+    #[test]
+    fn errors_name_lines() {
+        let err = from_text("library x\ngrade 1 2\n").unwrap_err();
+        assert!(err.contains("line 2"), "{err}");
+        let err2 = from_text("library x\nfamily adder ref 16 dexp 1 aexp 1\n").unwrap_err();
+        assert!(err2.contains("unterminated"), "{err2}");
+        let err3 = from_text("library x\nbogus 3\n").unwrap_err();
+        assert!(err3.contains("unknown directive"), "{err3}");
+    }
+}

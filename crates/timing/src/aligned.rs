@@ -1,0 +1,148 @@
+//! Clock-boundary alignment helpers (the paper's *aligned slack*, §V).
+//!
+//! Sequential slack per Definition V.3 ignores clock boundaries: an
+//! operation may "start" 900 ps into a 1000 ps cycle and finish 400 ps into
+//! the next, which no register-transfer implementation allows. Aligned
+//! analysis forbids starting an operation when `start + delay` would cross
+//! the next clock edge; operations longer than a cycle (multi-cycle
+//! resources) must start exactly at a boundary.
+//!
+//! Times are *local*: relative to the start of the state containing the
+//! operation's `early` edge; they may be negative (a value produced in an
+//! earlier cycle) or exceed `T` (produced in a later cycle).
+
+/// Floor division cycle index of local time `t` for clock period `t_clk`.
+#[must_use]
+pub fn cycle_of(t: i64, t_clk: i64) -> i64 {
+    t.div_euclid(t_clk)
+}
+
+/// Offset of local time `t` within its cycle (`0..t_clk`).
+#[must_use]
+pub fn offset_of(t: i64, t_clk: i64) -> i64 {
+    t.rem_euclid(t_clk)
+}
+
+/// Earliest aligned start at or after arrival `a` for an operation of
+/// `delay` ps under clock `t_clk`:
+///
+/// * `delay == 0`: any instant is fine.
+/// * `delay <= t_clk`: if the remaining cycle cannot fit the operation, push
+///   to the next clock edge.
+/// * `delay > t_clk` (multi-cycle): start exactly at a clock edge.
+///
+/// # Panics
+///
+/// Panics if `t_clk <= 0` or `delay < 0`.
+#[must_use]
+pub fn align_start_up(a: i64, delay: i64, t_clk: i64) -> i64 {
+    assert!(t_clk > 0, "clock period must be positive");
+    assert!(delay >= 0, "delay must be non-negative");
+    if delay == 0 {
+        return a;
+    }
+    let off = offset_of(a, t_clk);
+    if delay > t_clk {
+        if off == 0 {
+            a
+        } else {
+            (cycle_of(a, t_clk) + 1) * t_clk
+        }
+    } else if off + delay <= t_clk {
+        a
+    } else {
+        (cycle_of(a, t_clk) + 1) * t_clk
+    }
+}
+
+/// Latest aligned start at or before `s` for an operation of `delay` ps:
+/// the mirror of [`align_start_up`], used in the required-time sweep.
+///
+/// # Panics
+///
+/// Panics if `t_clk <= 0` or `delay < 0`.
+#[must_use]
+pub fn align_start_down(s: i64, delay: i64, t_clk: i64) -> i64 {
+    assert!(t_clk > 0, "clock period must be positive");
+    assert!(delay >= 0, "delay must be non-negative");
+    if delay == 0 {
+        return s;
+    }
+    let off = offset_of(s, t_clk);
+    if delay > t_clk {
+        // Must start at a boundary.
+        if off == 0 {
+            s
+        } else {
+            cycle_of(s, t_clk) * t_clk
+        }
+    } else if off + delay <= t_clk {
+        s
+    } else {
+        // Latest start in this cycle that still fits.
+        cycle_of(s, t_clk) * t_clk + (t_clk - delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const T: i64 = 1000;
+
+    #[test]
+    fn fits_in_cycle_untouched() {
+        assert_eq!(align_start_up(100, 300, T), 100);
+        assert_eq!(align_start_up(700, 300, T), 700);
+        assert_eq!(align_start_down(700, 300, T), 700);
+    }
+
+    #[test]
+    fn crossing_pushes_to_next_edge() {
+        assert_eq!(align_start_up(750, 300, T), 1000);
+        assert_eq!(align_start_up(1999, 2, T), 2000);
+    }
+
+    #[test]
+    fn down_pulls_to_latest_fitting_start() {
+        // Starting at 750 with delay 300 crosses; latest fitting start is 700.
+        assert_eq!(align_start_down(750, 300, T), 700);
+        assert_eq!(align_start_down(1050, 200, T), 1050); // fits: 1050+200 < 2000
+    }
+
+    #[test]
+    fn negative_local_times() {
+        // Arrived at -250 (previous cycle); op of 300 fits ending at 50?
+        // offset(-250) = 750; 750+300 > 1000 -> next edge = 0.
+        assert_eq!(align_start_up(-250, 300, T), 0);
+        // offset(-700)=300; 300+300 <= 1000 -> unchanged.
+        assert_eq!(align_start_up(-700, 300, T), -700);
+    }
+
+    #[test]
+    fn multicycle_starts_at_boundary() {
+        assert_eq!(align_start_up(1, 1500, T), 1000);
+        assert_eq!(align_start_up(0, 1500, T), 0);
+        assert_eq!(align_start_down(999, 1500, T), 0);
+        assert_eq!(align_start_down(2000, 1500, T), 2000);
+    }
+
+    #[test]
+    fn zero_delay_is_free() {
+        assert_eq!(align_start_up(999, 0, T), 999);
+        assert_eq!(align_start_down(1, 0, T), 1);
+    }
+
+    #[test]
+    fn up_down_are_consistent() {
+        // For any start s produced by align_start_up, aligning down from it
+        // is a fixpoint.
+        for a in [-1500i64, -999, -1, 0, 1, 500, 999, 1000, 2500] {
+            for d in [0i64, 1, 250, 999, 1000, 1001, 2500] {
+                let up = align_start_up(a, d, T);
+                assert!(up >= a);
+                assert_eq!(align_start_down(up, d, T), up, "a={a} d={d}");
+            }
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! Bellman-Ford slack computation — the prior-work baseline.
+//!
+//! Reference \[10\] of the paper (Chandrachoodan et al., *The hierarchical
+//! timing pair model*) reduces behavioral timing analysis to Bellman-Ford on
+//! a timing constraint graph. The paper keeps its own analysis linear by
+//! exploiting the timed DFG's acyclicity (topological sweeps); Table 5 shows
+//! the Bellman-Ford formulation to be ~10× slower in the scheduling loop.
+//!
+//! This module implements that baseline faithfully: iterate relaxation over
+//! the (arbitrarily ordered) edge list until a fixpoint, without using any
+//! topological information. Results are bit-identical to
+//! [`crate::slack::compute_slack`] (verified by tests), only slower.
+
+use crate::aligned::{align_start_down, align_start_up};
+use crate::slack::{SlackMode, SlackResult};
+use crate::tdfg::TimedDfg;
+use adhls_ir::OpId;
+
+/// Computes the same result as [`crate::slack::compute_slack`] using
+/// fixpoint edge relaxation (Bellman-Ford style), for runtime comparison.
+///
+/// # Panics
+///
+/// Panics if `clock_ps` is zero or `delays` is shorter than the id space.
+#[must_use]
+pub fn compute_slack_bellman(
+    tdfg: &TimedDfg,
+    delays: &[i64],
+    clock_ps: i64,
+    mode: SlackMode,
+) -> SlackResult {
+    assert!(clock_ps > 0, "clock period must be positive");
+    assert!(delays.len() >= tdfg.len_ids(), "delay table too short");
+    let n = tdfg.len_ids();
+    let t = clock_ps;
+
+    // Edge list in op-id order (deliberately not topological).
+    let mut edges: Vec<(OpId, OpId, u32)> = Vec::with_capacity(tdfg.len_edges());
+    for i in 0..n {
+        let o = OpId(i as u32);
+        if !tdfg.is_timed(o) {
+            continue;
+        }
+        for &(s, w) in tdfg.succs(o) {
+            edges.push((o, s, w));
+        }
+    }
+
+    // Arrival: longest-path relaxation from sources.
+    let mut arr = vec![i64::MIN; n];
+    for i in 0..n {
+        let o = OpId(i as u32);
+        if tdfg.is_timed(o) && tdfg.preds(o).is_empty() {
+            let mut a = 0;
+            if mode == SlackMode::Aligned {
+                a = align_start_up(a, delays[i], t);
+            }
+            arr[i] = a;
+        }
+    }
+    // |V| - 1 rounds max; early exit on fixpoint.
+    for _round in 0..n.max(1) {
+        let mut changed = false;
+        for &(p, o, w) in &edges {
+            let (pi, oi) = (p.0 as usize, o.0 as usize);
+            if arr[pi] == i64::MIN {
+                continue;
+            }
+            let mut cand = arr[pi] + delays[pi] - t * i64::from(w);
+            if mode == SlackMode::Aligned {
+                cand = align_start_up(cand, delays[oi], t);
+            }
+            if cand > arr[oi] {
+                arr[oi] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    // Required: min-relaxation seeded by every op's sink bound.
+    let mut req = vec![i64::MAX; n];
+    for i in 0..n {
+        let o = OpId(i as u32);
+        if tdfg.is_timed(o) {
+            let mut r = t - delays[i] + t * i64::from(tdfg.sink_weight(o));
+            if mode == SlackMode::Aligned {
+                r = align_start_down(r, delays[i], t);
+            }
+            req[i] = r;
+        }
+    }
+    for _round in 0..n.max(1) {
+        let mut changed = false;
+        for &(p, o, w) in &edges {
+            let (pi, oi) = (p.0 as usize, o.0 as usize);
+            if req[oi] == i64::MAX {
+                continue;
+            }
+            let mut cand = req[oi] - delays[pi] + t * i64::from(w);
+            if mode == SlackMode::Aligned {
+                cand = align_start_down(cand, delays[pi], t);
+            }
+            if cand < req[pi] {
+                req[pi] = cand;
+                changed = true;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+
+    let mut slack = vec![i64::MAX; n];
+    for i in 0..n {
+        if tdfg.is_timed(OpId(i as u32)) {
+            slack[i] = req[i] - arr[i];
+        }
+    }
+    // Untimed arr entries back to 0 for parity with compute_slack.
+    for (i, a) in arr.iter_mut().enumerate() {
+        if !tdfg.is_timed(OpId(i as u32)) {
+            *a = 0;
+        }
+    }
+    SlackResult { mode, clock_ps: t, arr, req, slack }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slack::compute_slack;
+    use crate::tdfg::TimedDfg;
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::op::OpKind;
+
+    fn chain_design(n: usize) -> (adhls_ir::Design, Vec<adhls_ir::OpId>) {
+        let mut b = DesignBuilder::new("chain");
+        let x = b.input("x", 8);
+        let mut ops = vec![x];
+        let mut cur = x;
+        for i in 0..n {
+            cur = b.binop(OpKind::Mul, cur, x, 8);
+            ops.push(cur);
+            if i % 2 == 1 {
+                b.soft_wait();
+            }
+        }
+        b.write("y", cur);
+        (b.finish().unwrap(), ops)
+    }
+
+    #[test]
+    fn matches_topological_sweep_plain_and_aligned() {
+        let (d, ops) = chain_design(9);
+        let (info, spans) = d.analyze().unwrap();
+        let tdfg = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        let mut delays = vec![0i64; d.dfg.len_ids()];
+        for (i, &o) in ops.iter().enumerate() {
+            delays[o.0 as usize] = 100 + 37 * i as i64;
+        }
+        for mode in [SlackMode::Plain, SlackMode::Aligned] {
+            let fast = compute_slack(&tdfg, &delays, 900, mode);
+            let slow = compute_slack_bellman(&tdfg, &delays, 900, mode);
+            assert_eq!(fast.arr, slow.arr, "{mode:?} arr mismatch");
+            assert_eq!(fast.req, slow.req, "{mode:?} req mismatch");
+            assert_eq!(fast.slack, slow.slack, "{mode:?} slack mismatch");
+        }
+    }
+
+    #[test]
+    fn diamond_dependencies_match() {
+        let mut b = DesignBuilder::new("diamond");
+        let x = b.input("x", 16);
+        let a = b.binop(OpKind::Add, x, x, 16);
+        let m = b.binop(OpKind::Mul, x, x, 16);
+        b.soft_wait();
+        let j = b.binop(OpKind::Sub, a, m, 16);
+        b.write("y", j);
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let tdfg = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        let mut delays = vec![0i64; d.dfg.len_ids()];
+        delays[a.0 as usize] = 220;
+        delays[m.0 as usize] = 610;
+        delays[j.0 as usize] = 400;
+        for mode in [SlackMode::Plain, SlackMode::Aligned] {
+            let fast = compute_slack(&tdfg, &delays, 1000, mode);
+            let slow = compute_slack_bellman(&tdfg, &delays, 1000, mode);
+            assert_eq!(fast.slack, slow.slack);
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Design feasibility pre-check (paper §VI, Proposition 1).
+//!
+//! *If every operation has positive aligned slack under a one-to-one
+//! (dedicated-resource) binding, then a schedule exists in which every
+//! resource has positive combinational slack.* Conversely, if budgeting
+//! leaves negative aligned slack, no schedule meets timing — resource
+//! sharing only ever worsens timing.
+//!
+//! This gives the scheduler an `O(|C|)` go/no-go test before any expensive
+//! scheduling work.
+
+use crate::slack::SlackResult;
+use adhls_ir::OpId;
+
+/// Outcome of the Proposition 1 check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Feasibility {
+    /// True when every timed operation has non-negative aligned slack with
+    /// dedicated resources.
+    pub feasible: bool,
+    /// The minimum aligned slack observed.
+    pub min_slack: i64,
+    /// Ops with negative slack (empty when feasible) — the witnesses the
+    /// relaxation expert should target.
+    pub violations: Vec<OpId>,
+}
+
+/// Runs the check on a slack result (which should come from aligned-mode
+/// analysis with each op at its *fastest* feasible delay — see
+/// [`crate::budget`]).
+#[must_use]
+pub fn check(slack: &SlackResult) -> Feasibility {
+    let min_slack = slack.min_slack();
+    let violations: Vec<OpId> = slack
+        .slack
+        .iter()
+        .enumerate()
+        .filter(|&(_, &s)| s != i64::MAX && s < 0)
+        .map(|(i, _)| OpId(i as u32))
+        .collect();
+    Feasibility { feasible: violations.is_empty(), min_slack, violations }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::slack::{compute_slack, SlackMode};
+    use crate::tdfg::TimedDfg;
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::op::OpKind;
+
+    #[test]
+    fn feasible_when_ops_fit() {
+        let mut b = DesignBuilder::new("ok");
+        let x = b.input("x", 8);
+        let m = b.binop(OpKind::Mul, x, x, 8);
+        b.write("y", m);
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let tdfg = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        let mut delays = vec![0i64; d.dfg.len_ids()];
+        delays[m.0 as usize] = 430;
+        let r = compute_slack(&tdfg, &delays, 1100, SlackMode::Aligned);
+        let f = check(&r);
+        assert!(f.feasible);
+        assert!(f.violations.is_empty());
+    }
+
+    #[test]
+    fn infeasible_reports_witnesses() {
+        let mut b = DesignBuilder::new("bad");
+        let x = b.read("in", 8);
+        let m1 = b.binop(OpKind::Mul, x, x, 8);
+        let m2 = b.binop(OpKind::Mul, m1, m1, 8);
+        let m3 = b.binop(OpKind::Mul, m2, m2, 8);
+        b.write("y", m3);
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let tdfg = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        let mut delays = vec![0i64; d.dfg.len_ids()];
+        for o in [m1, m2, m3] {
+            delays[o.0 as usize] = 600;
+        }
+        let r = compute_slack(&tdfg, &delays, 1000, SlackMode::Aligned);
+        let f = check(&r);
+        assert!(!f.feasible);
+        assert!(f.min_slack < 0);
+        assert!(!f.violations.is_empty());
+    }
+}

@@ -1,0 +1,55 @@
+//! # adhls-timing — multi-cycle behavioral timing analysis
+//!
+//! The core analytical contribution of Kondratyev et al. (DATE 2012),
+//! sections V–VI:
+//!
+//! * [`tdfg`] — the **timed DFG** (paper Definition V.2): the acyclic,
+//!   constant-stripped DFG with a sink per operation and forward edges
+//!   weighted by CFG latency.
+//! * [`slack`] — **sequential arrival/required times and slack** (paper
+//!   Definitions V.3–V.4, algorithm Fig. 6): two topological sweeps, linear
+//!   in the number of DFG connections.
+//! * [`aligned`] — the clock-boundary-respecting variant (**aligned
+//!   slack**): an operation may not start so late in a cycle that it would
+//!   straddle the clock edge.
+//! * [`budget`] — **slack budgeting** (paper Fig. 7): fix negative aligned
+//!   slack by speeding operations up, then spend positive slack by slowing
+//!   them down to cheaper library grades, with slack binning.
+//! * [`bellman`] — the Bellman-Ford constraint-graph formulation of prior
+//!   work \[10\], kept as the runtime baseline of paper Table 5.
+//! * [`feasible`] — the Proposition 1 feasibility pre-check.
+//!
+//! # Example
+//!
+//! ```
+//! use adhls_ir::builder::DesignBuilder;
+//! use adhls_ir::op::OpKind;
+//! use adhls_timing::{budget, tdfg};
+//! use adhls_reslib::tsmc90;
+//!
+//! let mut b = DesignBuilder::new("mac");
+//! let x = b.input("x", 8);
+//! let m = b.binop(OpKind::Mul, x, x, 8);
+//! b.soft_waits(1); // 2-cycle budget
+//! let m2 = b.binop(OpKind::Mul, m, m, 8);
+//! b.write("y", m2);
+//! let design = b.finish().unwrap();
+//! let (info, spans) = design.analyze().unwrap();
+//!
+//! let lib = tsmc90::library();
+//! let t = tdfg::TimedDfg::build(&design.dfg, &info, &spans).unwrap();
+//! let result = budget::budget(&design.dfg, &t, &lib, 1100, &budget::BudgetOptions::default())
+//!     .unwrap();
+//! assert!(result.min_slack >= 0, "two muls in two 1100ps cycles is feasible");
+//! ```
+
+pub mod aligned;
+pub mod bellman;
+pub mod budget;
+pub mod feasible;
+pub mod slack;
+pub mod tdfg;
+
+pub use budget::{budget, BudgetOptions, BudgetResult};
+pub use slack::{compute_slack, SlackMode, SlackResult};
+pub use tdfg::TimedDfg;

@@ -1,0 +1,349 @@
+//! Sequential arrival/required times and slack (paper Definitions V.3–V.4,
+//! algorithm of Fig. 6).
+//!
+//! Times are in picoseconds, *local* to each operation's `early`-edge state
+//! (the `T·latency` terms in the recurrences renormalize across states):
+//!
+//! ```text
+//! Arr(o) = max over preds p   ( Arr(p) + del(p) − T·latency(p, o) ),   0 for sources
+//! Req(o) = min( T − del(o) + T·sink_w(o),
+//!               min over succs s ( Req(s) − del(o) + T·latency(o, s) ) )
+//! slack(o) = Req(o) − Arr(o)
+//! ```
+//!
+//! `Arr` is the earliest possible *start* of `o`; `Req` the latest start
+//! that still meets every downstream deadline and `o`'s own span end (the
+//! sink term). Complexity: two sweeps over the timed DFG in topological
+//! order — linear in the number of connections (the paper's improvement
+//! over the Bellman-Ford formulation of prior work, kept in
+//! [`crate::bellman`] for comparison).
+
+use crate::aligned::{align_start_down, align_start_up};
+use crate::tdfg::TimedDfg;
+use adhls_ir::OpId;
+
+/// Which variant of the analysis to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SlackMode {
+    /// Paper Definition V.3: ignore clock boundaries.
+    Plain,
+    /// Aligned slack: operations may not straddle a clock edge; multi-cycle
+    /// operations start at a boundary (the variant used for budgeting).
+    #[default]
+    Aligned,
+}
+
+/// Result of a slack computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SlackResult {
+    /// Mode used.
+    pub mode: SlackMode,
+    /// Clock period (ps).
+    pub clock_ps: i64,
+    /// Earliest start per op id (aligned when mode is `Aligned`).
+    pub arr: Vec<i64>,
+    /// Latest start per op id.
+    pub req: Vec<i64>,
+    /// `req − arr` per op id; `i64::MAX` for untimed ids.
+    pub slack: Vec<i64>,
+}
+
+impl SlackResult {
+    /// Slack of `o`.
+    #[must_use]
+    pub fn slack(&self, o: OpId) -> i64 {
+        self.slack[o.0 as usize]
+    }
+
+    /// Minimum slack over timed ops (`i64::MAX` when there are none).
+    #[must_use]
+    pub fn min_slack(&self) -> i64 {
+        self.slack.iter().copied().min().unwrap_or(i64::MAX)
+    }
+
+    /// Ops whose slack is within `margin` of the minimum — the paper's
+    /// *slack binning* (§V: a 5%-of-clock margin speeds budgeting with
+    /// negligible quality impact).
+    #[must_use]
+    pub fn critical_ops(&self, margin: i64) -> Vec<OpId> {
+        let min = self.min_slack();
+        if min == i64::MAX {
+            return Vec::new();
+        }
+        self.slack
+            .iter()
+            .enumerate()
+            .filter(|&(_, &s)| s <= min.saturating_add(margin))
+            .map(|(i, _)| OpId(i as u32))
+            .collect()
+    }
+}
+
+/// Computes sequential (or aligned) slack for the timed DFG under the given
+/// per-op delays (ps, indexed by op id) and clock period.
+///
+/// # Panics
+///
+/// Panics if `clock_ps` is zero or `delays` is shorter than the id space.
+#[must_use]
+pub fn compute_slack(
+    tdfg: &TimedDfg,
+    delays: &[i64],
+    clock_ps: i64,
+    mode: SlackMode,
+) -> SlackResult {
+    assert!(clock_ps > 0, "clock period must be positive");
+    assert!(delays.len() >= tdfg.len_ids(), "delay table too short");
+    let n = tdfg.len_ids();
+    let t = clock_ps;
+    let mut arr = vec![0i64; n];
+    let mut req = vec![i64::MAX; n];
+
+    for &o in tdfg.topo() {
+        let oi = o.0 as usize;
+        let mut a = if tdfg.preds(o).is_empty() { 0 } else { i64::MIN };
+        for &(p, w) in tdfg.preds(o) {
+            let pa = arr[p.0 as usize];
+            let cand = pa + delays[p.0 as usize] - t * i64::from(w);
+            a = a.max(cand);
+        }
+        if mode == SlackMode::Aligned {
+            a = align_start_up(a, delays[oi], t);
+        }
+        arr[oi] = a;
+    }
+
+    for &o in tdfg.topo().iter().rev() {
+        let oi = o.0 as usize;
+        let d = delays[oi];
+        // Sink term: finish by the end of the late-edge state.
+        let mut r = t - d + t * i64::from(tdfg.sink_weight(o));
+        for &(s, w) in tdfg.succs(o) {
+            let cand = req[s.0 as usize] - d + t * i64::from(w);
+            r = r.min(cand);
+        }
+        if mode == SlackMode::Aligned {
+            r = align_start_down(r, d, t);
+        }
+        req[oi] = r;
+    }
+
+    let mut slack = vec![i64::MAX; n];
+    for &o in tdfg.topo() {
+        let oi = o.0 as usize;
+        slack[oi] = req[oi] - arr[oi];
+    }
+    SlackResult { mode, clock_ps: t, arr, req, slack }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tdfg::TimedDfg;
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::cfg::{Cfg, NodeKind, StateKind};
+    use adhls_ir::op::{Op, OpKind};
+    use adhls_ir::{Design, Dfg};
+
+    /// Rebuilds the paper's Fig. 4/5 resizer design (same construction as
+    /// the `adhls-ir` span tests) and returns it with the interesting ops.
+    fn resizer() -> (Design, Vec<(&'static str, OpId)>) {
+        let mut g = Cfg::new("resizer");
+        let start = g.add_node(NodeKind::Start);
+        let loop_top = g.add_node(NodeKind::Join);
+        let if_top = g.add_node(NodeKind::Fork);
+        let s0 = g.add_node(NodeKind::State(StateKind::Hard));
+        let s1 = g.add_node(NodeKind::State(StateKind::Hard));
+        let if_bottom = g.add_node(NodeKind::Join);
+        let s2 = g.add_node(NodeKind::State(StateKind::Hard));
+        let loop_bottom = g.add_node(NodeKind::Plain);
+        g.add_edge(start, loop_top);
+        let e1 = g.add_edge(loop_top, if_top);
+        let e2 = g.add_branch_edge(if_top, s0, true);
+        let e3 = g.add_branch_edge(if_top, s1, false);
+        let e4 = g.add_edge(s0, if_bottom);
+        let e5 = g.add_edge(s1, if_bottom);
+        let e6 = g.add_edge(if_bottom, s2);
+        let e7 = g.add_edge(s2, loop_bottom);
+        g.add_back_edge(loop_bottom, loop_top);
+        let _ = (e2, e3);
+
+        let mut d = Dfg::new();
+        let w = 16;
+        let rd_a = d.add_op(Op::new(OpKind::Read, w).named("a"), e1, &[]);
+        let offset = d.add_op(Op::new(OpKind::Const(3), w), e1, &[]);
+        let add = d.add_op(Op::new(OpKind::Add, w), e1, &[rd_a, offset]);
+        let th = d.add_op(Op::new(OpKind::Const(100), w), e1, &[]);
+        let gt = d.add_op(Op::new(OpKind::Gt, 1), e1, &[add, th]);
+        g.set_cond(if_top, gt);
+        let scale = d.add_op(Op::new(OpKind::Const(2), w), e4, &[]);
+        let div = d.add_op(Op::new(OpKind::Div, w), e4, &[add, scale]);
+        let sub = d.add_op(Op::new(OpKind::Sub, w), e4, &[div, offset]);
+        let rd_b = d.add_op(Op::new(OpKind::Read, w).named("b"), e5, &[]);
+        let mul = d.add_op(Op::new(OpKind::Mul, w), e5, &[add, rd_b]);
+        let mux = d.add_op(Op::new(OpKind::Mux, w), e6, &[gt, sub, mul]);
+        let wr = d.add_op(Op::new(OpKind::Write, w).named("out"), e7, &[mux]);
+        (
+            Design::new(g, d),
+            vec![
+                ("rd_a", rd_a),
+                ("add", add),
+                ("gt", gt),
+                ("div", div),
+                ("sub", sub),
+                ("rd_b", rd_b),
+                ("mul", mul),
+                ("mux", mux),
+                ("wr", wr),
+            ],
+        )
+    }
+
+    /// Paper Table 3, with concrete values satisfying `D + d < T < 2D`.
+    ///
+    /// The paper's walk-through sets del(I/O) = d, del(others) = D and omits
+    /// the `gt` comparison from the table; we give it delay 0 so the DFG
+    /// matches the published closed forms exactly.
+    #[test]
+    fn table3_closed_forms() {
+        let (design, ops) = resizer();
+        let (info, spans) = design.analyze().unwrap();
+        let tdfg = TimedDfg::build(&design.dfg, &info, &spans).unwrap();
+        let (d, big_d, t) = (100i64, 600i64, 1100i64);
+        assert!(big_d + d < t && t < 2 * big_d, "Table 3 precondition");
+        let op = |name: &str| ops.iter().find(|(n, _)| *n == name).unwrap().1;
+        let mut delays = vec![0i64; design.dfg.len_ids()];
+        for (name, o) in &ops {
+            delays[o.0 as usize] = match *name {
+                "rd_a" | "rd_b" | "wr" => d,
+                "gt" => 0,
+                _ => big_d,
+            };
+        }
+        let r = compute_slack(&tdfg, &delays, t, SlackMode::Plain);
+
+        // Row by row from paper Table 3.
+        assert_eq!(r.arr[op("rd_a").0 as usize], 0);
+        assert_eq!(r.req[op("rd_a").0 as usize], 2 * t - 4 * big_d - d);
+        assert_eq!(r.slack(op("rd_a")), 2 * t - 4 * big_d - d);
+
+        assert_eq!(r.arr[op("add").0 as usize], d);
+        assert_eq!(r.req[op("add").0 as usize], 2 * t - 4 * big_d);
+        assert_eq!(r.slack(op("add")), 2 * t - 4 * big_d - d);
+
+        assert_eq!(r.arr[op("div").0 as usize], d + big_d);
+        assert_eq!(r.req[op("div").0 as usize], 2 * t - 3 * big_d);
+        assert_eq!(r.slack(op("div")), 2 * t - 4 * big_d - d);
+
+        assert_eq!(r.arr[op("sub").0 as usize], d + 2 * big_d);
+        assert_eq!(r.req[op("sub").0 as usize], 2 * t - 2 * big_d);
+        assert_eq!(r.slack(op("sub")), 2 * t - 4 * big_d - d);
+
+        assert_eq!(r.arr[op("rd_b").0 as usize], 0);
+        assert_eq!(r.req[op("rd_b").0 as usize], t - 2 * big_d - d);
+        assert_eq!(r.slack(op("rd_b")), t - 2 * big_d - d);
+
+        assert_eq!(r.arr[op("mul").0 as usize], d);
+        assert_eq!(r.req[op("mul").0 as usize], t - 2 * big_d);
+        assert_eq!(r.slack(op("mul")), t - 2 * big_d - d);
+
+        assert_eq!(r.arr[op("mux").0 as usize], d + 3 * big_d - t);
+        assert_eq!(r.req[op("mux").0 as usize], t - big_d);
+        assert_eq!(r.slack(op("mux")), 2 * t - 4 * big_d - d);
+
+        assert_eq!(r.arr[op("wr").0 as usize], d + 4 * big_d - 2 * t);
+        assert_eq!(r.req[op("wr").0 as usize], t - d);
+        assert_eq!(r.slack(op("wr")), 3 * t - 4 * big_d - 2 * d);
+    }
+
+    /// Paper §V: "the important property of combinational slack, namely
+    /// that all gates on the critical path have the same minimal slack, is
+    /// preserved" — rd_a → add → div → sub → mux.
+    #[test]
+    fn critical_path_has_uniform_min_slack() {
+        let (design, ops) = resizer();
+        let (info, spans) = design.analyze().unwrap();
+        let tdfg = TimedDfg::build(&design.dfg, &info, &spans).unwrap();
+        let mut delays = vec![0i64; design.dfg.len_ids()];
+        for (name, o) in &ops {
+            delays[o.0 as usize] = match *name {
+                "rd_a" | "rd_b" | "wr" => 100,
+                "gt" => 0,
+                _ => 600,
+            };
+        }
+        let r = compute_slack(&tdfg, &delays, 1100, SlackMode::Plain);
+        let crit = r.critical_ops(0);
+        let names: Vec<&str> = ops
+            .iter()
+            .filter(|(_, o)| crit.contains(o))
+            .map(|(n, _)| *n)
+            .collect();
+        assert_eq!(names, vec!["rd_a", "add", "div", "sub", "mux"]);
+    }
+
+    #[test]
+    fn aligned_mode_pushes_crossing_ops() {
+        // Two chained 600ps ops under a 1000ps clock with a 2-cycle budget:
+        // plain slack lets the second start at 600 (crossing); aligned mode
+        // pushes its start to 1000.
+        let mut b = DesignBuilder::new("chain");
+        let x = b.input("x", 8);
+        let m1 = b.binop(OpKind::Mul, x, x, 8);
+        b.soft_wait();
+        let m2 = b.binop(OpKind::Mul, m1, m1, 8);
+        b.write("y", m2);
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let tdfg = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        let mut delays = vec![0i64; d.dfg.len_ids()];
+        delays[m1.0 as usize] = 600;
+        delays[m2.0 as usize] = 600;
+        let plain = compute_slack(&tdfg, &delays, 1000, SlackMode::Plain);
+        let aligned = compute_slack(&tdfg, &delays, 1000, SlackMode::Aligned);
+        assert_eq!(plain.arr[m2.0 as usize], 600);
+        assert_eq!(aligned.arr[m2.0 as usize], 1000);
+        assert!(aligned.slack(m2) <= plain.slack(m2));
+    }
+
+    #[test]
+    fn infeasible_chain_has_negative_slack() {
+        // Three chained 600ps muls forced into one 1000ps cycle.
+        let mut b = DesignBuilder::new("tight");
+        let x = b.read("in", 8);
+        let m1 = b.binop(OpKind::Mul, x, x, 8);
+        let m2 = b.binop(OpKind::Mul, m1, m1, 8);
+        let m3 = b.binop(OpKind::Mul, m2, m2, 8);
+        b.write("y", m3);
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let tdfg = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        let mut delays = vec![0i64; d.dfg.len_ids()];
+        for o in [m1, m2, m3] {
+            delays[o.0 as usize] = 600;
+        }
+        let r = compute_slack(&tdfg, &delays, 1000, SlackMode::Aligned);
+        assert!(r.min_slack() < 0);
+    }
+
+    #[test]
+    fn slack_binning_groups_near_critical() {
+        let (design, ops) = resizer();
+        let (info, spans) = design.analyze().unwrap();
+        let tdfg = TimedDfg::build(&design.dfg, &info, &spans).unwrap();
+        let mut delays = vec![0i64; design.dfg.len_ids()];
+        for (name, o) in &ops {
+            delays[o.0 as usize] = match *name {
+                "rd_a" | "rd_b" | "wr" => 100,
+                "gt" => 0,
+                _ => 600,
+            };
+        }
+        let r = compute_slack(&tdfg, &delays, 1100, SlackMode::Plain);
+        // With a huge margin every timed op is "critical".
+        let all = r.critical_ops(1_000_000);
+        assert_eq!(all.len(), tdfg.topo().len());
+        // Binning is monotone in the margin.
+        assert!(r.critical_ops(0).len() <= r.critical_ops(100).len());
+    }
+}

@@ -1,0 +1,219 @@
+//! Timed DFG construction (paper Definition V.2).
+//!
+//! Given DFG `D = (O, C)` with `early`/`late` mappings, the timed DFG is
+//! obtained by:
+//!
+//! 1. dropping backward (loop-carried) edges,
+//! 2. removing constant inputs (constants do not affect timing),
+//! 3. adding a sink node `s(o)` per operation with `early(s(o)) = late(o)`,
+//! 4. weighting every edge with its CFG latency.
+//!
+//! Sinks are stored implicitly as a per-operation sink weight; sources are
+//! the operations with no remaining (non-constant, forward) predecessors.
+
+use adhls_ir::cfg::CfgInfo;
+use adhls_ir::span::OpSpans;
+use adhls_ir::{Dfg, Error, OpId, Result};
+
+/// The timed DFG: weighted forward adjacency over live, non-constant
+/// operations, plus per-operation sink weights.
+#[derive(Debug, Clone)]
+pub struct TimedDfg {
+    /// Id-space size of the underlying DFG (dense indexing by `OpId`).
+    n_ids: usize,
+    /// Whether the op participates in timing (live, non-constant).
+    timed: Vec<bool>,
+    /// Weighted predecessor edges `(pred, latency)`.
+    preds: Vec<Vec<(OpId, u32)>>,
+    /// Weighted successor edges `(succ, latency)`.
+    succs: Vec<Vec<(OpId, u32)>>,
+    /// Sink-edge weight per op: `latency(early(o), late(o))`.
+    sink_w: Vec<u32>,
+    /// Timed ops in forward topological order.
+    topo: Vec<OpId>,
+}
+
+impl TimedDfg {
+    /// Builds the timed DFG from a DFG and its span analysis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedDfg`] when a dependency connects spans with
+    /// undefined latency (cannot happen for spans produced by
+    /// [`adhls_ir::span::SpanAnalysis`] on a validated design).
+    pub fn build(dfg: &Dfg, info: &CfgInfo, spans: &OpSpans) -> Result<TimedDfg> {
+        Self::build_with(dfg, info, |o| spans.early(o), |o| spans.late(o))
+    }
+
+    /// Like [`TimedDfg::build`] but over raw early/late mappings (e.g. the
+    /// scheduler's allocation-free [`adhls_ir::span::SpanBounds`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`TimedDfg::build`].
+    pub fn build_with(
+        dfg: &Dfg,
+        info: &CfgInfo,
+        early: impl Fn(OpId) -> adhls_ir::EdgeId,
+        late: impl Fn(OpId) -> adhls_ir::EdgeId,
+    ) -> Result<TimedDfg> {
+        let n_ids = dfg.len_ids();
+        let mut timed = vec![false; n_ids];
+        for o in dfg.op_ids() {
+            timed[o.0 as usize] = !dfg.op(o).kind().is_const();
+        }
+        let mut preds: Vec<Vec<(OpId, u32)>> = vec![Vec::new(); n_ids];
+        let mut succs: Vec<Vec<(OpId, u32)>> = vec![Vec::new(); n_ids];
+        let mut sink_w = vec![0u32; n_ids];
+        for o in dfg.op_ids() {
+            if !timed[o.0 as usize] {
+                continue;
+            }
+            for p in dfg.forward_operands(o) {
+                if !timed[p.0 as usize] {
+                    continue; // constant input removed
+                }
+                let w = info.latency(early(p), early(o)).ok_or_else(|| {
+                    Error::MalformedDfg(format!(
+                        "dependency {p} -> {o} has undefined latency ({} to {})",
+                        early(p),
+                        early(o)
+                    ))
+                })?;
+                preds[o.0 as usize].push((p, w));
+                succs[p.0 as usize].push((o, w));
+            }
+            sink_w[o.0 as usize] =
+                info.latency(early(o), late(o)).ok_or_else(|| {
+                    Error::MalformedDfg(format!("span of {o} has undefined internal latency"))
+                })?;
+        }
+        let topo: Vec<OpId> = dfg
+            .topo_order()?
+            .into_iter()
+            .filter(|&o| timed[o.0 as usize])
+            .collect();
+        Ok(TimedDfg { n_ids, timed, preds, succs, sink_w, topo })
+    }
+
+    /// Dense id-space size (index [`OpId`]s up to this).
+    #[must_use]
+    pub fn len_ids(&self) -> usize {
+        self.n_ids
+    }
+
+    /// Whether `o` participates in timing.
+    #[must_use]
+    pub fn is_timed(&self, o: OpId) -> bool {
+        self.timed[o.0 as usize]
+    }
+
+    /// Weighted predecessors of `o`.
+    #[must_use]
+    pub fn preds(&self, o: OpId) -> &[(OpId, u32)] {
+        &self.preds[o.0 as usize]
+    }
+
+    /// Weighted successors of `o`.
+    #[must_use]
+    pub fn succs(&self, o: OpId) -> &[(OpId, u32)] {
+        &self.succs[o.0 as usize]
+    }
+
+    /// Sink-edge weight of `o` (paper: `latency(early(o), late(o))`).
+    #[must_use]
+    pub fn sink_weight(&self, o: OpId) -> u32 {
+        self.sink_w[o.0 as usize]
+    }
+
+    /// Timed operations in forward topological order.
+    #[must_use]
+    pub fn topo(&self) -> &[OpId] {
+        &self.topo
+    }
+
+    /// Number of timed edges (the `|C|` in the paper's linear-complexity
+    /// claim).
+    #[must_use]
+    pub fn len_edges(&self) -> usize {
+        self.preds.iter().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::op::OpKind;
+
+    #[test]
+    fn constants_are_stripped() {
+        let mut b = DesignBuilder::new("c");
+        let x = b.input("x", 8);
+        let c = b.constant(3, 8);
+        let s = b.binop(OpKind::Add, x, c, 8);
+        b.write("y", s);
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let t = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        assert!(!t.is_timed(c));
+        assert_eq!(t.preds(s).len(), 1, "const operand must be removed");
+        assert_eq!(t.preds(s)[0].0, x);
+    }
+
+    #[test]
+    fn loop_carried_edges_are_dropped() {
+        let mut b = DesignBuilder::new("lc");
+        let zero = b.constant(0, 8);
+        let lp = b.enter_loop();
+        let phi = b.loop_phi(zero, 8);
+        let x = b.read("in", 8);
+        let s = b.binop(OpKind::Add, phi, x, 8);
+        b.wait();
+        b.connect_phi(phi, s);
+        b.write("out", s);
+        b.wait();
+        b.close_loop(lp);
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let t = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        // phi has no timed preds (its init is a const; carried edge dropped).
+        assert!(t.preds(phi).is_empty());
+        // s's successors: the write and the (dropped) phi -> only write.
+        assert_eq!(t.succs(s).len(), 1);
+    }
+
+    #[test]
+    fn weights_match_span_latency() {
+        let mut b = DesignBuilder::new("w");
+        let x = b.read("in", 8); // fixed on entry edge
+        let m = b.binop(OpKind::Mul, x, x, 8);
+        b.wait();
+        let w = b.write("out", m); // fixed after the wait
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let t = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        let _ = w;
+        // m can't sink (hard state): early(m) on entry edge; write is one
+        // state later.
+        let (_, w_to_write) = t.succs(m)[0];
+        assert_eq!(w_to_write, 1);
+        // m's sink weight: early == late (no movement possible) -> 0.
+        assert_eq!(t.sink_weight(m), 0);
+    }
+
+    #[test]
+    fn topo_covers_all_timed_ops() {
+        let mut b = DesignBuilder::new("topo");
+        let x = b.input("x", 8);
+        let c = b.constant(1, 8);
+        let a = b.binop(OpKind::Add, x, c, 8);
+        let m = b.binop(OpKind::Mul, a, x, 8);
+        b.write("y", m);
+        let d = b.finish().unwrap();
+        let (info, spans) = d.analyze().unwrap();
+        let t = TimedDfg::build(&d.dfg, &info, &spans).unwrap();
+        assert_eq!(t.topo().len(), 4); // x, add, mul, write (const excluded)
+        assert_eq!(t.len_edges(), 4); // x->add, x->mul, add->mul, mul->write
+    }
+}

@@ -1,0 +1,136 @@
+//! Streaming N-tap FIR filter with a loop-carried delay line.
+//!
+//! Exercises the pieces the IDCT does not: an infinite process loop,
+//! loop-carried φs (the delay line), and a hard-state iteration boundary.
+
+use adhls_ir::builder::DesignBuilder;
+use adhls_ir::{Design, Op, OpId, OpKind};
+
+/// FIR configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FirConfig {
+    /// Filter coefficients (also sets the tap count).
+    pub coeffs: Vec<i64>,
+    /// Clock cycles per accepted sample (soft states inserted: cycles − 1;
+    /// the iteration always ends with one hard `wait`).
+    pub cycles: u32,
+    /// Data width.
+    pub width: u16,
+}
+
+impl Default for FirConfig {
+    fn default() -> Self {
+        FirConfig { coeffs: vec![3, -5, 11, 7], cycles: 2, width: 16 }
+    }
+}
+
+/// Builds the FIR design (`in` → `out`).
+///
+/// # Panics
+///
+/// Panics if `coeffs` is empty or `cycles` is zero.
+#[must_use]
+pub fn build(cfg: &FirConfig) -> Design {
+    assert!(!cfg.coeffs.is_empty(), "need at least one tap");
+    assert!(cfg.cycles >= 1);
+    let w = cfg.width;
+    let mut b = DesignBuilder::new("fir");
+    let zero = b.constant(0, w);
+    let lp = b.enter_loop();
+    // Delay line φs: d[0] is the newest sample.
+    let taps = cfg.coeffs.len();
+    let phis: Vec<OpId> = (0..taps.saturating_sub(1)).map(|_| b.loop_phi(zero, w)).collect();
+    let x = b.read("in", w);
+    // acc = c0·x + Σ ci·d[i-1]
+    let mut acc: Option<OpId> = None;
+    for (i, &c) in cfg.coeffs.iter().enumerate() {
+        let cv = b.op(Op::new(OpKind::Const(c), w).signed(), &[]);
+        let src = if i == 0 { x } else { phis[i - 1] };
+        let m = b.op(Op::new(OpKind::Mul, w).signed(), &[src, cv]);
+        acc = Some(match acc {
+            None => m,
+            Some(a) => b.op(Op::new(OpKind::Add, w).signed(), &[a, m]),
+        });
+    }
+    // Shift the delay line.
+    let mut carry = x;
+    for &phi in &phis {
+        b.connect_phi(phi, carry);
+        carry = phi;
+    }
+    b.soft_waits(cfg.cycles - 1);
+    b.write("out", acc.expect("at least one tap"));
+    b.wait();
+    b.close_loop(lp);
+    b.finish().expect("fir design is valid")
+}
+
+/// Golden model with the DFG's wrapping width-masked arithmetic.
+#[must_use]
+pub fn golden(cfg: &FirConfig, input: &[i64]) -> Vec<i64> {
+    let mask = |v: i64| -> i64 {
+        let m = (v as u64) & ((1u64 << cfg.width) - 1);
+        let sh = 64 - u32::from(cfg.width);
+        ((m << sh) as i64) >> sh
+    };
+    let taps = cfg.coeffs.len();
+    let mut dl = vec![0i64; taps.saturating_sub(1)];
+    let mut out = Vec::with_capacity(input.len());
+    for &x in input {
+        let x = mask(x);
+        let mut acc = 0i64;
+        for (i, &c) in cfg.coeffs.iter().enumerate() {
+            let src = if i == 0 { x } else { dl[i - 1] };
+            let m = mask(src.wrapping_mul(c));
+            acc = if i == 0 { m } else { mask(acc.wrapping_add(m)) };
+        }
+        for i in (1..dl.len()).rev() {
+            dl[i] = dl[i - 1];
+        }
+        if !dl.is_empty() {
+            dl[0] = x;
+        }
+        out.push(acc);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_ir::interp::{run, Stimulus};
+
+    #[test]
+    fn matches_golden() {
+        let cfg = FirConfig::default();
+        let d = build(&cfg);
+        let input: Vec<i64> = vec![1, 2, 3, -4, 5, 0, 7, -8];
+        let stim = Stimulus::new()
+            .stream("in", input.iter().map(|&v| v as u64 & 0xFFFF).collect());
+        let t = run(&d, &stim, 10_000).unwrap();
+        let expect: Vec<u64> =
+            golden(&cfg, &input).iter().map(|&v| v as u64 & 0xFFFF).collect();
+        assert_eq!(t.outputs["out"], expect);
+    }
+
+    #[test]
+    fn single_tap_is_scaling() {
+        let cfg = FirConfig { coeffs: vec![4], cycles: 1, width: 16 };
+        let d = build(&cfg);
+        let t = run(&d, &Stimulus::new().stream("in", vec![5, 10]), 1000).unwrap();
+        assert_eq!(t.outputs["out"], vec![20, 40]);
+    }
+
+    #[test]
+    fn delay_line_is_loop_carried() {
+        let cfg = FirConfig::default();
+        let d = build(&cfg);
+        let phis = d
+            .dfg
+            .op_ids()
+            .filter(|&o| d.dfg.op(o).kind() == OpKind::LoopPhi)
+            .count();
+        assert_eq!(phis, cfg.coeffs.len() - 1);
+        d.validate().unwrap();
+    }
+}

@@ -1,0 +1,388 @@
+//! Fixed-point 8-point / 8×8 inverse DCT — the paper's Table 4 workload.
+//!
+//! The 1-D transform uses the Chen even/odd decomposition with 7-bit
+//! fixed-point cosine constants (`ck = round(64·cos(kπ/16))`):
+//!
+//! ```text
+//! even: u0 = (X0+X4)·c4   u1 = (X0−X4)·c4
+//!       u2 = X2·c2 + X6·c6   u3 = X2·c6 − X6·c2
+//!       e0 = u0+u2  e1 = u1+u3  e2 = u1−u3  e3 = u0−u2
+//! odd:  o_n = ±X1·c? ±X3·c? ±X5·c? ±X7·c?   (direct form, n = 0..3)
+//! out:  y_n = e_n + o_n     y_{7−n} = e_n − o_n
+//! ```
+//!
+//! Each 1-D pass ends with an arithmetic `>> 6` normalization (a
+//! constant shift — free wiring, not a datapath resource). All arithmetic
+//! is 24-bit wrapping two's-complement, mirrored exactly by [`golden_1d`] /
+//! [`golden_2d`], so the interpreter can verify any schedule end to end;
+//! no overflow occurs for coefficient magnitudes up to ~1000.
+//!
+//! The 2-D transform is the separable row-column method: 8 row transforms,
+//! then 8 column transforms — roughly 350 multiplications and 470
+//! additions, the scale the paper's IDCT exploration operates at.
+
+use adhls_ir::builder::DesignBuilder;
+use adhls_ir::{Design, Op, OpId, OpKind};
+
+/// Data width of the transform datapath.
+pub const WIDTH: u16 = 24;
+
+/// Normalization shift applied after each 1-D pass.
+pub const NORM_SHIFT: i64 = 6;
+
+/// `round(64·cos(kπ/16))` for k = 1..7.
+pub const COS: [i64; 8] = [64, 63, 59, 53, 45, 36, 24, 12];
+
+/// Configuration of the 2-D IDCT design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdctConfig {
+    /// Latency budget in clock cycles for the whole 8×8 block (paper: 8–32).
+    pub cycles: u32,
+    /// Row/column decomposition of the block (fixed 8×8).
+    pub pipelined: Option<u32>,
+}
+
+impl Default for IdctConfig {
+    fn default() -> Self {
+        IdctConfig { cycles: 16, pipelined: None }
+    }
+}
+
+struct Ctx<'a> {
+    b: &'a mut DesignBuilder,
+    consts: [OpId; 8],
+    shift6: OpId,
+}
+
+impl Ctx<'_> {
+    fn mul_c(&mut self, x: OpId, k: usize) -> OpId {
+        self.b.op(Op::new(OpKind::Mul, WIDTH).signed(), &[x, self.consts[k]])
+    }
+    fn add(&mut self, a: OpId, b: OpId) -> OpId {
+        self.b.op(Op::new(OpKind::Add, WIDTH).signed(), &[a, b])
+    }
+    fn sub(&mut self, a: OpId, b: OpId) -> OpId {
+        self.b.op(Op::new(OpKind::Sub, WIDTH).signed(), &[a, b])
+    }
+    fn norm(&mut self, a: OpId) -> OpId {
+        self.b.op(Op::new(OpKind::Shr, WIDTH).signed(), &[a, self.shift6])
+    }
+
+    /// One 8-point IDCT over already-built values.
+    fn idct8(&mut self, x: &[OpId; 8]) -> [OpId; 8] {
+        // Even part.
+        let s04 = self.add(x[0], x[4]);
+        let d04 = self.sub(x[0], x[4]);
+        let u0 = self.mul_c(s04, 4);
+        let u1 = self.mul_c(d04, 4);
+        let m26 = self.mul_c(x[2], 2);
+        let m66 = self.mul_c(x[6], 6);
+        let u2 = self.add(m26, m66);
+        let m22 = self.mul_c(x[2], 6);
+        let m62 = self.mul_c(x[6], 2);
+        let u3 = self.sub(m22, m62);
+        let e0 = self.add(u0, u2);
+        let e1 = self.add(u1, u3);
+        let e2 = self.sub(u1, u3);
+        let e3 = self.sub(u0, u2);
+        // Odd part, direct form. Rows: coefficients of (X1, X3, X5, X7)
+        // for n = 0..3 with signs.
+        const ODD: [[(usize, bool); 4]; 4] = [
+            [(1, true), (3, true), (5, true), (7, true)],
+            [(3, true), (7, false), (1, false), (5, false)],
+            [(5, true), (1, false), (7, true), (3, true)],
+            [(7, true), (5, false), (3, true), (1, false)],
+        ];
+        let xo = [x[1], x[3], x[5], x[7]];
+        let mut o = [OpId(0); 4];
+        for (n, row) in ODD.iter().enumerate() {
+            let mut acc: Option<OpId> = None;
+            for (j, &(k, pos)) in row.iter().enumerate() {
+                let m = self.mul_c(xo[j], k);
+                acc = Some(match acc {
+                    None => {
+                        if pos {
+                            m
+                        } else {
+                            let zero = self.b.constant(0, WIDTH);
+                            self.sub(zero, m)
+                        }
+                    }
+                    Some(a) => {
+                        if pos {
+                            self.add(a, m)
+                        } else {
+                            self.sub(a, m)
+                        }
+                    }
+                });
+            }
+            o[n] = acc.unwrap();
+        }
+        let e = [e0, e1, e2, e3];
+        let mut y = [OpId(0); 8];
+        for n in 0..4 {
+            let p = self.add(e[n], o[n]);
+            let q = self.sub(e[n], o[n]);
+            y[n] = self.norm(p);
+            y[7 - n] = self.norm(q);
+        }
+        y
+    }
+}
+
+/// Builds the 1-D 8-point design (inputs `x0..x7`, outputs `y0..y7`).
+#[must_use]
+pub fn build_1d(cycles: u32) -> Design {
+    let mut b = DesignBuilder::new("idct8");
+    let consts = make_consts(&mut b);
+    let shift6 = b.constant(NORM_SHIFT, 8);
+    let x: [OpId; 8] = std::array::from_fn(|i| b.input(format!("x{i}"), WIDTH));
+    let mut ctx = Ctx { b: &mut b, consts, shift6 };
+    let y = ctx.idct8(&x);
+    b.soft_waits(cycles.saturating_sub(1));
+    for (i, v) in y.into_iter().enumerate() {
+        b.write(format!("y{i}"), v);
+    }
+    b.finish().expect("idct8 design is valid")
+}
+
+/// Builds the separable 8×8 2-D design (inputs `in0..in63` row-major,
+/// outputs `out0..out63`).
+#[must_use]
+pub fn build_2d(cfg: &IdctConfig) -> Design {
+    let mut b = DesignBuilder::new("idct8x8");
+    let consts = make_consts(&mut b);
+    let shift6 = b.constant(NORM_SHIFT, 8);
+    let xin: Vec<OpId> = (0..64).map(|i| b.input(format!("in{i}"), WIDTH)).collect();
+    let mut ctx = Ctx { b: &mut b, consts, shift6 };
+    // Row pass.
+    let mut mid = vec![OpId(0); 64];
+    for r in 0..8 {
+        let row: [OpId; 8] = std::array::from_fn(|c| xin[r * 8 + c]);
+        let y = ctx.idct8(&row);
+        for (c, v) in y.into_iter().enumerate() {
+            mid[r * 8 + c] = v;
+        }
+    }
+    // Column pass.
+    let mut out = vec![OpId(0); 64];
+    for c in 0..8 {
+        let col: [OpId; 8] = std::array::from_fn(|r| mid[r * 8 + c]);
+        let y = ctx.idct8(&col);
+        for (r, v) in y.into_iter().enumerate() {
+            out[r * 8 + c] = v;
+        }
+    }
+    b.soft_waits(cfg.cycles.saturating_sub(1));
+    for (i, v) in out.iter().enumerate() {
+        b.write(format!("out{i}"), *v);
+    }
+    b.finish().expect("idct8x8 design is valid")
+}
+
+fn make_consts(b: &mut DesignBuilder) -> [OpId; 8] {
+    std::array::from_fn(|k| {
+        let mut op = Op::new(OpKind::Const(COS[k]), 8).signed();
+        op = op.named(format!("c{k}"));
+        b.op(op, &[])
+    })
+}
+
+// ---------------------------------------------------------------------
+// Golden models (identical wrapping 16-bit arithmetic)
+// ---------------------------------------------------------------------
+
+fn m24(v: i64) -> i64 {
+    ((v as u64 & 0xFF_FFFF) as i64) << 40 >> 40
+}
+
+/// Golden 8-point IDCT with the DFG's exact fixed-point arithmetic.
+#[must_use]
+pub fn golden_1d(x: &[i64; 8]) -> [i64; 8] {
+    let mc = |v: i64, k: usize| m24(m24(v).wrapping_mul(COS[k]));
+    let add = |a: i64, b: i64| m24(a.wrapping_add(b));
+    let sub = |a: i64, b: i64| m24(a.wrapping_sub(b));
+    let u0 = mc(add(x[0], x[4]), 4);
+    let u1 = mc(sub(x[0], x[4]), 4);
+    let u2 = add(mc(x[2], 2), mc(x[6], 6));
+    let u3 = sub(mc(x[2], 6), mc(x[6], 2));
+    let e = [add(u0, u2), add(u1, u3), sub(u1, u3), sub(u0, u2)];
+    const ODD: [[(usize, bool); 4]; 4] = [
+        [(1, true), (3, true), (5, true), (7, true)],
+        [(3, true), (7, false), (1, false), (5, false)],
+        [(5, true), (1, false), (7, true), (3, true)],
+        [(7, true), (5, false), (3, true), (1, false)],
+    ];
+    let xo = [x[1], x[3], x[5], x[7]];
+    let mut o = [0i64; 4];
+    for (n, row) in ODD.iter().enumerate() {
+        let mut acc = 0i64;
+        for (j, &(k, pos)) in row.iter().enumerate() {
+            let m = mc(xo[j], k);
+            acc = if j == 0 {
+                if pos {
+                    m
+                } else {
+                    sub(0, m)
+                }
+            } else if pos {
+                add(acc, m)
+            } else {
+                sub(acc, m)
+            };
+        }
+        o[n] = acc;
+    }
+    let mut y = [0i64; 8];
+    for n in 0..4 {
+        y[n] = m24(add(e[n], o[n]) >> NORM_SHIFT);
+        y[7 - n] = m24(sub(e[n], o[n]) >> NORM_SHIFT);
+    }
+    y
+}
+
+/// Golden separable 8×8 IDCT.
+#[must_use]
+pub fn golden_2d(input: &[i64; 64]) -> [i64; 64] {
+    let mut mid = [0i64; 64];
+    for r in 0..8 {
+        let row: [i64; 8] = std::array::from_fn(|c| input[r * 8 + c]);
+        let y = golden_1d(&row);
+        for (c, v) in y.into_iter().enumerate() {
+            mid[r * 8 + c] = v;
+        }
+    }
+    let mut out = [0i64; 64];
+    for c in 0..8 {
+        let col: [i64; 8] = std::array::from_fn(|r| mid[r * 8 + c]);
+        let y = golden_1d(&col);
+        for (r, v) in y.into_iter().enumerate() {
+            out[r * 8 + c] = v;
+        }
+    }
+    out
+}
+
+/// The 15 design points of our Table 4 sweep: (name, config, clock ps).
+/// Latencies span 32→8 cycles, pipelined and not, as §VII describes.
+#[must_use]
+pub fn table4_points() -> Vec<(String, IdctConfig, u64)> {
+    let mut pts = Vec::new();
+    // Slow-clock, long-latency corners (minimum power).
+    for (i, cycles) in [32u32, 28].iter().enumerate() {
+        pts.push((
+            format!("D{}", i + 1),
+            IdctConfig { cycles: *cycles, pipelined: None },
+            3000,
+        ));
+    }
+    // Non-pipelined latency sweep at a relaxed clock.
+    for (i, cycles) in [24u32, 20, 16, 12, 10, 8].iter().enumerate() {
+        pts.push((
+            format!("D{}", i + 3),
+            IdctConfig { cycles: *cycles, pipelined: None },
+            2200,
+        ));
+    }
+    // Timing-critical points (the regression candidates, paper D5–D7:
+    // "most resources end up being timing critical, which does not provide
+    // much room for improvement").
+    for (i, (cycles, clock)) in
+        [(12u32, 1350u64), (10, 1300), (8, 1400)].iter().enumerate()
+    {
+        pts.push((
+            format!("D{}", i + 9),
+            IdctConfig { cycles: *cycles, pipelined: None },
+            *clock,
+        ));
+    }
+    // Pipelined points: block accepted every `ii` cycles.
+    for (i, (cycles, ii)) in [(16u32, 8u32), (16, 4), (24, 12), (32, 16)].iter().enumerate()
+    {
+        pts.push((
+            format!("D{}", i + 12),
+            IdctConfig { cycles: *cycles, pipelined: Some(*ii) },
+            2200,
+        ));
+    }
+    pts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_ir::interp::{run, Stimulus};
+
+    #[test]
+    fn dfg_matches_golden_1d() {
+        let d = build_1d(4);
+        let inputs: [i64; 8] = [100, -30, 25, 0, -7, 13, 2, -1];
+        let mut stim = Stimulus::new();
+        for (i, v) in inputs.iter().enumerate() {
+            stim = stim.input(format!("x{i}"), *v as u64 & 0xFF_FFFF);
+        }
+        let t = run(&d, &stim, 100).unwrap();
+        let g = golden_1d(&inputs);
+        for (i, exp) in g.iter().enumerate() {
+            assert_eq!(
+                t.outputs[&format!("y{i}")],
+                vec![*exp as u64 & 0xFF_FFFF],
+                "output y{i}"
+            );
+        }
+    }
+
+    #[test]
+    fn dfg_matches_golden_2d() {
+        let d = build_2d(&IdctConfig { cycles: 8, pipelined: None });
+        let mut input = [0i64; 64];
+        for (i, v) in input.iter_mut().enumerate() {
+            *v = ((i as i64 * 37) % 201) - 100;
+        }
+        let mut stim = Stimulus::new();
+        for (i, v) in input.iter().enumerate() {
+            stim = stim.input(format!("in{i}"), *v as u64 & 0xFF_FFFF);
+        }
+        let t = run(&d, &stim, 1000).unwrap();
+        let g = golden_2d(&input);
+        for (i, exp) in g.iter().enumerate() {
+            assert_eq!(t.outputs[&format!("out{i}")], vec![*exp as u64 & 0xFF_FFFF]);
+        }
+    }
+
+    #[test]
+    fn dc_only_block_is_flat() {
+        // A DC-only block inverse-transforms to a flat block.
+        let mut input = [0i64; 64];
+        input[0] = 64;
+        let out = golden_2d(&input);
+        assert!(out.iter().all(|&v| v == out[0]));
+        assert!(out[0] > 0);
+    }
+
+    #[test]
+    fn op_scale_is_paper_like() {
+        let d = build_2d(&IdctConfig::default());
+        let muls =
+            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Mul).count();
+        let adds = d
+            .dfg
+            .op_ids()
+            .filter(|&o| {
+                matches!(d.dfg.op(o).kind(), OpKind::Add | OpKind::Sub)
+            })
+            .count();
+        assert_eq!(muls, 16 * 22, "22 multiplications per 1-D transform");
+        assert!(adds > 400, "hundreds of additions: got {adds}");
+    }
+
+    #[test]
+    fn fifteen_table4_points() {
+        let pts = table4_points();
+        assert_eq!(pts.len(), 15);
+        let cycles: Vec<u32> = pts.iter().map(|(_, c, _)| c.cycles).collect();
+        assert!(cycles.contains(&32) && cycles.contains(&8), "paper: 32 to 8 cycles");
+        assert!(pts.iter().any(|(_, c, _)| c.pipelined.is_some()));
+    }
+}

@@ -1,0 +1,174 @@
+//! The paper's §II.B motivating example (Fig. 1, Fig. 2, Table 2).
+//!
+//! ```c
+//! while (true) {
+//!     for (int i = 0; i < 3; i++) { x *= deltaX; deltaX *= scale; sum += x; }
+//!     wait();
+//!     fx.write(sum);
+//! }
+//! ```
+//!
+//! To reach a throughput of one interpolation point per 3 cycles, the loop
+//! is unrolled to **4 iterations in 3 clock cycles** (paper's wording),
+//! giving the Fig. 2(a) DFG: four `x` updates, four accumulations, and
+//! three `deltaX` updates (the fourth is dead and eliminated) — **7
+//! multiplications and 4 additions** scheduled into 3 states with at least
+//! 3 multipliers and 2 adders.
+
+use adhls_ir::builder::DesignBuilder;
+use adhls_ir::{Design, OpId, OpKind};
+
+/// Configuration of the interpolation kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InterpolationConfig {
+    /// Unrolled iterations (paper: 4).
+    pub iterations: u32,
+    /// Clock cycles available (paper: 3).
+    pub cycles: u32,
+    /// Multiplier data width (paper Table 1: 8×8).
+    pub mul_width: u16,
+    /// Accumulator width (paper Table 1: 16-bit adder).
+    pub add_width: u16,
+}
+
+impl Default for InterpolationConfig {
+    fn default() -> Self {
+        InterpolationConfig { iterations: 4, cycles: 3, mul_width: 8, add_width: 16 }
+    }
+}
+
+/// Interesting operations of the built design.
+#[derive(Debug, Clone)]
+pub struct InterpolationOps {
+    /// The `x_{i+1} = x_i * deltaX_i` multiplies.
+    pub x_muls: Vec<OpId>,
+    /// The `deltaX_{i+1} = deltaX_i * scale` multiplies.
+    pub dx_muls: Vec<OpId>,
+    /// The `sum += x` additions.
+    pub sum_adds: Vec<OpId>,
+    /// The output write.
+    pub write: OpId,
+}
+
+/// Builds the unrolled interpolation design.
+///
+/// # Panics
+///
+/// Panics if `iterations` or `cycles` is zero.
+#[must_use]
+pub fn build(cfg: &InterpolationConfig) -> (Design, InterpolationOps) {
+    assert!(cfg.iterations >= 1 && cfg.cycles >= 1);
+    let mut b = DesignBuilder::new("interpolation");
+    // Register state entering the unrolled body (the paper draws these as
+    // the "0 x0 / 0 deltaX0 / 0 scale" sources).
+    let x0 = b.input("x0", cfg.mul_width);
+    let dx0 = b.input("deltaX0", cfg.mul_width);
+    let scale = b.input("scale", cfg.mul_width);
+    let sum0 = b.input("sum0", cfg.add_width);
+
+    let mut x = x0;
+    let mut dx = dx0;
+    let mut sum = sum0;
+    let mut x_muls = Vec::new();
+    let mut dx_muls = Vec::new();
+    let mut sum_adds = Vec::new();
+    for i in 0..cfg.iterations {
+        x = b.binop(OpKind::Mul, x, dx, cfg.mul_width);
+        x_muls.push(x);
+        // The last deltaX update is dead (paper's 7-mul count); skip it
+        // rather than build-and-DCE to keep op ids compact.
+        if i + 1 < cfg.iterations {
+            dx = b.binop(OpKind::Mul, dx, scale, cfg.mul_width);
+            dx_muls.push(dx);
+        }
+        sum = b.binop(OpKind::Add, sum, x, cfg.add_width);
+        sum_adds.push(sum);
+    }
+    // Latency budget: `cycles` states for the whole body, write in the
+    // last one.
+    b.soft_waits(cfg.cycles - 1);
+    let write = b.write("fx", sum);
+    let design = b.finish().expect("interpolation design is valid");
+    (design, InterpolationOps { x_muls, dx_muls, sum_adds, write })
+}
+
+/// The exact configuration of paper Fig. 2 / Table 2.
+#[must_use]
+pub fn paper_example() -> (Design, InterpolationOps) {
+    build(&InterpolationConfig::default())
+}
+
+/// Golden model matching the DFG arithmetic (width-masked).
+#[must_use]
+pub fn golden(cfg: &InterpolationConfig, x0: u64, dx0: u64, scale: u64, sum0: u64) -> u64 {
+    let mm = |w: u16, v: u64| v & ((1u64 << w) - 1);
+    let mut x = mm(cfg.mul_width, x0);
+    let mut dx = mm(cfg.mul_width, dx0);
+    let mut sum = mm(cfg.add_width, sum0);
+    for _ in 0..cfg.iterations {
+        x = mm(cfg.mul_width, x.wrapping_mul(dx));
+        dx = mm(cfg.mul_width, dx.wrapping_mul(mm(cfg.mul_width, scale)));
+        sum = mm(cfg.add_width, sum.wrapping_add(x));
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_ir::interp::{run, Stimulus};
+
+    #[test]
+    fn paper_op_counts() {
+        let (d, ops) = paper_example();
+        let muls =
+            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Mul).count();
+        let adds =
+            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Add).count();
+        assert_eq!(muls, 7, "paper: 7 multiplications");
+        assert_eq!(adds, 4, "paper: 4 additions");
+        assert_eq!(ops.x_muls.len(), 4);
+        assert_eq!(ops.dx_muls.len(), 3);
+        assert_eq!(ops.sum_adds.len(), 4);
+    }
+
+    #[test]
+    fn three_state_budget() {
+        let (d, _) = paper_example();
+        let states = d
+            .cfg
+            .node_ids()
+            .filter(|&n| d.cfg.node_kind(n).is_state())
+            .count();
+        assert_eq!(states, 2, "3 cycles = 2 soft boundaries");
+    }
+
+    #[test]
+    fn matches_golden_model() {
+        let cfg = InterpolationConfig::default();
+        let (d, _) = build(&cfg);
+        for (x0, dx0, sc, s0) in [(3, 2, 1, 0), (7, 5, 3, 100), (255, 254, 253, 65535)] {
+            let t = run(
+                &d,
+                &Stimulus::new()
+                    .input("x0", x0)
+                    .input("deltaX0", dx0)
+                    .input("scale", sc)
+                    .input("sum0", s0),
+                100,
+            )
+            .unwrap();
+            assert_eq!(t.outputs["fx"], vec![golden(&cfg, x0, dx0, sc, s0)]);
+        }
+    }
+
+    #[test]
+    fn spans_cover_all_three_cycles() {
+        let (d, ops) = paper_example();
+        let (_info, spans) = d.analyze().unwrap();
+        // The first x multiply may sink across both soft states.
+        assert_eq!(spans.span(ops.x_muls[0]).len(), 3);
+        // The write is fixed.
+        assert_eq!(spans.span(ops.write).len(), 1);
+    }
+}

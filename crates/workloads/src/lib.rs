@@ -1,0 +1,22 @@
+//! # adhls-workloads — the paper's benchmark designs
+//!
+//! Every input the evaluation needs, rebuilt as `adhls-ir` designs:
+//!
+//! * [`interpolation`] — the §II.B motivating example (Fig. 1/2, Table 2):
+//!   4 unrolled iterations of `x *= dX; dX *= scale; sum += x` in 3 cycles —
+//!   7 multiplications and 4 additions.
+//! * [`resizer`] — the §IV resizer filter (Fig. 3/4), compiled from the
+//!   DSL frontend.
+//! * [`idct`] — a real fixed-point Chen 8-point IDCT, separable 8×8 2-D
+//!   block, with latency-budget and clock parameters; the Table 4 workload.
+//! * [`fir`] — an N-tap streaming FIR filter (loop-carried delay line).
+//! * [`matmul`] — a dense matrix-multiply dataflow block.
+//! * [`random`] — a seeded random-DAG generator standing in for the paper's
+//!   100 confidential customer designs (DESIGN.md §5).
+
+pub mod fir;
+pub mod idct;
+pub mod interpolation;
+pub mod matmul;
+pub mod random;
+pub mod resizer;

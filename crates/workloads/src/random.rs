@@ -1,0 +1,133 @@
+//! Seeded random dataflow designs — the stand-in for the paper's ">100
+//! customer designs" (§VII; substitution documented in DESIGN.md §5).
+//!
+//! Designs are layered DAGs with a realistic operation mix (arithmetic-
+//! heavy with some comparisons and logic), mixed widths, and a randomized
+//! latency budget, so a fleet of them probes the slack-based flow across
+//! loose and tight corners.
+
+use adhls_ir::builder::DesignBuilder;
+use adhls_ir::{Design, Op, OpId, OpKind};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random-design parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RandomConfig {
+    /// RNG seed (designs are fully reproducible).
+    pub seed: u64,
+    /// Number of compute operations.
+    pub ops: usize,
+    /// Number of primary inputs.
+    pub inputs: usize,
+    /// Latency budget in cycles.
+    pub cycles: u32,
+}
+
+impl Default for RandomConfig {
+    fn default() -> Self {
+        RandomConfig { seed: 1, ops: 60, inputs: 6, cycles: 4 }
+    }
+}
+
+/// Builds a random design. Same config ⇒ identical design.
+///
+/// # Panics
+///
+/// Panics if `ops` or `inputs` is zero.
+#[must_use]
+pub fn build(cfg: &RandomConfig) -> Design {
+    assert!(cfg.ops >= 1 && cfg.inputs >= 1);
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = DesignBuilder::new(format!("rand{}", cfg.seed));
+    let widths = [8u16, 16, 16, 24];
+    let mut pool: Vec<(OpId, u16)> = (0..cfg.inputs)
+        .map(|i| {
+            let w = widths[rng.gen_range(0..widths.len())];
+            (b.input(format!("in{i}"), w), w)
+        })
+        .collect();
+    for _ in 0..cfg.ops {
+        let (a, wa) = pool[rng.gen_range(0..pool.len())];
+        let (c, wc) = pool[rng.gen_range(0..pool.len())];
+        let w = wa.max(wc);
+        let kind = match rng.gen_range(0..100) {
+            0..=29 => OpKind::Add,
+            30..=44 => OpKind::Sub,
+            45..=69 => OpKind::Mul,
+            70..=79 => OpKind::And,
+            80..=89 => OpKind::Xor,
+            _ => OpKind::Lt,
+        };
+        let w_out = if kind == OpKind::Lt { 1 } else { w };
+        let o = b.op(Op::new(kind, w_out), &[a, c]);
+        pool.push((o, w_out));
+    }
+    b.soft_waits(cfg.cycles.saturating_sub(1));
+    // Sinks: every value without users is observed.
+    let unused: Vec<OpId> = {
+        let dfg = b.dfg();
+        dfg.op_ids().filter(|&o| dfg.users(o).is_empty()).collect()
+    };
+    for (i, o) in unused.into_iter().enumerate() {
+        b.write(format!("out{i}"), o);
+    }
+    b.finish().expect("random design is valid")
+}
+
+/// Builds a fleet of `n` designs with consecutive seeds and randomized
+/// sizes/budgets.
+#[must_use]
+pub fn fleet(n: usize, base_seed: u64) -> Vec<(String, Design, u64)> {
+    (0..n)
+        .map(|i| {
+            let seed = base_seed + i as u64;
+            let mut meta = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9));
+            let cfg = RandomConfig {
+                seed,
+                ops: meta.gen_range(30..120),
+                inputs: meta.gen_range(3..10),
+                cycles: meta.gen_range(2..8),
+            };
+            let clock: u64 = *[1800u64, 2200, 2600, 3200]
+                .get(meta.gen_range(0..4))
+                .unwrap();
+            (format!("C{seed}"), build(&cfg), clock)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let a = build(&RandomConfig::default());
+        let b = build(&RandomConfig::default());
+        assert_eq!(a.dfg.len_ids(), b.dfg.len_ids());
+        for o in a.dfg.op_ids() {
+            assert_eq!(a.dfg.op(o).kind(), b.dfg.op(o).kind());
+            assert_eq!(a.dfg.operands(o), b.dfg.operands(o));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = build(&RandomConfig { seed: 1, ..Default::default() });
+        let b = build(&RandomConfig { seed: 2, ..Default::default() });
+        let kinds = |d: &Design| -> Vec<OpKind> {
+            d.dfg.op_ids().map(|o| d.dfg.op(o).kind()).collect()
+        };
+        assert_ne!(kinds(&a), kinds(&b));
+    }
+
+    #[test]
+    fn all_fleet_designs_validate() {
+        for (name, d, clock) in fleet(10, 42) {
+            assert!(d.validate().is_ok(), "{name} invalid");
+            assert!(clock >= 1800);
+            assert!(!d.outputs().is_empty(), "{name} has no outputs");
+        }
+    }
+}

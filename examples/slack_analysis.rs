@@ -1,0 +1,116 @@
+//! Reproduces paper §V: the timed DFG (Fig. 5) and sequential slack
+//! walk-through of Table 3 on the resizer filter (Fig. 3/4).
+//!
+//! The paper works symbolically with I/O delay `d`, op delay `D`, clock `T`
+//! under `D + d < T < 2D`; we instantiate d = 100, D = 600, T = 1100 and
+//! print the closed forms next to the computed values.
+//!
+//! Run: `cargo run --release --example slack_analysis`
+
+use adhls::core::report::Table;
+use adhls::ir::cfg::{Cfg, NodeKind, StateKind};
+use adhls::ir::{Design, Dfg, Op, OpKind};
+use adhls::prelude::*;
+use adhls::timing::slack::{compute_slack, SlackMode};
+
+#[allow(clippy::too_many_lines)]
+fn main() {
+    // Build the paper's Fig. 4 CFG/DFG verbatim.
+    let mut g = Cfg::new("resizer");
+    let start = g.add_node(NodeKind::Start);
+    let loop_top = g.add_node(NodeKind::Join);
+    let if_top = g.add_node(NodeKind::Fork);
+    let s0 = g.add_node(NodeKind::State(StateKind::Hard));
+    let s1 = g.add_node(NodeKind::State(StateKind::Hard));
+    let if_bottom = g.add_node(NodeKind::Join);
+    let s2 = g.add_node(NodeKind::State(StateKind::Hard));
+    let loop_bottom = g.add_node(NodeKind::Plain);
+    g.add_edge(start, loop_top);
+    let e1 = g.add_edge(loop_top, if_top);
+    let e2 = g.add_branch_edge(if_top, s0, true);
+    let e3 = g.add_branch_edge(if_top, s1, false);
+    let e4 = g.add_edge(s0, if_bottom);
+    let e5 = g.add_edge(s1, if_bottom);
+    let e6 = g.add_edge(if_bottom, s2);
+    let e7 = g.add_edge(s2, loop_bottom);
+    g.add_back_edge(loop_bottom, loop_top);
+    let _ = (e2, e3, e5, e6, e7);
+
+    let mut dfg = Dfg::new();
+    let w = 16;
+    let rd_a = dfg.add_op(Op::new(OpKind::Read, w).named("a"), e1, &[]);
+    let offset = dfg.add_op(Op::new(OpKind::Const(3), w), e1, &[]);
+    let add = dfg.add_op(Op::new(OpKind::Add, w).named("add"), e1, &[rd_a, offset]);
+    let th = dfg.add_op(Op::new(OpKind::Const(100), w), e1, &[]);
+    let gt = dfg.add_op(Op::new(OpKind::Gt, 1).named("gt"), e1, &[add, th]);
+    g.set_cond(if_top, gt);
+    let scale = dfg.add_op(Op::new(OpKind::Const(2), w), e4, &[]);
+    let div = dfg.add_op(Op::new(OpKind::Div, w).named("div"), e4, &[add, scale]);
+    let sub = dfg.add_op(Op::new(OpKind::Sub, w).named("sub"), e4, &[div, offset]);
+    let rd_b = dfg.add_op(Op::new(OpKind::Read, w).named("b"), e5, &[]);
+    let mul = dfg.add_op(Op::new(OpKind::Mul, w).named("mul"), e5, &[add, rd_b]);
+    let mux = dfg.add_op(Op::new(OpKind::Mux, w).named("mux"), e6, &[gt, sub, mul]);
+    let wr = dfg.add_op(Op::new(OpKind::Write, w).named("out"), e7, &[mux]);
+
+    let design = Design::new(g, dfg);
+    let (info, spans) = design.analyze().expect("paper design is valid");
+
+    // The paper's opSpans (Fig. 4/5).
+    println!("opSpans (paper §IV):");
+    for (name, o) in
+        [("rd_a", rd_a), ("add", add), ("div", div), ("sub", sub), ("rd_b", rd_b), ("mul", mul), ("mux", mux), ("wr", wr)]
+    {
+        let sp = spans.span(o);
+        let edges: Vec<String> = sp.edges.iter().map(|e| format!("e{}", e.0)).collect();
+        println!("  span({name}) = {{{}}}", edges.join(","));
+    }
+
+    // Table 3 with d = 100, D = 600, T = 1100 (D+d < T < 2D).
+    let (d, big_d, t) = (100i64, 600i64, 1100i64);
+    let tdfg = TimedDfg::build(&design.dfg, &info, &spans).unwrap();
+    let mut delays = vec![0i64; design.dfg.len_ids()];
+    for (o, del) in [
+        (rd_a, d),
+        (rd_b, d),
+        (wr, d),
+        (add, big_d),
+        (div, big_d),
+        (sub, big_d),
+        (mul, big_d),
+        (mux, big_d),
+        (gt, 0),
+    ] {
+        delays[o.0 as usize] = del;
+    }
+    let r = compute_slack(&tdfg, &delays, t, SlackMode::Plain);
+
+    let paper: &[(&str, adhls::ir::OpId, i64, i64, i64)] = &[
+        ("rd_a", rd_a, 0, 2 * t - 4 * big_d - d, 2 * t - 4 * big_d - d),
+        ("add", add, d, 2 * t - 4 * big_d, 2 * t - 4 * big_d - d),
+        ("div", div, d + big_d, 2 * t - 3 * big_d, 2 * t - 4 * big_d - d),
+        ("sub", sub, d + 2 * big_d, 2 * t - 2 * big_d, 2 * t - 4 * big_d - d),
+        ("rd_b", rd_b, 0, t - 2 * big_d - d, t - 2 * big_d - d),
+        ("mul", mul, d, t - 2 * big_d, t - 2 * big_d - d),
+        ("mux", mux, d + 3 * big_d - t, t - big_d, 2 * t - 4 * big_d - d),
+        ("wr", wr, d + 4 * big_d - 2 * t, t - d, 3 * t - 4 * big_d - 2 * d),
+    ];
+    let mut t3 = Table::new(["Op", "Arr", "Req", "slack", "paper closed form"]);
+    for &(name, o, arr, req, slack) in paper {
+        assert_eq!(r.arr[o.0 as usize], arr, "{name} arrival");
+        assert_eq!(r.req[o.0 as usize], req, "{name} required");
+        assert_eq!(r.slack(o), slack, "{name} slack");
+        t3.row([
+            name.to_string(),
+            arr.to_string(),
+            req.to_string(),
+            slack.to_string(),
+            "matches".to_string(),
+        ]);
+    }
+    println!("\nTable 3 with d=100, D=600, T=1100 (all values match the closed forms):");
+    println!("{t3}");
+    println!(
+        "critical path (min slack {}): rd_a -> add -> div -> sub -> mux",
+        r.min_slack()
+    );
+}

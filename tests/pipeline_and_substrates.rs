@@ -1,0 +1,141 @@
+//! Integration tests for the supporting substrates: pipelined scheduling,
+//! the FIR loop workload, matmul, the DSL frontend end-to-end, netlist
+//! emission, and library round-tripping.
+
+use adhls::core::netlist;
+use adhls::prelude::*;
+use adhls::reslib::text;
+use adhls::workloads::{fir, idct, matmul};
+
+/// Pipelining with a smaller initiation interval costs resources but
+/// raises throughput: II=4 needs strictly more multipliers than II=16 on
+/// the same 16-cycle IDCT.
+#[test]
+fn pipelining_trades_area_for_throughput() {
+    let lib = tsmc90::library();
+    let design = idct::build_2d(&idct::IdctConfig { cycles: 16, pipelined: None });
+    let mut counts = Vec::new();
+    for ii in [16u32, 4] {
+        let r = run_hls(
+            &design,
+            &lib,
+            &HlsOptions {
+                clock_ps: 2200,
+                flow: Flow::SlackBased,
+                pipeline_ii: Some(ii),
+                ..Default::default()
+            },
+        )
+        .expect("pipelined point schedules");
+        counts.push((ii, r.schedule.allocation.count(ResClass::Multiplier), r.area.total));
+    }
+    let (&(_, m16, a16), &(_, m4, a4)) = (&counts[0], &counts[1]);
+    assert!(m4 > m16, "II=4 should need more multipliers ({m4} vs {m16})");
+    assert!(a4 > a16, "II=4 should cost more area ({a4:.0} vs {a16:.0})");
+}
+
+/// The FIR filter — a loop with loop-carried state — schedules and streams
+/// correctly at the scheduled placement.
+#[test]
+fn fir_loop_schedules_and_streams() {
+    let cfg = fir::FirConfig { coeffs: vec![3, -5, 11, 7], cycles: 3, width: 16 };
+    let design = fir::build(&cfg);
+    let lib = tsmc90::library();
+    let r = run_hls(
+        &design,
+        &lib,
+        &HlsOptions { clock_ps: 2000, flow: Flow::SlackBased, ..Default::default() },
+    )
+    .expect("fir schedules");
+    let input: Vec<i64> = vec![1, -2, 3, 4, -5, 6, 7, -8, 9, 10];
+    let stim = Stimulus::new()
+        .stream("in", input.iter().map(|&v| v as u64 & 0xFFFF).collect());
+    let placed = run_placed(&design, &stim, 100_000, |o| r.schedule.edge(o)).unwrap();
+    let expect: Vec<u64> =
+        fir::golden(&cfg, &input).iter().map(|&v| v as u64 & 0xFFFF).collect();
+    assert_eq!(placed.outputs["out"], expect);
+}
+
+/// Matrix multiply at two latency budgets: the looser budget needs fewer
+/// multipliers.
+#[test]
+fn matmul_budget_scales_resources() {
+    let lib = tsmc90::library();
+    let tight = matmul::build(&matmul::MatmulConfig { n: 3, cycles: 3, width: 16 });
+    let loose = matmul::build(&matmul::MatmulConfig { n: 3, cycles: 12, width: 16 });
+    let opts = |_c| HlsOptions { clock_ps: 2400, flow: Flow::SlackBased, ..Default::default() };
+    let rt = run_hls(&tight, &lib, &opts(())).unwrap();
+    let rl = run_hls(&loose, &lib, &opts(())).unwrap();
+    let mt = rt.schedule.allocation.count(ResClass::Multiplier);
+    let ml = rl.schedule.allocation.count(ResClass::Multiplier);
+    assert!(ml < mt, "loose budget should share multipliers ({ml} vs {mt})");
+}
+
+/// DSL source with a bounded loop and a conditional compiles, schedules,
+/// and simulates identically before/after scheduling.
+#[test]
+fn dsl_program_end_to_end() {
+    let src = "
+    proc clip_acc(in a: u16, out y: u16) {
+        let acc: u16 = 0;
+        for i in 0..6 {
+            let v = read(a);
+            if v > 100 { v = 100; }
+            acc = acc + v;
+            wait;
+        }
+        write(y, acc);
+    }";
+    let design = adhls::ir::frontend::compile(src).expect("compiles");
+    let lib = tsmc90::library();
+    let r = run_hls(
+        &design,
+        &lib,
+        &HlsOptions { clock_ps: 2000, flow: Flow::SlackBased, ..Default::default() },
+    )
+    .expect("schedules");
+    let stim = Stimulus::new().stream("a", vec![50, 200, 99, 150, 1, 100]);
+    let reference = run(&design, &stim, 10_000).unwrap();
+    assert_eq!(reference.outputs["y"], vec![50 + 100 + 99 + 100 + 1 + 100]);
+    let placed = run_placed(&design, &stim, 10_000, |o| r.schedule.edge(o)).unwrap();
+    assert_eq!(placed.outputs, reference.outputs);
+}
+
+/// Netlist emission covers ports, FUs and states for a scheduled design.
+#[test]
+fn netlist_emission_is_complete() {
+    let design = idct::build_1d(4);
+    let lib = tsmc90::library();
+    let r = run_hls(
+        &design,
+        &lib,
+        &HlsOptions { clock_ps: 2200, flow: Flow::SlackBased, ..Default::default() },
+    )
+    .unwrap();
+    let info = design.validate().unwrap();
+    let text = netlist::emit(&design, &info, &r.schedule, &r.regs);
+    assert!(text.contains("module idct8"));
+    assert!(text.contains("endmodule"));
+    for i in 0..8 {
+        assert!(text.contains(&format!("x{i}")), "input x{i} missing");
+        assert!(text.contains(&format!("y{i}")), "output y{i} missing");
+    }
+    assert!(text.contains("multiplier"));
+}
+
+/// The library text format round-trips the full TSMC-90nm dataset.
+#[test]
+fn library_roundtrip_through_text() {
+    let lib = tsmc90::library();
+    let dumped = text::to_text(&lib);
+    let back = text::from_text(&dumped).expect("parses");
+    assert_eq!(lib, back);
+    // And the parsed library drives a full HLS run.
+    let (design, _) = adhls::workloads::interpolation::paper_example();
+    let r = run_hls(
+        &design,
+        &back,
+        &HlsOptions { clock_ps: 1500, flow: Flow::SlackBased, ..Default::default() },
+    );
+    assert!(r.is_ok());
+}

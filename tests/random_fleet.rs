@@ -1,0 +1,69 @@
+//! The "customer designs" experiment (paper §VII: ">100 customer designs
+//! ... average final area improvement of about 5%"), on the synthetic
+//! fleet documented in DESIGN.md §5.
+
+use adhls::prelude::*;
+use adhls::workloads::random;
+
+/// Every fleet design synthesizes under both flows; the slack flow wins on
+/// average and never catastrophically regresses.
+#[test]
+fn fleet_average_saving_is_positive() {
+    let lib = tsmc90::library();
+    let fleet = random::fleet(24, 7);
+    let mut savings = Vec::new();
+    for (name, design, clock) in &fleet {
+        let conv = run_hls(
+            design,
+            &lib,
+            &HlsOptions { clock_ps: *clock, flow: Flow::Conventional, ..Default::default() },
+        );
+        let slack = run_hls(
+            design,
+            &lib,
+            &HlsOptions { clock_ps: *clock, flow: Flow::SlackBased, ..Default::default() },
+        );
+        let (Ok(conv), Ok(slack)) = (conv, slack) else {
+            continue; // a random (design, clock) pair may be overconstrained
+        };
+        let save = (conv.area.total - slack.area.total) / conv.area.total * 100.0;
+        assert!(
+            save > -20.0,
+            "{name}: catastrophic regression {save:.1}% (conv {}, slack {})",
+            conv.area.total,
+            slack.area.total
+        );
+        savings.push(save);
+    }
+    assert!(savings.len() >= 16, "too many overconstrained fleet members");
+    let avg = savings.iter().sum::<f64>() / savings.len() as f64;
+    assert!(
+        avg > 2.0,
+        "paper reports ~5% average on customer designs; measured {avg:.1}%"
+    );
+}
+
+/// Fleet schedules preserve semantics: each design produces identical
+/// outputs under birth placement and scheduled placement.
+#[test]
+fn fleet_schedules_preserve_semantics() {
+    let lib = tsmc90::library();
+    for (name, design, clock) in random::fleet(10, 99) {
+        let Ok(r) = run_hls(
+            &design,
+            &lib,
+            &HlsOptions { clock_ps: clock, flow: Flow::SlackBased, ..Default::default() },
+        ) else {
+            continue;
+        };
+        let mut stim = Stimulus::new();
+        for o in design.inputs() {
+            if let Some(n) = design.dfg.op(o).name() {
+                stim = stim.input(n, (o.0 as u64).wrapping_mul(37) % 251);
+            }
+        }
+        let reference = run(&design, &stim, 10_000).unwrap();
+        let placed = run_placed(&design, &stim, 10_000, |o| r.schedule.edge(o)).unwrap();
+        assert_eq!(placed.outputs, reference.outputs, "{name} outputs changed");
+    }
+}
