@@ -12,7 +12,11 @@ fn bench(c: &mut Criterion) {
     let fleet = random::fleet(100, 2026);
     let mut savings: Vec<f64> = Vec::new();
     for (_, design, clock) in &fleet {
-        let mk = |flow| HlsOptions { clock_ps: *clock, flow, ..Default::default() };
+        let mk = |flow| HlsOptions {
+            clock_ps: *clock,
+            flow,
+            ..Default::default()
+        };
         let (Ok(conv), Ok(slack)) = (
             run_hls(design, &lib, &mk(Flow::Conventional)),
             run_hls(design, &lib, &mk(Flow::SlackBased)),
@@ -24,11 +28,17 @@ fn bench(c: &mut Criterion) {
     savings.sort_by(f64::total_cmp);
     let avg = savings.iter().sum::<f64>() / savings.len() as f64;
     println!("=== Customer-design fleet (paper: ~5% average on >100 designs) ===");
-    println!("{} of {} designs schedulable at their corner", savings.len(), fleet.len());
-    println!("average saving {avg:.1}%  (min {:.1}%, median {:.1}%, max {:.1}%)",
+    println!(
+        "{} of {} designs schedulable at their corner",
+        savings.len(),
+        fleet.len()
+    );
+    println!(
+        "average saving {avg:.1}%  (min {:.1}%, median {:.1}%, max {:.1}%)",
         savings.first().unwrap(),
         savings[savings.len() / 2],
-        savings.last().unwrap());
+        savings.last().unwrap()
+    );
     // 10-bucket histogram.
     let (lo, hi) = (savings[0].floor(), savings[savings.len() - 1].ceil());
     let step = ((hi - lo) / 10.0).max(1.0);

@@ -1,0 +1,74 @@
+//! Exploration-engine throughput: serial vs parallel sweep evaluation on
+//! the IDCT fleet, plus the memo-cache fast path.
+//!
+//! Tracks the speedup the work-stealing evaluator buys over the serial
+//! reference (one point per `b.iter` would hide load imbalance, so each
+//! iteration evaluates the whole fleet with a fresh cache), and how cheap
+//! a fully-cached re-sweep is.
+
+use adhls_core::sched::HlsOptions;
+use adhls_explore::{Engine, EngineOptions};
+use adhls_reslib::tsmc90;
+use adhls_workloads::sweep;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench(c: &mut Criterion) {
+    let lib = tsmc90::library();
+    // A mid-size IDCT grid: big enough for load imbalance to matter,
+    // small enough to iterate (the full Table 4 fleet is a long bench).
+    let points = sweep::idct_sweep(&[2200, 3000], &[16, 24, 32], &[None]);
+    println!(
+        "IDCT fleet: {} points, {} ops each",
+        points.len(),
+        points[0].design.dfg.len_ops()
+    );
+
+    c.bench_function("explore/idct_serial", |b| {
+        b.iter(|| {
+            let engine = Engine::new(&lib, HlsOptions::default());
+            black_box(
+                engine
+                    .evaluate_serial(&points)
+                    .expect("fleet schedules")
+                    .rows
+                    .len(),
+            )
+        })
+    });
+
+    for threads in [2usize, 4] {
+        c.bench_function(&format!("explore/idct_parallel_t{threads}"), |b| {
+            b.iter(|| {
+                let engine = Engine::with_options(
+                    &lib,
+                    HlsOptions::default(),
+                    EngineOptions {
+                        threads,
+                        ..Default::default()
+                    },
+                );
+                black_box(
+                    engine
+                        .evaluate(&points)
+                        .expect("fleet schedules")
+                        .rows
+                        .len(),
+                )
+            })
+        });
+    }
+
+    // The memoized path: everything already evaluated once.
+    let warm = Engine::new(&lib, HlsOptions::default());
+    warm.evaluate_serial(&points).expect("fleet schedules");
+    c.bench_function("explore/idct_cached_resweep", |b| {
+        b.iter(|| black_box(warm.evaluate_serial(&points).expect("cached").rows.len()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

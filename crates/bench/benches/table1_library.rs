@@ -19,8 +19,16 @@ fn print_table1() {
         cells
     };
     let mut push = |name: &str, gs: &[adhls_reslib::SpeedGrade]| {
-        t.row(row(name, "delay(ps)", gs.iter().map(|g| g.delay_ps.to_string()).collect()));
-        t.row(row(name, "area", gs.iter().map(|g| format!("{:.0}", g.area)).collect()));
+        t.row(row(
+            name,
+            "delay(ps)",
+            gs.iter().map(|g| g.delay_ps.to_string()).collect(),
+        ));
+        t.row(row(
+            name,
+            "area",
+            gs.iter().map(|g| format!("{:.0}", g.area)).collect(),
+        ));
     };
     push("mul 8x8", &mul);
     push("add 16", &add);

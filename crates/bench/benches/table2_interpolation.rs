@@ -16,7 +16,12 @@ fn table2_lib() -> Library {
 }
 
 fn opts(flow: Flow) -> HlsOptions {
-    HlsOptions { clock_ps: 1100, flow, zero_overhead: true, ..Default::default() }
+    HlsOptions {
+        clock_ps: 1100,
+        flow,
+        zero_overhead: true,
+        ..Default::default()
+    }
 }
 
 fn print_table2() {

@@ -15,7 +15,10 @@ fn bench(c: &mut Criterion) {
     // The Table 3 closed forms are pinned by unit/integration tests
     // (`adhls-timing` slack tests, examples/slack_analysis.rs); here we
     // benchmark at the paper's evaluation scale.
-    let design = idct::build_2d(&idct::IdctConfig { cycles: 16, pipelined: None });
+    let design = idct::build_2d(&idct::IdctConfig {
+        cycles: 16,
+        pipelined: None,
+    });
     let (info, spans) = design.analyze().unwrap();
     let tdfg = TimedDfg::build(&design.dfg, &info, &spans).unwrap();
     let delays: Vec<i64> = (0..design.dfg.len_ids() as i64)
@@ -33,12 +36,22 @@ fn bench(c: &mut Criterion) {
 
     c.bench_function("table3/sequential_slack_topological_plain", |bch| {
         bch.iter(|| {
-            black_box(compute_slack(&tdfg, black_box(&delays), 2200, SlackMode::Plain))
+            black_box(compute_slack(
+                &tdfg,
+                black_box(&delays),
+                2200,
+                SlackMode::Plain,
+            ))
         })
     });
     c.bench_function("table3/sequential_slack_topological_aligned", |bch| {
         bch.iter(|| {
-            black_box(compute_slack(&tdfg, black_box(&delays), 2200, SlackMode::Aligned))
+            black_box(compute_slack(
+                &tdfg,
+                black_box(&delays),
+                2200,
+                SlackMode::Aligned,
+            ))
         })
     });
     c.bench_function("table3/sequential_slack_bellman_ford_aligned", |bch| {

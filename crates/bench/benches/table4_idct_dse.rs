@@ -29,7 +29,7 @@ fn bench(c: &mut Criterion) {
     let rows = explore(&pts, &lib, &HlsOptions::default()).expect("all points schedule");
     println!("=== Paper Table 4 (reproduced; paper avg 8.9%, 3 regressions) ===");
     println!("{}", table4(&rows));
-    let s = summarize(&rows);
+    let s = summarize(&rows).expect("non-empty sweep");
     println!(
         "summary: avg {:.1}% save, {} regressions; ranges {:.1}x power / {:.1}x throughput / {:.2}x area",
         s.avg_save_pct, s.regressions, s.power_range, s.throughput_range, s.area_range
@@ -39,9 +39,7 @@ fn bench(c: &mut Criterion) {
     // Benchmark a loose, a mid, and a tight point under both flows.
     for idx in [0usize, 5, 9] {
         let p = &pts[idx];
-        for (tag, flow) in
-            [("conv", Flow::Conventional), ("slack", Flow::SlackBased)]
-        {
+        for (tag, flow) in [("conv", Flow::Conventional), ("slack", Flow::SlackBased)] {
             let opts = HlsOptions {
                 clock_ps: p.clock_ps,
                 flow,

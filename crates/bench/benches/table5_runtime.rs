@@ -19,14 +19,20 @@ fn opts(flow: Flow, engine: SlackEngine) -> HlsOptions {
     HlsOptions {
         clock_ps: 2200,
         flow,
-        budget: BudgetOptions { engine, ..Default::default() },
+        budget: BudgetOptions {
+            engine,
+            ..Default::default()
+        },
         ..Default::default()
     }
 }
 
 fn bench(c: &mut Criterion) {
     // D1-class design: the largest-latency IDCT point.
-    let design = idct::build_2d(&idct::IdctConfig { cycles: 32, pipelined: None });
+    let design = idct::build_2d(&idct::IdctConfig {
+        cycles: 32,
+        pipelined: None,
+    });
     let lib = tsmc90::library();
 
     // One-shot ratio print (criterion's own numbers follow).
@@ -57,30 +63,42 @@ fn bench(c: &mut Criterion) {
     c.bench_function("table5/conventional", |b| {
         b.iter(|| {
             black_box(
-                run_hls(&design, &lib, &opts(Flow::Conventional, SlackEngine::Topological))
-                    .unwrap()
-                    .area
-                    .total,
+                run_hls(
+                    &design,
+                    &lib,
+                    &opts(Flow::Conventional, SlackEngine::Topological),
+                )
+                .unwrap()
+                .area
+                .total,
             )
         })
     });
     c.bench_function("table5/slack_based_topological", |b| {
         b.iter(|| {
             black_box(
-                run_hls(&design, &lib, &opts(Flow::SlackBased, SlackEngine::Topological))
-                    .unwrap()
-                    .area
-                    .total,
+                run_hls(
+                    &design,
+                    &lib,
+                    &opts(Flow::SlackBased, SlackEngine::Topological),
+                )
+                .unwrap()
+                .area
+                .total,
             )
         })
     });
     c.bench_function("table5/slack_based_bellman_ford", |b| {
         b.iter(|| {
             black_box(
-                run_hls(&design, &lib, &opts(Flow::SlackBased, SlackEngine::BellmanFord))
-                    .unwrap()
-                    .area
-                    .total,
+                run_hls(
+                    &design,
+                    &lib,
+                    &opts(Flow::SlackBased, SlackEngine::BellmanFord),
+                )
+                .unwrap()
+                .area
+                .total,
             )
         })
     });

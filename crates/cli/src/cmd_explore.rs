@@ -1,0 +1,201 @@
+//! `adhls explore` — expand a sweep, fan it across cores, report the
+//! Pareto front.
+
+use crate::opts::{write_out, Opts};
+use adhls_core::dse::{summarize, DsePoint, DseRow};
+use adhls_core::report::Table;
+use adhls_core::sched::HlsOptions;
+use adhls_explore::export::{front_to_json, rows_to_csv};
+use adhls_explore::{pareto_front, Engine, EngineOptions};
+use adhls_ir::frontend;
+use adhls_workloads::sweep;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &[
+            "--workload",
+            "--clocks",
+            "--cycles",
+            "--pipeline",
+            "--threads",
+            "--json",
+            "--csv",
+            "--dim",
+            "--count",
+            "--seed",
+        ],
+        &["--serial", "--skip-infeasible", "--front-only"],
+    )?;
+    let points = build_points(&o)?;
+    if points.is_empty() {
+        return Err("the sweep is empty (check --clocks/--cycles)".into());
+    }
+
+    let lib = adhls_reslib::tsmc90::library();
+    let engine = Engine::with_options(
+        &lib,
+        HlsOptions::default(),
+        EngineOptions {
+            threads: o.num("--threads", 0usize)?,
+            skip_infeasible: o.flag("--skip-infeasible"),
+        },
+    );
+    let t0 = std::time::Instant::now();
+    let result = if o.flag("--serial") {
+        engine.evaluate_serial(&points)
+    } else {
+        engine.evaluate(&points)
+    }
+    .map_err(|e| format!("exploration failed: {e} (use --skip-infeasible to drop such points)"))?;
+    let elapsed = t0.elapsed();
+
+    let front = pareto_front(&result.rows);
+    // Exporting to stdout? Keep it machine-readable: the human table would
+    // corrupt the JSON/CSV stream a consumer is piping away.
+    let exporting_to_stdout = o.get("--json") == Some("-") || o.get("--csv") == Some("-");
+    if !exporting_to_stdout {
+        print_human(&o, &result.rows, &front);
+    }
+    for (name, why) in &result.skipped {
+        eprintln!("skipped {name}: {why}");
+    }
+    eprintln!(
+        "{} points ({} skipped), {} on the front; {} workers, {} cache hits, {:.2?}",
+        points.len(),
+        result.skipped.len(),
+        front.len(),
+        result.workers,
+        result.cache_hits,
+        elapsed
+    );
+
+    if let Some(path) = o.get("--json") {
+        write_out(path, &front_to_json(&result.rows, &front), "sweep JSON")?;
+    }
+    if let Some(path) = o.get("--csv") {
+        write_out(path, &rows_to_csv(&result.rows), "sweep CSV")?;
+    }
+    Ok(())
+}
+
+/// Builds the point fleet from `--workload` (grid axes optional) or from a
+/// positional DSL file (clock sweep only).
+fn build_points(o: &Opts) -> Result<Vec<DsePoint>, String> {
+    match (o.get("--workload"), o.positional.as_slice()) {
+        (Some(w), []) => workload_points(o, w),
+        (None, [path]) => dsl_points(o, path),
+        (Some(_), [_, ..]) => Err("pass either --workload or a DSL file, not both".into()),
+        (None, []) => Err("explore needs --workload <name> or a <file.dsl>".into()),
+        (None, _) => Err("explore takes at most one DSL file".into()),
+    }
+}
+
+fn workload_points(o: &Opts, workload: &str) -> Result<Vec<DsePoint>, String> {
+    let clocks = o.list::<u64>("--clocks")?;
+    let cycles = o.list::<u32>("--cycles")?;
+    let modes = o.pipeline_modes()?;
+    // The workload builders assert on zero axes (a 0 ps clock or 0-cycle
+    // budget is meaningless); reject them here with a real error instead.
+    if clocks.as_deref().is_some_and(|c| c.contains(&0)) {
+        return Err("--clocks: clock periods must be >= 1 ps".into());
+    }
+    if cycles.as_deref().is_some_and(|c| c.contains(&0)) {
+        return Err("--cycles: latency budgets must be >= 1 cycle".into());
+    }
+    if modes.as_deref().is_some_and(|m| m.contains(&Some(0))) {
+        return Err("--pipeline: initiation intervals must be >= 1".into());
+    }
+    let pts = match workload {
+        "interpolation" | "interp" => match (clocks, cycles) {
+            (None, None) => sweep::interpolation_default(),
+            (c, l) => sweep::interpolation_sweep(
+                &c.unwrap_or_else(|| vec![1100, 1400, 1800, 2400]),
+                &l.unwrap_or_else(|| vec![3, 4, 6]),
+            ),
+        },
+        "idct" => sweep::idct_sweep(
+            &clocks.unwrap_or_else(|| vec![2200, 3000]),
+            &cycles.unwrap_or_else(|| vec![12, 16, 24, 32]),
+            &modes.unwrap_or_else(|| vec![None]),
+        ),
+        "idct-table4" | "table4" => sweep::idct_table4(),
+        "fir" => sweep::fir_sweep(
+            clocks
+                .as_deref()
+                .and_then(|c| c.first().copied())
+                .unwrap_or(2200),
+            &[2, 4, 8],
+            &cycles.unwrap_or_else(|| vec![2, 3, 4]),
+        ),
+        "matmul" => sweep::matmul_sweep(
+            o.num("--dim", 3usize)?,
+            &clocks.unwrap_or_else(|| vec![2200, 3000]),
+            &cycles.unwrap_or_else(|| vec![4, 6, 8]),
+        ),
+        "random" => sweep::random_fleet(o.num("--count", 12usize)?, o.num("--seed", 42u64)?),
+        other => {
+            return Err(format!(
+                "unknown workload `{other}` (interpolation | idct | idct-table4 | \
+                 fir | matmul | random)"
+            ))
+        }
+    };
+    Ok(pts)
+}
+
+fn dsl_points(o: &Opts, path: &str) -> Result<Vec<DsePoint>, String> {
+    let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    let design = frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?;
+    // The file fixes its own state structure; the sweepable axis is the
+    // clock. Items-per-run = one pass through the state sequence.
+    let cycles = DsePoint::states_per_item(&design);
+    let clocks = o
+        .list::<u64>("--clocks")?
+        .unwrap_or_else(|| vec![1500, 2000, 2600, 3200]);
+    let stem = std::path::Path::new(path).file_stem().map_or_else(
+        || "design".to_string(),
+        |s| s.to_string_lossy().into_owned(),
+    );
+    Ok(clocks
+        .into_iter()
+        .map(|clock_ps| DsePoint {
+            name: format!("{stem}-c{clock_ps}"),
+            design: design.clone(),
+            clock_ps,
+            pipeline_ii: None,
+            cycles_per_item: cycles,
+        })
+        .collect())
+}
+
+fn print_human(o: &Opts, rows: &[DseRow], front: &[DseRow]) {
+    let shown: &[DseRow] = if o.flag("--front-only") { front } else { rows };
+    let on_front = |r: &DseRow| front.iter().any(|f| f.name == r.name);
+    let mut t = Table::new([
+        "point", "clock", "A_conv", "A_slack", "save%", "power", "items/us", "front",
+    ]);
+    for r in shown {
+        t.row([
+            r.name.clone(),
+            r.clock_ps.to_string(),
+            format!("{:.0}", r.a_conv),
+            format!("{:.0}", r.a_slack),
+            format!("{:.1}", r.save_pct),
+            format!("{:.1}", r.power.total),
+            format!("{:.2}", r.throughput),
+            if on_front(r) {
+                "*".into()
+            } else {
+                String::new()
+            },
+        ]);
+    }
+    print!("{t}");
+    if let Some(s) = summarize(rows) {
+        println!(
+            "avg save {:.1}% | {} regressions | ranges: {:.1}x power, {:.1}x throughput, {:.2}x area",
+            s.avg_save_pct, s.regressions, s.power_range, s.throughput_range, s.area_range
+        );
+    }
+}

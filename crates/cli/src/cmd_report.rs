@@ -1,0 +1,67 @@
+//! `adhls report` — reproduce the paper's headline tables.
+
+use adhls_core::dse::{summarize, table4};
+use adhls_core::sched::{run_hls, Flow, HlsOptions};
+use adhls_explore::Engine;
+use adhls_workloads::{interpolation, sweep};
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let which = args.first().map_or("table4", String::as_str);
+    match which {
+        "table4" | "idct" => report_table4(),
+        "table2" | "interpolation" => report_table2(),
+        other => Err(format!("unknown report `{other}` (table4 | table2)")),
+    }
+}
+
+/// Paper §VII Table 4: the 15-point IDCT sweep, evaluated in parallel.
+fn report_table4() -> Result<(), String> {
+    let lib = adhls_reslib::tsmc90::library();
+    let points = sweep::idct_table4();
+    let t0 = std::time::Instant::now();
+    let result = Engine::new(&lib, HlsOptions::default())
+        .evaluate(&points)
+        .map_err(|e| format!("table4 sweep failed: {e}"))?;
+    println!("=== Paper Table 4 (reproduced; paper avg 8.9%, 3 regressions) ===");
+    print!("{}", table4(&result.rows));
+    if let Some(s) = summarize(&result.rows) {
+        println!(
+            "summary: avg {:.1}% save, {} regressions; ranges {:.1}x power / \
+             {:.1}x throughput / {:.2}x area",
+            s.avg_save_pct, s.regressions, s.power_range, s.throughput_range, s.area_range
+        );
+    }
+    println!("(paper §VII text: 20x power / 7x throughput / 1.5x area)");
+    eprintln!(
+        "30 HLS runs on {} workers in {:.2?}",
+        result.workers,
+        t0.elapsed()
+    );
+    Ok(())
+}
+
+/// Paper §II Table 2: the interpolation kernel under all three flows.
+fn report_table2() -> Result<(), String> {
+    let (design, _) = interpolation::paper_example();
+    let mut lib = adhls_reslib::tsmc90::library();
+    lib.set_io_delay_ps(0);
+    println!("=== Paper Table 2 (interpolation, 1100 ps, zero-overhead mode) ===");
+    let mut t = adhls_core::report::Table::new(["flow", "area"]);
+    for (name, flow) in [
+        ("conventional (Case 1)", Flow::Conventional),
+        ("slowest-upgrade (Case 2)", Flow::SlowestUpgrade),
+        ("slack-based (paper)", Flow::SlackBased),
+    ] {
+        let opts = HlsOptions {
+            clock_ps: 1100,
+            flow,
+            zero_overhead: true,
+            ..Default::default()
+        };
+        let res = run_hls(&design, &lib, &opts).map_err(|e| format!("{name} failed: {e}"))?;
+        t.row([name.to_string(), format!("{:.0}", res.area.total)]);
+    }
+    print!("{t}");
+    println!("(paper optimum: 2180)");
+    Ok(())
+}

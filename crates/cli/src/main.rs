@@ -1,0 +1,78 @@
+//! `adhls` — drive the HLS flows and the exploration engine from the
+//! command line, no Rust required.
+//!
+//! ```text
+//! adhls schedule <file.dsl> [--clock PS] [--flow conv|slow|slack]
+//! adhls explore  --workload <name> [axes...] [--json PATH] [--csv PATH]
+//! adhls explore  <file.dsl> --clocks 1500,2000,2600
+//! adhls report   [table4|table2]
+//! ```
+//!
+//! Run `adhls help` for the full option list.
+
+mod cmd_explore;
+mod cmd_report;
+mod cmd_schedule;
+mod opts;
+
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+adhls — area/delay-tradeoff-aware high-level synthesis (DATE 2012 reproduction)
+
+USAGE:
+    adhls schedule <file.dsl> [OPTIONS]
+    adhls explore  (--workload <name> | <file.dsl>) [OPTIONS]
+    adhls report   [table4|table2]
+    adhls help
+
+SCHEDULE OPTIONS:
+    --clock <PS>          clock period in picoseconds   [default: 2000]
+    --flow <FLOW>         conv | slow | slack           [default: slack]
+    --pipeline <II>       pipeline initiation interval  [default: off]
+    --json                emit the result as JSON instead of a table
+
+EXPLORE OPTIONS:
+    --workload <NAME>     interpolation | idct | idct-table4 | fir |
+                          matmul | random
+    --clocks <LIST>       comma-separated clock periods (ps)
+    --cycles <LIST>       comma-separated latency budgets (cycles)
+    --pipeline <LIST>     comma-separated IIs; `none` for sequential
+                          (idct only; default: none)
+    --threads <N>         worker threads (0 = all cores)  [default: 0]
+    --serial              force the serial reference evaluator
+    --skip-infeasible     drop unschedulable points instead of failing
+    --front-only          print only the Pareto front
+    --json <PATH>         write sweep + front JSON (`-` for stdout)
+    --csv <PATH>          write sweep CSV (`-` for stdout)
+
+Exploring a DSL file sweeps --clocks only (the file fixes its own states).
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((cmd, rest)) => (cmd.as_str(), rest),
+        None => {
+            eprint!("{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let result = match cmd {
+        "schedule" => cmd_schedule::run(rest),
+        "explore" => cmd_explore::run(rest),
+        "report" => cmd_report::run(rest),
+        "help" | "--help" | "-h" => {
+            print!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown command `{other}` (try `adhls help`)")),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! End-to-end smoke tests driving the built `adhls` binary — including the
+//! acceptance path: `adhls explore` on the interpolation workload produces
+//! a non-empty Pareto front as JSON from a parallel (>1 worker) sweep.
+
+use std::process::Command;
+
+fn adhls(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_adhls"))
+        .args(args)
+        .output()
+        .expect("adhls binary runs")
+}
+
+#[test]
+fn help_prints_usage() {
+    let out = adhls(&["help"]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("USAGE"));
+    assert!(text.contains("explore"));
+}
+
+#[test]
+fn unknown_command_fails_with_message() {
+    let out = adhls(&["frobnicate"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown command"));
+}
+
+#[test]
+fn schedule_compiles_the_resizer_dsl() {
+    let dsl = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/dsl/resizer.adhls"
+    );
+    let out = adhls(&["schedule", dsl, "--clock", "2000", "--json"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("\"design\":\"resizer\""));
+    assert!(text.contains("\"total\":"));
+}
+
+#[test]
+fn explore_interpolation_emits_nonempty_front_json() {
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--threads",
+        "4",
+        "--json",
+        "-",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    let front = json.split("\"front\":").nth(1).expect("front key present");
+    assert!(
+        front.contains("\"name\":\"interp-"),
+        "Pareto front is empty: {front}"
+    );
+    // The sweep covers ≥ 12 points and really ran multi-worker.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("12 points"), "stderr: {stderr}");
+    assert!(stderr.contains("4 workers"), "stderr: {stderr}");
+}
+
+#[test]
+fn explore_rejects_contradictory_inputs() {
+    let out = adhls(&["explore"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--workload"));
+}

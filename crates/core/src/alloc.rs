@@ -156,7 +156,10 @@ impl Allocation {
 
     /// Iterator over `(id, instance)`.
     pub fn iter(&self) -> impl Iterator<Item = (InstId, &Instance)> {
-        self.instances.iter().enumerate().map(|(i, inst)| (InstId(i as u32), inst))
+        self.instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (InstId(i as u32), inst))
     }
 
     /// Number of instances.
@@ -190,7 +193,10 @@ mod tests {
     use adhls_reslib::{tsmc90, SpeedGrade};
 
     fn cand() -> Candidate {
-        Candidate { class: ResClass::Multiplier, grade: SpeedGrade::new(430, 878.0) }
+        Candidate {
+            class: ResClass::Multiplier,
+            grade: SpeedGrade::new(430, 878.0),
+        }
     }
 
     #[test]

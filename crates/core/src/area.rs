@@ -66,7 +66,12 @@ pub fn area_report(
         mux_area += legs_total as f64 * avg_w * lib.mux_area_per_bit();
         (regs.reg_area, mux_area)
     };
-    AreaReport { fu, regs: r, mux: m, total: fu + r + m }
+    AreaReport {
+        fu,
+        regs: r,
+        mux: m,
+        total: fu + r + m,
+    }
 }
 
 /// Post-binding area recovery (paper Fig. 8 step 3, RTL-synthesis style).
@@ -87,14 +92,19 @@ pub fn area_recovery(
 ) {
     let t = schedule.clock_ps as i64;
     let dfg = &design.dfg;
-    let penalty =
-        if zero_overhead { 0 } else { lib.mux_share_delay_ps() as i64 };
+    let penalty = if zero_overhead {
+        0
+    } else {
+        lib.mux_share_delay_ps() as i64
+    };
 
     let n_inst = schedule.allocation.len();
     let mut extra = vec![i64::MAX; n_inst];
     for o in dfg.op_ids() {
         let oi = o.0 as usize;
-        let Some(inst) = schedule.instance_of[oi] else { continue };
+        let Some(inst) = schedule.instance_of[oi] else {
+            continue;
+        };
         let eo = schedule.edge(o);
         let finish = schedule.start_ps[oi] + schedule.delay_ps[oi];
         // Clock-edge bound (multi-cycle ops may fill their cycles).
@@ -123,15 +133,24 @@ pub fn area_recovery(
         let inst_id = crate::alloc::InstId(idx as u32);
         let (class, width, old_delay, old_area) = {
             let inst = schedule.allocation.instance(inst_id);
-            (inst.class(), inst.width, inst.delay_ps() as i64, inst.area())
+            (
+                inst.class(),
+                inst.width,
+                inst.delay_ps() as i64,
+                inst.area(),
+            )
         };
-        let Some(grades) = lib.grades(class, width) else { continue };
+        let Some(grades) = lib.grades(class, width) else {
+            continue;
+        };
         let slowest = grades.last().map_or(old_delay, |g| g.delay_ps as i64);
         let target = (old_delay + room).min(slowest);
         if target <= old_delay {
             continue;
         }
-        let Some(new_area) = lib.area_at(class, width, target as u64) else { continue };
+        let Some(new_area) = lib.area_at(class, width, target as u64) else {
+            continue;
+        };
         if new_area >= old_area {
             continue;
         }
@@ -151,7 +170,6 @@ pub fn area_recovery(
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::sched::{run_hls, Flow, HlsOptions};
     use adhls_ir::builder::DesignBuilder;
     use adhls_ir::op::OpKind;
@@ -183,7 +201,11 @@ mod tests {
         let with_rec = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 1100, flow: Flow::Conventional, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 1100,
+                flow: Flow::Conventional,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(with_rec.area.fu < no_rec.area.fu);
@@ -205,7 +227,11 @@ mod tests {
         let r = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 700, flow: Flow::Conventional, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 700,
+                flow: Flow::Conventional,
+                ..Default::default()
+            },
         )
         .unwrap();
         let (info, _) = d.analyze().unwrap();
@@ -215,8 +241,7 @@ mod tests {
         // mul may stretch to at most 600-ish, not 610... it must still
         // satisfy write.start >= mul finish.
         let w = d.outputs()[0];
-        let finish =
-            r.schedule.start_ps[m.0 as usize] + r.schedule.delay_ps[m.0 as usize];
+        let finish = r.schedule.start_ps[m.0 as usize] + r.schedule.delay_ps[m.0 as usize];
         assert!(finish <= r.schedule.start_ps[w.0 as usize]);
     }
 

@@ -103,8 +103,7 @@ pub fn bind_registers(
         // Left-edge per width pool.
         let mut pools: std::collections::BTreeMap<u16, Vec<(u32, usize)>> =
             std::collections::BTreeMap::new(); // width -> [(busy_until, n_values)]
-        let mut shareable: Vec<Lifetime> =
-            values.iter().filter_map(|(_, lt)| *lt).collect();
+        let mut shareable: Vec<Lifetime> = values.iter().filter_map(|(_, lt)| *lt).collect();
         shareable.sort_by_key(|l| (l.def, l.last_use));
         for l in shareable {
             let pool = pools.entry(l.width).or_default();
@@ -119,8 +118,7 @@ pub fn bind_registers(
         for (w, pool) in &pools {
             n_regs += pool.len();
             total_bits += u64::from(*w) * pool.len() as u64;
-            extra_mux_inputs +=
-                pool.iter().map(|(_, k)| k.saturating_sub(1)).sum::<usize>();
+            extra_mux_inputs += pool.iter().map(|(_, k)| k.saturating_sub(1)).sum::<usize>();
         }
         // Dedicated registers for non-shareable values.
         for (o, lt) in &values {
@@ -148,8 +146,7 @@ pub fn bind_registers(
 
 /// True when all scheduled edges are pairwise control-ordered.
 fn is_chain(info: &CfgInfo, schedule: &Schedule) -> bool {
-    let mut edges: Vec<adhls_ir::EdgeId> =
-        schedule.edge_of.iter().flatten().copied().collect();
+    let mut edges: Vec<adhls_ir::EdgeId> = schedule.edge_of.iter().flatten().copied().collect();
     edges.sort();
     edges.dedup();
     for (i, &a) in edges.iter().enumerate() {
@@ -172,7 +169,9 @@ pub fn fu_mux_inputs(design: &Design, schedule: &Schedule) -> usize {
     // (instance, port) -> distinct source ops
     let mut sources: BTreeMap<(u32, usize), BTreeSet<u32>> = BTreeMap::new();
     for o in dfg.op_ids() {
-        let Some(inst) = schedule.instance_of[o.0 as usize] else { continue };
+        let Some(inst) = schedule.instance_of[o.0 as usize] else {
+            continue;
+        };
         for (port, &p) in dfg.operands(o).iter().enumerate() {
             sources.entry((inst.0, port)).or_default().insert(p.0);
         }
@@ -200,7 +199,11 @@ mod tests {
         let r = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 1100, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 1100,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         )
         .unwrap();
         // m crosses the wait; x crosses it too if m is scheduled late, but
@@ -233,7 +236,11 @@ mod tests {
         let r = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 1100, flow: Flow::Conventional, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 1100,
+                flow: Flow::Conventional,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(
@@ -261,10 +268,18 @@ mod tests {
         let r = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 1100, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 1100,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         )
         .unwrap();
-        if r.schedule.allocation.count(adhls_reslib::ResClass::Multiplier) == 1 {
+        if r.schedule
+            .allocation
+            .count(adhls_reslib::ResClass::Multiplier)
+            == 1
+        {
             assert_eq!(fu_mux_inputs(&d, &r.schedule), 2);
         }
     }

@@ -26,8 +26,50 @@ pub struct DsePoint {
     pub cycles_per_item: u32,
 }
 
+impl DsePoint {
+    /// The shared grid-point naming scheme,
+    /// `prefix-c<clock>-l<cycles>[-ii<n>]` — one definition so rows from
+    /// `adhls-explore` grids and the per-workload sweep constructors stay
+    /// cross-referenceable.
+    #[must_use]
+    pub fn grid_name(prefix: &str, clock_ps: u64, cycles: u32, ii: Option<u32>) -> String {
+        match ii {
+            Some(ii) => format!("{prefix}-c{clock_ps}-l{cycles}-ii{ii}"),
+            None => format!("{prefix}-c{clock_ps}-l{cycles}"),
+        }
+    }
+
+    /// A grid point under [`DsePoint::grid_name`]. `cycles_per_item` is the
+    /// initiation interval for pipelined cells and the latency budget
+    /// otherwise (the paper's Table 4 convention), clamped to ≥ 1 so
+    /// degenerate grids can't produce infinite throughput.
+    #[must_use]
+    pub fn grid(prefix: &str, design: Design, clock_ps: u64, cycles: u32, ii: Option<u32>) -> Self {
+        DsePoint {
+            name: DsePoint::grid_name(prefix, clock_ps, cycles, ii),
+            design,
+            clock_ps,
+            pipeline_ii: ii,
+            cycles_per_item: ii.unwrap_or(cycles).max(1),
+        }
+    }
+
+    /// Items-per-run heuristic for designs that bake their own budget (DSL
+    /// files, random fleets): one item per pass through the state sequence,
+    /// i.e. the number of state nodes (≥ 1).
+    #[must_use]
+    pub fn states_per_item(design: &Design) -> u32 {
+        design
+            .cfg
+            .node_ids()
+            .filter(|&n| design.cfg.node_kind(n).is_state())
+            .count()
+            .max(1) as u32
+    }
+}
+
 /// Result row for one design point.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct DseRow {
     /// Point name.
     pub name: String,
@@ -60,52 +102,69 @@ pub struct DseSummary {
     pub area_range: f64,
 }
 
-/// Runs both flows on every point.
+/// Evaluates one design point under both flows — the single-point kernel
+/// shared by the serial [`explore`] driver here and the parallel engine in
+/// `adhls-explore`.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (a point whose clock/latency combination
+/// is overconstrained).
+pub fn evaluate_point(p: &DsePoint, lib: &Library, base: &HlsOptions) -> Result<DseRow> {
+    let mk_opts = |flow: Flow| HlsOptions {
+        clock_ps: p.clock_ps,
+        flow,
+        pipeline_ii: p.pipeline_ii,
+        ..base.clone()
+    };
+    // Clamp a degenerate cycles_per_item of 0 up front: `estimate` asserts
+    // positivity, and a zero item time would export an `inf` throughput.
+    let cycles_per_item = p.cycles_per_item.max(1);
+    let conv = run_hls(&p.design, lib, &mk_opts(Flow::Conventional))?;
+    let slack = run_hls(&p.design, lib, &mk_opts(Flow::SlackBased))?;
+    let power = estimate(
+        &p.design,
+        &slack.schedule,
+        &slack.area,
+        cycles_per_item,
+        p.clock_ps,
+    );
+    let item_time_ps = f64::from(cycles_per_item) * p.clock_ps as f64;
+    let save_pct = if conv.area.total == 0.0 {
+        0.0
+    } else {
+        (conv.area.total - slack.area.total) / conv.area.total * 100.0
+    };
+    Ok(DseRow {
+        name: p.name.clone(),
+        a_conv: conv.area.total,
+        a_slack: slack.area.total,
+        save_pct,
+        power,
+        throughput: 1.0e6 / item_time_ps,
+        clock_ps: p.clock_ps,
+    })
+}
+
+/// Runs both flows on every point, serially and in order.
 ///
 /// # Errors
 ///
 /// Propagates scheduling failures (a point whose clock/latency combination
 /// is overconstrained).
 pub fn explore(points: &[DsePoint], lib: &Library, base: &HlsOptions) -> Result<Vec<DseRow>> {
-    let mut rows = Vec::with_capacity(points.len());
-    for p in points {
-        let mk_opts = |flow: Flow| HlsOptions {
-            clock_ps: p.clock_ps,
-            flow,
-            pipeline_ii: p.pipeline_ii,
-            ..base.clone()
-        };
-        let conv = run_hls(&p.design, lib, &mk_opts(Flow::Conventional))?;
-        let slack = run_hls(&p.design, lib, &mk_opts(Flow::SlackBased))?;
-        let power = estimate(
-            &p.design,
-            &slack.schedule,
-            &slack.area,
-            p.cycles_per_item,
-            p.clock_ps,
-        );
-        let item_time_ps = f64::from(p.cycles_per_item) * p.clock_ps as f64;
-        rows.push(DseRow {
-            name: p.name.clone(),
-            a_conv: conv.area.total,
-            a_slack: slack.area.total,
-            save_pct: (conv.area.total - slack.area.total) / conv.area.total * 100.0,
-            power,
-            throughput: 1.0e6 / item_time_ps,
-            clock_ps: p.clock_ps,
-        });
-    }
-    Ok(rows)
+    points
+        .iter()
+        .map(|p| evaluate_point(p, lib, base))
+        .collect()
 }
 
-/// Aggregates a sweep.
-///
-/// # Panics
-///
-/// Panics when `rows` is empty.
+/// Aggregates a sweep; `None` when `rows` is empty.
 #[must_use]
-pub fn summarize(rows: &[DseRow]) -> DseSummary {
-    assert!(!rows.is_empty(), "summarize needs at least one row");
+pub fn summarize(rows: &[DseRow]) -> Option<DseSummary> {
+    if rows.is_empty() {
+        return None;
+    }
     let avg_save_pct = rows.iter().map(|r| r.save_pct).sum::<f64>() / rows.len() as f64;
     let regressions = rows.iter().filter(|r| r.save_pct < 0.0).count();
     let minmax = |it: &mut dyn Iterator<Item = f64>| -> (f64, f64) {
@@ -120,13 +179,13 @@ pub fn summarize(rows: &[DseRow]) -> DseSummary {
     let (plo, phi) = minmax(&mut rows.iter().map(|r| r.power.total));
     let (tlo, thi) = minmax(&mut rows.iter().map(|r| r.throughput));
     let (alo, ahi) = minmax(&mut rows.iter().map(|r| r.a_slack));
-    DseSummary {
+    Some(DseSummary {
         avg_save_pct,
         regressions,
         power_range: phi / plo,
         throughput_range: thi / tlo,
         area_range: ahi / alo,
-    }
+    })
 }
 
 /// Renders rows as the paper's Table 4.
@@ -141,13 +200,14 @@ pub fn table4(rows: &[DseRow]) -> String {
             format!("{:.1}", r.save_pct),
         ]);
     }
-    let s = summarize(rows);
-    t.row([
-        "Average".to_string(),
-        String::new(),
-        String::new(),
-        format!("{:.1}", s.avg_save_pct),
-    ]);
+    if let Some(s) = summarize(rows) {
+        t.row([
+            "Average".to_string(),
+            String::new(),
+            String::new(),
+            format!("{:.1}", s.avg_save_pct),
+        ]);
+    }
     t.render()
 }
 
@@ -179,16 +239,68 @@ mod tests {
     #[test]
     fn explore_produces_rows_and_summary() {
         let lib = tsmc90::library();
-        let points =
-            vec![point("P1", 1, 1100), point("P2", 2, 1100), point("P3", 3, 900)];
+        let points = vec![
+            point("P1", 1, 1100),
+            point("P2", 2, 1100),
+            point("P3", 3, 900),
+        ];
         let rows = explore(&points, &lib, &HlsOptions::default()).unwrap();
         assert_eq!(rows.len(), 3);
-        let s = summarize(&rows);
+        let s = summarize(&rows).expect("non-empty sweep summarizes");
         assert!(s.throughput_range >= 1.0);
         assert!(s.power_range >= 1.0);
         let rendered = table4(&rows);
         assert!(rendered.contains("A_conv"));
         assert!(rendered.contains("Average"));
+    }
+
+    #[test]
+    fn zero_cycles_per_item_keeps_throughput_finite() {
+        let lib = tsmc90::library();
+        let mut p = point("Z", 1, 1100);
+        p.cycles_per_item = 0;
+        let row = evaluate_point(&p, &lib, &HlsOptions::default()).unwrap();
+        assert!(row.throughput.is_finite());
+        assert!(row.throughput > 0.0);
+    }
+
+    #[test]
+    fn grid_constructor_names_and_clamps() {
+        assert_eq!(DsePoint::grid_name("t", 1100, 3, None), "t-c1100-l3");
+        assert_eq!(DsePoint::grid_name("t", 1100, 3, Some(8)), "t-c1100-l3-ii8");
+        let p = point("G", 1, 1100);
+        let g = DsePoint::grid("g", p.design, 1100, 0, None);
+        assert_eq!(g.cycles_per_item, 1, "zero budget clamps to 1");
+        assert_eq!(g.name, "g-c1100-l0");
+    }
+
+    #[test]
+    fn summarize_empty_is_none() {
+        assert!(summarize(&[]).is_none());
+        let rendered = table4(&[]);
+        assert!(rendered.contains("A_conv"));
+        assert!(!rendered.contains("Average"));
+    }
+
+    #[test]
+    fn zero_area_point_has_zero_save_pct() {
+        // A design with no resource-backed ops (input straight to output)
+        // can produce a zero-area conventional run; the save percentage
+        // must not divide by it.
+        let lib = tsmc90::library();
+        let mut b = DesignBuilder::new("wire");
+        let x = b.input("x", 8);
+        b.soft_waits(1);
+        b.write("z", x);
+        let p = DsePoint {
+            name: "wire".into(),
+            design: b.finish().unwrap(),
+            clock_ps: 1100,
+            pipeline_ii: None,
+            cycles_per_item: 2,
+        };
+        let row = evaluate_point(&p, &lib, &HlsOptions::default()).unwrap();
+        assert!(row.save_pct.is_finite());
     }
 
     #[test]

@@ -57,7 +57,11 @@ pub fn estimate(
     switched += (area.regs + area.mux) * 0.10;
     let dynamic = switched * f_ghz;
     let leakage = 0.02 * area.total;
-    PowerReport { dynamic, leakage, total: dynamic + leakage }
+    PowerReport {
+        dynamic,
+        leakage,
+        total: dynamic + leakage,
+    }
 }
 
 #[cfg(test)]
@@ -84,13 +88,21 @@ mod tests {
         let slow = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 2000, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 2000,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         )
         .unwrap();
         let fast = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 700, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 700,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         )
         .unwrap();
         let p_slow = estimate(&d, &slow.schedule, &slow.area, 2, 2000);
@@ -105,7 +117,11 @@ mod tests {
         let r = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 1000, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 1000,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         )
         .unwrap();
         let busy = estimate(&d, &r.schedule, &r.area, 1, 1000);

@@ -13,7 +13,10 @@ impl Table {
     /// Creates a table with column headers.
     #[must_use]
     pub fn new<S: Into<String>>(headers: impl IntoIterator<Item = S>) -> Self {
-        Table { headers: headers.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Table {
+            headers: headers.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header count).

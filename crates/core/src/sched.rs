@@ -163,8 +163,7 @@ pub fn run_hls(design: &Design, lib: &Library, opts: &HlsOptions) -> Result<HlsR
             .iter()
             .enumerate()
             .map(|(i, c)| OpChoice {
-                candidates: c.candidates[..(grade_cap[i] + 1).min(c.candidates.len())]
-                    .to_vec(),
+                candidates: c.candidates[..(grade_cap[i] + 1).min(c.candidates.len())].to_vec(),
                 fixed_ps: c.fixed_ps,
             })
             .collect();
@@ -175,24 +174,30 @@ pub fn run_hls(design: &Design, lib: &Library, opts: &HlsOptions) -> Result<HlsR
         match pass.run() {
             Ok(()) => {
                 let mut schedule = pass.into_schedule();
-                let spans_final =
-                    span_analysis.compute_pinned(&design.dfg, &info, |o| {
-                        schedule.edge_of[o.0 as usize]
-                    })?;
+                let spans_final = span_analysis
+                    .compute_pinned(&design.dfg, &info, |o| schedule.edge_of[o.0 as usize])?;
                 schedule.validate(design, &info, &spans_final)?;
                 let regs = bind::bind_registers(design, &info, &schedule, lib);
                 if opts.area_recovery {
                     area::area_recovery(design, &info, &mut schedule, lib, opts.zero_overhead);
                     schedule.validate(design, &info, &spans_final)?;
                 }
-                let area =
-                    area::area_report(design, &schedule, &regs, lib, opts.zero_overhead);
+                let area = area::area_report(design, &schedule, &regs, lib, opts.zero_overhead);
                 let budget_moves = 0;
-                return Ok(HlsResult { schedule, area, regs, relax_rounds, budget_moves });
+                return Ok(HlsResult {
+                    schedule,
+                    area,
+                    regs,
+                    relax_rounds,
+                    budget_moves,
+                });
             }
             Err(f) => {
                 if std::env::var("ADHLS_DEBUG").is_ok() {
-                    eprintln!("[relax {relax_rounds}] op {} reason {:?} grade {:?}", f.op, f.reason, f.grade_at_failure);
+                    eprintln!(
+                        "[relax {relax_rounds}] op {} reason {:?} grade {:?}",
+                        f.op, f.reason, f.grade_at_failure
+                    );
                 }
                 relax_rounds += 1;
                 if relax_rounds > opts.max_relax_rounds {
@@ -279,23 +284,20 @@ fn apply_relaxation(
             let class_cost = |class: adhls_reslib::ResClass| -> f64 {
                 base_choices
                     .iter()
-                    .filter_map(|c| {
-                        c.candidates.iter().find(|cand| cand.class == class)
-                    })
+                    .filter_map(|c| c.candidates.iter().find(|cand| cand.class == class))
                     .map(|cand| cand.grade.area)
                     .fold(f64::INFINITY, f64::min)
             };
-            let bump_candidate: Option<(adhls_reslib::ResClass, u32, f64)> = if f
-                .cone_resource_deferred
-            {
-                f.pressure
-                    .iter()
-                    .find(|(c, n)| *n > 0 && compat.contains(c))
-                    .or_else(|| f.pressure.iter().find(|(_, n)| *n > 0))
-                    .map(|&(c, n)| (c, n, class_cost(c)))
-            } else {
-                None
-            };
+            let bump_candidate: Option<(adhls_reslib::ResClass, u32, f64)> =
+                if f.cone_resource_deferred {
+                    f.pressure
+                        .iter()
+                        .find(|(c, n)| *n > 0 && compat.contains(c))
+                        .or_else(|| f.pressure.iter().find(|(_, n)| *n > 0))
+                        .map(|&(c, n)| (c, n, class_cost(c)))
+                } else {
+                    None
+                };
             // Cone capping candidate: the slowest predecessor with headroom.
             let mut cone: Option<(OpId, u64)> = None;
             let mut stack = vec![f.op];
@@ -312,7 +314,7 @@ fn apply_relaxation(
                             [grade_cap[pi].min(base_choices[pi].candidates.len() - 1)]
                         .grade
                         .delay_ps;
-                        if cone.map_or(true, |(_, bd)| d > bd) {
+                        if cone.is_none_or(|(_, bd)| d > bd) {
                             cone = Some((p, d));
                         }
                     }
@@ -443,14 +445,21 @@ impl<'a> Pass<'a> {
     /// Budget options with the sharing overhead folded in, so budget plans
     /// stay schedulable under the scheduler's effective delays.
     fn budget_opts(&self) -> BudgetOptions {
-        BudgetOptions { overhead_ps: self.mux_penalty() as u64, ..self.opts.budget }
+        BudgetOptions {
+            overhead_ps: self.mux_penalty() as u64,
+            ..self.opts.budget
+        }
     }
 
     /// Sets the initial grades and priorities according to the flow.
     fn init_grades(&mut self) -> Result<()> {
         let dfg = &self.design.dfg;
-        let tdfg =
-            TimedDfg::build_with(dfg, self.info, |o| self.spans.early(o), |o| self.spans.late(o))?;
+        let tdfg = TimedDfg::build_with(
+            dfg,
+            self.info,
+            |o| self.spans.early(o),
+            |o| self.spans.late(o),
+        )?;
         match self.opts.flow {
             Flow::Conventional | Flow::SlowestUpgrade => {
                 let mut delays = vec![0i64; dfg.len_ids()];
@@ -467,8 +476,7 @@ impl<'a> Pass<'a> {
                             ch.candidates.len() - 1
                         };
                         self.grade_idx[i] = Some(k);
-                        delays[i] =
-                            ch.candidates[k].grade.delay_ps as i64 + self.mux_penalty();
+                        delays[i] = ch.candidates[k].grade.delay_ps as i64 + self.mux_penalty();
                     }
                 }
                 let r = compute_slack(&tdfg, &delays, self.clock(), SlackMode::Aligned);
@@ -500,20 +508,21 @@ impl<'a> Pass<'a> {
     /// (paper `Schedule_pass` steps c–d).
     fn rebudget(&mut self) -> Result<()> {
         let dfg = &self.design.dfg;
-        self.spans = self.span_analysis.bounds_pinned(dfg, self.info, |o| {
-            self.sched_edge[o.0 as usize]
-        })?;
-        let tdfg =
-            TimedDfg::build_with(dfg, self.info, |o| self.spans.early(o), |o| self.spans.late(o))?;
+        self.spans = self
+            .span_analysis
+            .bounds_pinned(dfg, self.info, |o| self.sched_edge[o.0 as usize])?;
+        let tdfg = TimedDfg::build_with(
+            dfg,
+            self.info,
+            |o| self.spans.early(o),
+            |o| self.spans.late(o),
+        )?;
         let r = adhls_timing::budget::budget_with_choices_from(
             &tdfg,
             self.choices,
             self.opts.clock_ps,
             &self.budget_opts(),
-            |o| {
-                self.sched_edge[o.0 as usize]
-                    .map(|_| self.eff_delay[o.0 as usize].max(0) as u64)
-            },
+            |o| self.sched_edge[o.0 as usize].map(|_| self.eff_delay[o.0 as usize].max(0) as u64),
             Some(&self.grade_idx),
         );
         for o in dfg.op_ids() {
@@ -688,7 +697,9 @@ impl<'a> Pass<'a> {
     /// Case-2 style mid-pass upgrade: try faster grades right away.
     fn try_upgrade_in_place(&mut self, o: OpId, e: EdgeId) -> bool {
         let i = o.0 as usize;
-        let Some(k0) = self.grade_idx[i] else { return false };
+        let Some(k0) = self.grade_idx[i] else {
+            return false;
+        };
         for k in (0..k0).rev() {
             if self.try_place(o, e, Some(k)).is_ok() {
                 self.grade_idx[i] = Some(k);
@@ -728,9 +739,7 @@ impl<'a> Pass<'a> {
         for &u in &self.uses[inst.0 as usize] {
             let ui = u.0 as usize;
             let ue = self.sched_edge[ui].expect("bound op must be scheduled");
-            let uc = ((self.start[ui] + self.eff_delay[ui] - 1).max(0)
-                / self.clock()) as u32
-                + 1;
+            let uc = ((self.start[ui] + self.eff_delay[ui] - 1).max(0) / self.clock()) as u32 + 1;
             // Same-iteration conflicts.
             if cycles == 1 && uc == 1 {
                 if self.info.same_cycle(e, ue) {
@@ -950,11 +959,18 @@ mod tests {
     fn slack_flow_schedules_and_validates() {
         let d = two_chained_muls();
         let lib = tsmc90::library();
-        let opts =
-            HlsOptions { clock_ps: 1100, flow: Flow::SlackBased, ..Default::default() };
+        let opts = HlsOptions {
+            clock_ps: 1100,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        };
         let r = run_hls(&d, &lib, &opts).unwrap();
         assert!(r.area.total > 0.0);
-        assert_eq!(r.schedule.allocation.len(), 1, "both muls share one instance");
+        assert_eq!(
+            r.schedule.allocation.len(),
+            1,
+            "both muls share one instance"
+        );
     }
 
     #[test]
@@ -990,13 +1006,21 @@ mod tests {
         let conv = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 700, flow: Flow::Conventional, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 700,
+                flow: Flow::Conventional,
+                ..Default::default()
+            },
         )
         .unwrap();
         let slack = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 700, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 700,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert!(
@@ -1024,13 +1048,22 @@ mod tests {
         let r = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 1100, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 1100,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         )
         .unwrap();
         // Initial limit = ceil(2 muls / 2 states)... states = 1 soft + 0
         // hard = 1 -> wait: soft_waits(1) adds one state; cycles=1 -> limit 2.
         // Accept either outcome but require a valid schedule.
-        assert!(r.schedule.allocation.count(adhls_reslib::ResClass::Multiplier) <= 2);
+        assert!(
+            r.schedule
+                .allocation
+                .count(adhls_reslib::ResClass::Multiplier)
+                <= 2
+        );
     }
 
     #[test]
@@ -1045,7 +1078,11 @@ mod tests {
         let err = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 200, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 200,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         );
         assert!(err.is_err());
     }
@@ -1072,7 +1109,11 @@ mod tests {
         let seq = run_hls(
             &d,
             &lib,
-            &HlsOptions { clock_ps: 1100, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: 1100,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         )
         .unwrap();
         let piped = run_hls(

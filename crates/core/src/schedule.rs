@@ -66,9 +66,8 @@ impl Schedule {
         let dfg = &design.dfg;
 
         for o in dfg.op_ids() {
-            let e = self.edge_of[o.0 as usize].ok_or_else(|| {
-                Error::MalformedDfg(format!("{o} has no scheduled edge"))
-            })?;
+            let e = self.edge_of[o.0 as usize]
+                .ok_or_else(|| Error::MalformedDfg(format!("{o} has no scheduled edge")))?;
             // (1) span containment
             if !spans.span(o).contains(e) {
                 return Err(Error::MalformedDfg(format!(
@@ -101,12 +100,9 @@ impl Schedule {
                     Error::MalformedDfg(format!("operand {p} of {o} unscheduled"))
                 })?;
                 let lat = info.latency(pe, e).ok_or_else(|| {
-                    Error::MalformedDfg(format!(
-                        "operand {p}@{pe} cannot reach {o}@{e}"
-                    ))
+                    Error::MalformedDfg(format!("operand {p}@{pe} cannot reach {o}@{e}"))
                 })?;
-                let p_finish =
-                    self.start_ps[p.0 as usize] + self.delay_ps[p.0 as usize];
+                let p_finish = self.start_ps[p.0 as usize] + self.delay_ps[p.0 as usize];
                 // In o's local frame the operand is ready at:
                 let ready = p_finish - t * i64::from(lat);
                 if s < ready {

@@ -23,7 +23,11 @@ fn recipe() -> impl Strategy<Value = Recipe> {
         1u32..5,
         1400u64..3200,
     )
-        .prop_map(|(ops, soft_states, clock)| Recipe { ops, soft_states, clock })
+        .prop_map(|(ops, soft_states, clock)| Recipe {
+            ops,
+            soft_states,
+            clock,
+        })
 }
 
 fn build(r: &Recipe) -> Design {

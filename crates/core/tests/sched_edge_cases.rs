@@ -47,7 +47,11 @@ fn exclusive_branches_share_one_instance() {
     let r = run_hls(
         &design,
         &lib,
-        &HlsOptions { clock_ps: 1500, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 1500,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(
@@ -55,7 +59,10 @@ fn exclusive_branches_share_one_instance() {
         1,
         "exclusive-branch muls must share one multiplier"
     );
-    assert_eq!(r.schedule.instance_of[m1.0 as usize], r.schedule.instance_of[m2.0 as usize]);
+    assert_eq!(
+        r.schedule.instance_of[m1.0 as usize],
+        r.schedule.instance_of[m2.0 as usize]
+    );
 
     // Both paths still compute correctly at the scheduled placement.
     for (cond, want) in [(1u64, 9u64), (0, 25)] {
@@ -65,8 +72,7 @@ fn exclusive_branches_share_one_instance() {
             .stream("b", vec![5]);
         let reference = run(&design, &stim, 100).unwrap();
         assert_eq!(reference.outputs["o"], vec![want]);
-        let placed =
-            run_placed(&design, &stim, 100, |o| r.schedule.edge(o)).unwrap();
+        let placed = run_placed(&design, &stim, 100, |o| r.schedule.edge(o)).unwrap();
         assert_eq!(placed.outputs, reference.outputs);
     }
 }
@@ -90,11 +96,21 @@ fn multicycle_division_schedules_at_boundary() {
     let r = run_hls(
         &d,
         &lib,
-        &HlsOptions { clock_ps: 800, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 800,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     )
     .unwrap();
-    assert_eq!(r.schedule.start_ps[q.0 as usize], 0, "multi-cycle op starts at boundary");
-    assert!(r.schedule.cycles_of(q) >= 2, "divider must occupy >= 2 cycles");
+    assert_eq!(
+        r.schedule.start_ps[q.0 as usize], 0,
+        "multi-cycle op starts at boundary"
+    );
+    assert!(
+        r.schedule.cycles_of(q) >= 2,
+        "divider must occupy >= 2 cycles"
+    );
     // Functional check.
     let stim = Stimulus::new().input("x", 100).input("y", 7);
     let placed = run_placed(&d, &stim, 100, |o| r.schedule.edge(o)).unwrap();
@@ -118,7 +134,11 @@ fn add_and_sub_can_share_addsub() {
     let r = run_hls(
         &d,
         &lib,
-        &HlsOptions { clock_ps: 1500, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 1500,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     )
     .unwrap();
     // Sharing across cycles must use at most 2 instances; if the binder
@@ -149,7 +169,11 @@ fn narrow_op_shares_wide_instance() {
     let r = run_hls(
         &d,
         &lib,
-        &HlsOptions { clock_ps: 2500, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 2500,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(
@@ -181,7 +205,11 @@ fn zero_overhead_lengthens_feasible_chains() {
     let with_penalty = run_hls(
         &d,
         &lib,
-        &HlsOptions { clock_ps: 1450, flow: Flow::Conventional, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 1450,
+            flow: Flow::Conventional,
+            ..Default::default()
+        },
     );
     assert!(with_penalty.is_err(), "penalties should break 1450ps");
     let without = run_hls(
@@ -216,7 +244,11 @@ fn relaxation_grows_resources_under_pressure() {
     let r = run_hls(
         &d,
         &lib,
-        &HlsOptions { clock_ps: 1100, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 1100,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     )
     .unwrap();
     assert_eq!(

@@ -1,0 +1,437 @@
+//! Work-stealing parallel sweep evaluator with a memoizing result cache.
+//!
+//! Workers pull point indices from a shared atomic counter (dynamic load
+//! balancing — cheap points don't leave a core idle behind an expensive
+//! one) and publish each row into its input slot, so the output order is
+//! the input order no matter how the threads interleave. Every point's
+//! result depends only on (design, library, options); combined with the
+//! slot-per-point publication this makes parallel evaluation bit-identical
+//! to serial evaluation.
+
+use crate::fingerprint::{design_fingerprint, options_fingerprint, Fnv};
+use adhls_core::dse::{evaluate_point, DsePoint, DseRow};
+use adhls_core::sched::HlsOptions;
+use adhls_ir::{Error, Result};
+use adhls_reslib::Library;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+/// Number of independent cache shards (reduces lock contention).
+const CACHE_SHARDS: usize = 16;
+
+/// A sharded, thread-safe memo of evaluated (design, options) pairs.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    shards: [Mutex<HashMap<u64, DseRow>>; CACHE_SHARDS],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    fn shard(&self, key: u64) -> &Mutex<HashMap<u64, DseRow>> {
+        &self.shards[(key % CACHE_SHARDS as u64) as usize]
+    }
+
+    /// Cached row for `key`, if any.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<DseRow> {
+        let row = self
+            .shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(&key)
+            .cloned();
+        if row.is_some() {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        }
+        row
+    }
+
+    /// Stores a row under `key`.
+    pub fn insert(&self, key: u64, row: DseRow) {
+        self.shard(key)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(key, row);
+    }
+
+    /// (hits, misses) since construction.
+    #[must_use]
+    pub fn stats(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
+    /// Number of cached rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("cache shard poisoned").len())
+            .sum()
+    }
+
+    /// True when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Tuning knobs for [`Engine`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EngineOptions {
+    /// Worker threads; `0` = one per available core (capped by point count).
+    pub threads: usize,
+    /// Skip points that fail to schedule (recorded in
+    /// [`SweepResult::skipped`]) instead of failing the whole sweep.
+    pub skip_infeasible: bool,
+}
+
+/// Outcome of one sweep evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// One row per feasible point, in input order.
+    pub rows: Vec<DseRow>,
+    /// Infeasible points as (name, error message), in input order. Empty
+    /// unless [`EngineOptions::skip_infeasible`] is set.
+    pub skipped: Vec<(String, String)>,
+    /// Cache hits observed during this evaluation.
+    pub cache_hits: u64,
+    /// Worker threads actually used.
+    pub workers: usize,
+}
+
+/// The parallel, cache-aware sweep evaluator.
+///
+/// The cache lives for the engine's lifetime, so successive sweeps sharing
+/// points (e.g. grid refinements around a Pareto knee) only pay for the new
+/// points.
+#[derive(Debug)]
+pub struct Engine<'a> {
+    lib: &'a Library,
+    base: HlsOptions,
+    opts: EngineOptions,
+    cache: ResultCache,
+}
+
+impl<'a> Engine<'a> {
+    /// An engine with default [`EngineOptions`].
+    #[must_use]
+    pub fn new(lib: &'a Library, base: HlsOptions) -> Self {
+        Engine::with_options(lib, base, EngineOptions::default())
+    }
+
+    /// An engine with explicit options.
+    #[must_use]
+    pub fn with_options(lib: &'a Library, base: HlsOptions, opts: EngineOptions) -> Self {
+        Engine {
+            lib,
+            base,
+            opts,
+            cache: ResultCache::default(),
+        }
+    }
+
+    /// The base options points are evaluated under (per-point clock/II
+    /// override the corresponding fields, as in `dse::evaluate_point`).
+    #[must_use]
+    pub fn base_options(&self) -> &HlsOptions {
+        &self.base
+    }
+
+    /// (hits, misses) across all evaluations so far.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.cache.stats()
+    }
+
+    /// Memo key for one point under the engine's base options.
+    fn point_key(&self, p: &DsePoint) -> u64 {
+        let mut h = Fnv::default();
+        h.u64(design_fingerprint(&p.design));
+        h.u64(options_fingerprint(&self.base));
+        h.u64(p.clock_ps);
+        h.u64(u64::from(p.pipeline_ii.map_or(0, |ii| ii + 1)));
+        h.u64(u64::from(p.cycles_per_item));
+        h.str(&p.name);
+        h.digest()
+    }
+
+    /// Evaluates one point through the cache.
+    fn evaluate_one(&self, p: &DsePoint) -> Result<DseRow> {
+        let key = self.point_key(p);
+        if let Some(row) = self.cache.get(key) {
+            return Ok(row);
+        }
+        let row = evaluate_point(p, self.lib, &self.base)?;
+        self.cache.insert(key, row.clone());
+        Ok(row)
+    }
+
+    /// Serial reference evaluation (also cache-aware).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first point's scheduling error unless
+    /// [`EngineOptions::skip_infeasible`] is set.
+    pub fn evaluate_serial(&self, points: &[DsePoint]) -> Result<SweepResult> {
+        let (h0, _) = self.cache.stats();
+        let mut results: Vec<Result<DseRow>> = Vec::with_capacity(points.len());
+        for p in points {
+            let r = self.evaluate_one(p);
+            // In strict mode one failure fails the whole sweep — don't burn
+            // HLS runs on the remaining points.
+            let bail = r.is_err() && !self.opts.skip_infeasible;
+            results.push(r);
+            if bail {
+                break;
+            }
+        }
+        let (h1, _) = self.cache.stats();
+        self.collect(points, results, h1 - h0, 1)
+    }
+
+    /// Parallel evaluation: bit-identical rows to
+    /// [`Engine::evaluate_serial`], in input order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) point's scheduling error unless
+    /// [`EngineOptions::skip_infeasible`] is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics (propagated).
+    pub fn evaluate(&self, points: &[DsePoint]) -> Result<SweepResult> {
+        let workers = self.worker_count(points.len());
+        if workers <= 1 {
+            return self.evaluate_serial(points);
+        }
+        let (h0, _) = self.cache.stats();
+        let next = AtomicUsize::new(0);
+        let failed = std::sync::atomic::AtomicBool::new(false);
+        let slots: Vec<OnceLock<Result<DseRow>>> =
+            (0..points.len()).map(|_| OnceLock::new()).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    // In strict mode a recorded failure dooms the sweep;
+                    // stop claiming new points instead of evaluating them.
+                    if !self.opts.skip_infeasible && failed.load(Ordering::Relaxed) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(p) = points.get(i) else { break };
+                    let out = self.evaluate_one(p);
+                    if out.is_err() {
+                        failed.store(true, Ordering::Relaxed);
+                    }
+                    assert!(slots[i].set(out).is_ok(), "slot {i} written twice");
+                });
+            }
+        });
+        // Indices are claimed contiguously from 0, so filled slots form a
+        // prefix; on an early strict-mode bail the unfilled suffix is
+        // exactly the points that were never claimed. The first error in
+        // the prefix is therefore the first failing point in input order.
+        let results: Vec<Result<DseRow>> =
+            slots.into_iter().map_while(OnceLock::into_inner).collect();
+        let (h1, _) = self.cache.stats();
+        self.collect(points, results, h1 - h0, workers)
+    }
+
+    fn worker_count(&self, n_points: usize) -> usize {
+        let hw = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let requested = if self.opts.threads == 0 {
+            hw
+        } else {
+            self.opts.threads
+        };
+        requested.min(n_points).max(1)
+    }
+
+    /// Applies the error policy and assembles the result, deterministically
+    /// (everything is keyed by input order).
+    fn collect(
+        &self,
+        points: &[DsePoint],
+        results: Vec<Result<DseRow>>,
+        cache_hits: u64,
+        workers: usize,
+    ) -> Result<SweepResult> {
+        let mut rows = Vec::with_capacity(results.len());
+        let mut skipped = Vec::new();
+        for (p, r) in points.iter().zip(results) {
+            match r {
+                Ok(row) => rows.push(row),
+                Err(e) if self.opts.skip_infeasible => {
+                    skipped.push((p.name.clone(), e.to_string()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(SweepResult {
+            rows,
+            skipped,
+            cache_hits,
+            workers,
+        })
+    }
+}
+
+/// One-shot convenience: parallel sweep with default options.
+///
+/// # Errors
+///
+/// Propagates the first point's scheduling error.
+pub fn explore_parallel(
+    points: &[DsePoint],
+    lib: &Library,
+    base: &HlsOptions,
+) -> Result<Vec<DseRow>> {
+    Ok(Engine::new(lib, base.clone()).evaluate(points)?.rows)
+}
+
+// `Error` is Clone + Send + Sync (asserted in adhls-ir); designs and the
+// library are plain data, so sharing them across scoped threads is safe by
+// construction. This keeps the compiler honest about it:
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Error>();
+    assert_send_sync::<ResultCache>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::OpKind;
+    use adhls_reslib::tsmc90;
+
+    fn point(name: &str, soft: u32, clock: u64) -> DsePoint {
+        let mut b = DesignBuilder::new(name);
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let m1 = b.binop(OpKind::Mul, x, y, 8);
+        let m2 = b.binop(OpKind::Mul, m1, x, 8);
+        let a = b.binop(OpKind::Add, m1, m2, 16);
+        b.soft_waits(soft);
+        b.write("z", a);
+        DsePoint {
+            name: name.into(),
+            design: b.finish().unwrap(),
+            clock_ps: clock,
+            pipeline_ii: None,
+            cycles_per_item: soft + 1,
+        }
+    }
+
+    fn fleet() -> Vec<DsePoint> {
+        (1..=6)
+            .flat_map(|soft| {
+                [1100u64, 1400].map(|clock| point(&format!("p{soft}c{clock}"), soft, clock))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn parallel_matches_serial_bit_for_bit() {
+        let lib = tsmc90::library();
+        let pts = fleet();
+        let serial = Engine::new(&lib, HlsOptions::default())
+            .evaluate_serial(&pts)
+            .unwrap();
+        let par = Engine::with_options(
+            &lib,
+            HlsOptions::default(),
+            EngineOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        )
+        .evaluate(&pts)
+        .unwrap();
+        assert_eq!(par.rows, serial.rows);
+        assert!(
+            par.workers > 1,
+            "expected a parallel run, got {} worker",
+            par.workers
+        );
+    }
+
+    #[test]
+    fn cache_makes_repeat_sweeps_free() {
+        let lib = tsmc90::library();
+        let pts = fleet();
+        let engine = Engine::new(&lib, HlsOptions::default());
+        let first = engine.evaluate(&pts).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        let second = engine.evaluate(&pts).unwrap();
+        assert_eq!(second.cache_hits, pts.len() as u64);
+        assert_eq!(first.rows, second.rows);
+    }
+
+    #[test]
+    fn duplicate_points_hit_within_one_sweep() {
+        let lib = tsmc90::library();
+        let p = point("dup", 2, 1100);
+        let pts = vec![p.clone(), p.clone(), p];
+        let engine = Engine::new(&lib, HlsOptions::default());
+        let r = engine.evaluate_serial(&pts).unwrap();
+        assert_eq!(r.cache_hits, 2);
+        assert_eq!(r.rows[0], r.rows[1]);
+        assert_eq!(r.rows[0], r.rows[2]);
+    }
+
+    #[test]
+    fn infeasible_point_fails_or_skips_by_policy() {
+        let lib = tsmc90::library();
+        // 1 ps clock: nothing fits — guaranteed infeasible.
+        let bad = point("bad", 0, 1);
+        let good = point("good", 3, 1400);
+        let strict = Engine::new(&lib, HlsOptions::default());
+        assert!(strict.evaluate(&[good.clone(), bad.clone()]).is_err());
+        let lenient = Engine::with_options(
+            &lib,
+            HlsOptions::default(),
+            EngineOptions {
+                skip_infeasible: true,
+                ..Default::default()
+            },
+        );
+        let r = lenient.evaluate(&[good, bad]).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.skipped.len(), 1);
+        assert_eq!(r.skipped[0].0, "bad");
+    }
+
+    #[test]
+    fn strict_failure_short_circuits_remaining_points() {
+        let lib = tsmc90::library();
+        // 1 ps clock: nothing fits — guaranteed infeasible.
+        let bad = point("bad", 0, 1);
+        let good = point("good", 3, 1400);
+        let engine = Engine::new(&lib, HlsOptions::default());
+        assert!(engine.evaluate_serial(&[bad, good]).is_err());
+        let (_, misses) = engine.cache_stats();
+        assert_eq!(
+            misses, 1,
+            "the point after the failure must not be evaluated"
+        );
+    }
+
+    #[test]
+    fn one_shot_helper_matches_core_explore() {
+        let lib = tsmc90::library();
+        let pts = fleet();
+        let via_engine = explore_parallel(&pts, &lib, &HlsOptions::default()).unwrap();
+        let via_core = adhls_core::dse::explore(&pts, &lib, &HlsOptions::default()).unwrap();
+        assert_eq!(via_engine, via_core);
+    }
+}

@@ -1,0 +1,180 @@
+//! JSON/CSV exporters for sweep rows and Pareto fronts.
+//!
+//! Hand-rolled serialization (the build environment vendors no serde):
+//! numbers use Rust's shortest-roundtrip `Display` for `f64`, strings are
+//! JSON-escaped, and field order is fixed, so exports are byte-stable for
+//! identical rows — diffs of exploration artifacts stay meaningful.
+
+use crate::pareto::objectives;
+use adhls_core::dse::DseRow;
+use std::fmt::Write as _;
+
+/// JSON-escapes a string into `out` (quotes included).
+fn json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Writes one row as a JSON object.
+fn json_row(out: &mut String, row: &DseRow) {
+    let o = objectives(row);
+    out.push_str("{\"name\":");
+    json_string(out, &row.name);
+    let _ = write!(
+        out,
+        ",\"clock_ps\":{},\"a_conv\":{},\"a_slack\":{},\"save_pct\":{},\
+         \"power\":{{\"dynamic\":{},\"leakage\":{},\"total\":{}}},\
+         \"throughput_per_us\":{},\"latency_ps\":{}}}",
+        row.clock_ps,
+        row.a_conv,
+        row.a_slack,
+        row.save_pct,
+        row.power.dynamic,
+        row.power.leakage,
+        row.power.total,
+        row.throughput,
+        o.latency_ps,
+    );
+}
+
+/// Renders rows as a JSON array (input order preserved).
+#[must_use]
+pub fn rows_to_json(rows: &[DseRow]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('\n');
+        out.push_str("  ");
+        json_row(&mut out, row);
+    }
+    out.push_str("\n]");
+    if rows.is_empty() {
+        return String::from("[]");
+    }
+    out
+}
+
+/// Renders a sweep and its Pareto front as one JSON document:
+/// `{"sweep": [...], "front": [...]}` where `front` is the deterministic
+/// non-dominated subset.
+#[must_use]
+pub fn front_to_json(rows: &[DseRow], front: &[DseRow]) -> String {
+    format!(
+        "{{\n\"sweep\": {},\n\"front\": {}\n}}",
+        rows_to_json(rows),
+        rows_to_json(front)
+    )
+}
+
+/// Renders rows as CSV with a header line.
+#[must_use]
+pub fn rows_to_csv(rows: &[DseRow]) -> String {
+    let mut out = String::from(
+        "name,clock_ps,a_conv,a_slack,save_pct,power_dynamic,power_leakage,\
+         power_total,throughput_per_us,latency_ps\n",
+    );
+    for row in rows {
+        let o = objectives(row);
+        let name = if row.name.contains([',', '"', '\n']) {
+            format!("\"{}\"", row.name.replace('"', "\"\""))
+        } else {
+            row.name.clone()
+        };
+        let _ = writeln!(
+            out,
+            "{name},{},{},{},{},{},{},{},{},{}",
+            row.clock_ps,
+            row.a_conv,
+            row.a_slack,
+            row.save_pct,
+            row.power.dynamic,
+            row.power.leakage,
+            row.power.total,
+            row.throughput,
+            o.latency_ps,
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_core::power::PowerReport;
+
+    fn row(name: &str) -> DseRow {
+        DseRow {
+            name: name.into(),
+            a_conv: 1000.0,
+            a_slack: 900.5,
+            save_pct: 9.95,
+            power: PowerReport {
+                dynamic: 8.0,
+                leakage: 2.0,
+                total: 10.0,
+            },
+            throughput: 250.0,
+            clock_ps: 1100,
+        }
+    }
+
+    #[test]
+    fn json_shape_and_values() {
+        let s = rows_to_json(&[row("d1"), row("d2")]);
+        assert!(s.starts_with('['));
+        assert!(s.ends_with(']'));
+        assert!(s.contains("\"name\":\"d1\""));
+        assert!(s.contains("\"a_slack\":900.5"));
+        assert!(s.contains("\"latency_ps\":4000"));
+        assert_eq!(s.matches("{\"name\"").count(), 2);
+    }
+
+    #[test]
+    fn json_escapes_names() {
+        let s = rows_to_json(&[row("a\"b\\c")]);
+        assert!(s.contains("\"a\\\"b\\\\c\""));
+    }
+
+    #[test]
+    fn empty_rows_render_as_empty_array() {
+        assert_eq!(rows_to_json(&[]), "[]");
+    }
+
+    #[test]
+    fn csv_has_header_and_one_line_per_row() {
+        let s = rows_to_csv(&[row("d1"), row("d2")]);
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("name,clock_ps"));
+        assert!(lines[1].starts_with("d1,1100,1000,900.5,"));
+    }
+
+    #[test]
+    fn csv_quotes_awkward_names() {
+        let s = rows_to_csv(&[row("a,b\"c")]);
+        assert!(s.contains("\"a,b\"\"c\""));
+    }
+
+    #[test]
+    fn combined_document_nests_both_arrays() {
+        let rows = [row("d1")];
+        let s = front_to_json(&rows, &rows);
+        assert!(s.contains("\"sweep\":"));
+        assert!(s.contains("\"front\":"));
+    }
+}

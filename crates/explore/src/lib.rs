@@ -1,0 +1,70 @@
+//! # adhls-explore — parallel Pareto design-space exploration
+//!
+//! The paper's §VII evaluation sweeps 15 hand-picked IDCT design points
+//! serially; this crate generalizes that driver into an exploration
+//! *engine* in the spirit of automated space/time scaling search:
+//!
+//! * [`sweep`] — grid generators that expand a workload over
+//!   clock × latency-budget × pipelining axes into [`DsePoint`] fleets,
+//! * [`engine`] — a work-stealing parallel evaluator fanning
+//!   `run_hls` calls across cores, with a memoizing result cache keyed by
+//!   (design fingerprint, options fingerprint) so repeated points are free,
+//! * [`pareto`] — Pareto-front extraction over
+//!   (area, latency, power, throughput) with dominance pruning and
+//!   deterministic ordering regardless of thread interleaving,
+//! * [`export`] — JSON/CSV renderers for sweeps and fronts,
+//! * [`fingerprint`] — stable structural hashing of designs and options.
+//!
+//! The engine's contract: **parallel evaluation returns bit-identical rows
+//! to serial evaluation, in input order.** Each point's result depends only
+//! on that point, the library, and the options, so worker interleaving
+//! cannot change any value; ordering is restored from the input index.
+//!
+//! # Example
+//!
+//! ```
+//! use adhls_core::sched::HlsOptions;
+//! use adhls_explore::prelude::*;
+//! use adhls_reslib::tsmc90;
+//! use adhls_workloads::interpolation;
+//!
+//! let lib = tsmc90::library();
+//! let points = SweepGrid::new()
+//!     .clocks_ps([1100, 1400])
+//!     .cycles([3, 4])
+//!     .expand("interp", |cell| {
+//!         let cfg = interpolation::InterpolationConfig {
+//!             cycles: cell.cycles,
+//!             ..Default::default()
+//!         };
+//!         interpolation::build(&cfg).0
+//!     });
+//! let engine = Engine::new(&lib, HlsOptions::default());
+//! let sweep = engine.evaluate(&points).unwrap();
+//! let front = pareto_front(&sweep.rows);
+//! assert!(!front.is_empty());
+//! assert_eq!(sweep.rows, engine.evaluate_serial(&points).unwrap().rows);
+//! ```
+
+pub mod engine;
+pub mod export;
+pub mod fingerprint;
+pub mod pareto;
+pub mod sweep;
+
+pub use engine::{Engine, EngineOptions, SweepResult};
+pub use pareto::{dominates, objectives, pareto_front, pareto_indices, Objectives};
+pub use sweep::{SweepCell, SweepGrid};
+
+// Re-exported so downstream code can name the point/row types without a
+// direct adhls-core dependency.
+pub use adhls_core::dse::{DsePoint, DseRow};
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use crate::engine::{Engine, EngineOptions, SweepResult};
+    pub use crate::export::{front_to_json, rows_to_csv, rows_to_json};
+    pub use crate::pareto::{dominates, objectives, pareto_front, Objectives};
+    pub use crate::sweep::{SweepCell, SweepGrid};
+    pub use adhls_core::dse::{DsePoint, DseRow};
+}

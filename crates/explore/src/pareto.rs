@@ -1,0 +1,157 @@
+//! Pareto-front extraction over (area, latency, power, throughput).
+//!
+//! A design point is on the front iff no other point *dominates* it —
+//! i.e. is no worse on every objective and strictly better on at least
+//! one. Area, latency, and power are minimized; throughput is maximized.
+//! Extraction is a pure function of the row set, and the returned front is
+//! sorted by (area, latency, name), so the result is deterministic
+//! regardless of how the rows were produced (serial, parallel, cached).
+
+use adhls_core::dse::DseRow;
+use std::cmp::Ordering;
+
+/// The four objectives of one design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Objectives {
+    /// Slack-flow area (minimize).
+    pub area: f64,
+    /// Time per data item in picoseconds (minimize).
+    pub latency_ps: f64,
+    /// Total power of the slack implementation (minimize).
+    pub power: f64,
+    /// Items per microsecond (maximize).
+    pub throughput: f64,
+}
+
+/// Extracts the objectives of a sweep row.
+#[must_use]
+pub fn objectives(row: &DseRow) -> Objectives {
+    Objectives {
+        area: row.a_slack,
+        latency_ps: 1.0e6 / row.throughput,
+        power: row.power.total,
+        throughput: row.throughput,
+    }
+}
+
+/// True iff `a` dominates `b`: no worse everywhere, strictly better
+/// somewhere.
+#[must_use]
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    let no_worse = a.area <= b.area
+        && a.latency_ps <= b.latency_ps
+        && a.power <= b.power
+        && a.throughput >= b.throughput;
+    let strictly_better = a.area < b.area
+        || a.latency_ps < b.latency_ps
+        || a.power < b.power
+        || a.throughput > b.throughput;
+    no_worse && strictly_better
+}
+
+/// Indices of the non-dominated rows, sorted by (area, latency, name).
+#[must_use]
+pub fn pareto_indices(rows: &[DseRow]) -> Vec<usize> {
+    let objs: Vec<Objectives> = rows.iter().map(objectives).collect();
+    let mut front: Vec<usize> = (0..rows.len())
+        .filter(|&i| {
+            !objs
+                .iter()
+                .enumerate()
+                .any(|(j, oj)| j != i && dominates(oj, &objs[i]))
+        })
+        .collect();
+    front.sort_by(|&i, &j| order_key(&rows[i], &objs[i], &rows[j], &objs[j]));
+    front
+}
+
+/// The non-dominated rows themselves, deterministically ordered.
+#[must_use]
+pub fn pareto_front(rows: &[DseRow]) -> Vec<DseRow> {
+    pareto_indices(rows)
+        .into_iter()
+        .map(|i| rows[i].clone())
+        .collect()
+}
+
+fn order_key(ra: &DseRow, oa: &Objectives, rb: &DseRow, ob: &Objectives) -> Ordering {
+    oa.area
+        .total_cmp(&ob.area)
+        .then(oa.latency_ps.total_cmp(&ob.latency_ps))
+        .then(oa.power.total_cmp(&ob.power))
+        .then(ra.name.cmp(&rb.name))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_core::power::PowerReport;
+
+    /// A synthetic row with the given objective values (throughput derived
+    /// from latency so the two stay consistent, as in real sweeps).
+    fn row(name: &str, area: f64, latency_ps: f64, power: f64) -> DseRow {
+        DseRow {
+            name: name.into(),
+            a_conv: area * 1.1,
+            a_slack: area,
+            save_pct: 9.0,
+            power: PowerReport {
+                dynamic: power * 0.8,
+                leakage: power * 0.2,
+                total: power,
+            },
+            throughput: 1.0e6 / latency_ps,
+            clock_ps: 1000,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_dropped() {
+        let rows = vec![
+            row("good", 100.0, 1000.0, 10.0),
+            row("worse_everywhere", 120.0, 1200.0, 12.0),
+            row("tradeoff", 80.0, 2000.0, 8.0),
+        ];
+        let front = pareto_front(&rows);
+        let names: Vec<&str> = front.iter().map(|r| r.name.as_str()).collect();
+        assert_eq!(names, ["tradeoff", "good"]);
+    }
+
+    #[test]
+    fn incomparable_points_all_survive() {
+        let rows = vec![
+            row("a", 100.0, 3000.0, 5.0),
+            row("b", 200.0, 2000.0, 10.0),
+            row("c", 300.0, 1000.0, 20.0),
+        ];
+        assert_eq!(pareto_front(&rows).len(), 3);
+    }
+
+    #[test]
+    fn duplicate_objectives_both_survive() {
+        // Equal points do not dominate each other (no strict improvement).
+        let rows = vec![row("x", 100.0, 1000.0, 10.0), row("y", 100.0, 1000.0, 10.0)];
+        let front = pareto_front(&rows);
+        assert_eq!(front.len(), 2);
+        // ... and the tie is broken by name, deterministically.
+        assert_eq!(front[0].name, "x");
+        assert_eq!(front[1].name, "y");
+    }
+
+    #[test]
+    fn front_order_ignores_input_order() {
+        let a = vec![
+            row("a", 100.0, 3000.0, 5.0),
+            row("b", 200.0, 2000.0, 10.0),
+            row("c", 300.0, 1000.0, 20.0),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        assert_eq!(pareto_front(&a), pareto_front(&b));
+    }
+
+    #[test]
+    fn empty_input_empty_front() {
+        assert!(pareto_front(&[]).is_empty());
+    }
+}

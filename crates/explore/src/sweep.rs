@@ -1,0 +1,188 @@
+//! Sweep generators: expand a workload over clock × budget × pipelining
+//! grids into [`DsePoint`] fleets.
+//!
+//! A [`SweepGrid`] is the cartesian product of three axes; [`expand`]
+//! instantiates the workload once per cell via a caller-supplied builder
+//! (which typically bakes the latency budget into the design as soft
+//! states, the way `adhls_workloads` constructors do). Point names encode
+//! the cell (`prefix-c<clock>-l<cycles>[-ii<n>]`) so rows stay
+//! self-describing through export and reporting.
+//!
+//! [`expand`]: SweepGrid::expand
+
+use adhls_core::dse::DsePoint;
+use adhls_ir::Design;
+
+/// One cell of the sweep grid, handed to the design builder.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SweepCell {
+    /// Clock period in picoseconds.
+    pub clock_ps: u64,
+    /// Latency budget in cycles.
+    pub cycles: u32,
+    /// Pipeline initiation interval (`None` = sequential).
+    pub pipeline_ii: Option<u32>,
+}
+
+/// A clock × cycles × pipelining grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SweepGrid {
+    clocks_ps: Vec<u64>,
+    cycles: Vec<u32>,
+    pipeline: Vec<Option<u32>>,
+}
+
+impl Default for SweepGrid {
+    fn default() -> Self {
+        SweepGrid::new()
+    }
+}
+
+impl SweepGrid {
+    /// An empty grid (sequential-only until axes are set).
+    #[must_use]
+    pub fn new() -> Self {
+        SweepGrid {
+            clocks_ps: Vec::new(),
+            cycles: Vec::new(),
+            pipeline: vec![None],
+        }
+    }
+
+    /// Sets the clock axis.
+    #[must_use]
+    pub fn clocks_ps(mut self, clocks: impl IntoIterator<Item = u64>) -> Self {
+        self.clocks_ps = clocks.into_iter().collect();
+        self
+    }
+
+    /// Sets the latency-budget axis.
+    #[must_use]
+    pub fn cycles(mut self, cycles: impl IntoIterator<Item = u32>) -> Self {
+        self.cycles = cycles.into_iter().collect();
+        self
+    }
+
+    /// Sets the pipelining axis (`None` = sequential, `Some(ii)` =
+    /// pipelined at that initiation interval).
+    #[must_use]
+    pub fn pipeline_modes(mut self, modes: impl IntoIterator<Item = Option<u32>>) -> Self {
+        self.pipeline = modes.into_iter().collect();
+        self
+    }
+
+    /// Number of grid cells.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.clocks_ps.len() * self.cycles.len() * self.pipeline.len()
+    }
+
+    /// True when any axis is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// All cells in deterministic (clock-major, then cycles, then
+    /// pipelining) order.
+    #[must_use]
+    pub fn cells(&self) -> Vec<SweepCell> {
+        let mut out = Vec::with_capacity(self.len());
+        for &clock_ps in &self.clocks_ps {
+            for &cycles in &self.cycles {
+                for &pipeline_ii in &self.pipeline {
+                    out.push(SweepCell {
+                        clock_ps,
+                        cycles,
+                        pipeline_ii,
+                    });
+                }
+            }
+        }
+        out
+    }
+
+    /// Expands the grid into design points, building the workload once per
+    /// cell.
+    ///
+    /// `cycles_per_item` is the initiation interval for pipelined cells and
+    /// the latency budget otherwise (the same convention as the paper's
+    /// Table 4 sweep).
+    #[must_use]
+    pub fn expand<F>(&self, prefix: &str, mut build: F) -> Vec<DsePoint>
+    where
+        F: FnMut(&SweepCell) -> Design,
+    {
+        self.cells()
+            .iter()
+            .map(|cell| {
+                DsePoint::grid(
+                    prefix,
+                    build(cell),
+                    cell.clock_ps,
+                    cell.cycles,
+                    cell.pipeline_ii,
+                )
+            })
+            .collect()
+    }
+}
+
+/// `prefix-c<clock>-l<cycles>[-ii<n>]` (delegates to the one shared
+/// definition in [`DsePoint::grid_name`]).
+#[must_use]
+pub fn cell_name(prefix: &str, cell: &SweepCell) -> String {
+    DsePoint::grid_name(prefix, cell.clock_ps, cell.cycles, cell.pipeline_ii)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::OpKind;
+
+    fn tiny(cycles: u32) -> Design {
+        let mut b = DesignBuilder::new("tiny");
+        let x = b.input("x", 8);
+        let m = b.binop(OpKind::Mul, x, x, 8);
+        b.soft_waits(cycles.saturating_sub(1));
+        b.write("z", m);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn grid_is_the_full_cartesian_product() {
+        let g = SweepGrid::new()
+            .clocks_ps([1000, 2000])
+            .cycles([2, 3, 4])
+            .pipeline_modes([None, Some(1)]);
+        assert_eq!(g.len(), 12);
+        let pts = g.expand("t", |cell| tiny(cell.cycles));
+        assert_eq!(pts.len(), 12);
+        // Deterministic, self-describing names; no duplicates.
+        let mut names: Vec<&str> = pts.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"t-c1000-l2"));
+        assert!(names.contains(&"t-c2000-l4-ii1"));
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 12);
+    }
+
+    #[test]
+    fn cycles_per_item_follows_pipelining() {
+        let g = SweepGrid::new()
+            .clocks_ps([1000])
+            .cycles([4])
+            .pipeline_modes([None, Some(2)]);
+        let pts = g.expand("t", |cell| tiny(cell.cycles));
+        assert_eq!(pts[0].cycles_per_item, 4);
+        assert_eq!(pts[1].cycles_per_item, 2);
+    }
+
+    #[test]
+    fn empty_axis_means_empty_expansion() {
+        let g = SweepGrid::new().cycles([2, 3]);
+        assert!(g.is_empty());
+        assert!(g.expand("t", |cell| tiny(cell.cycles)).is_empty());
+    }
+}

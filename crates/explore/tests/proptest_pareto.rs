@@ -1,0 +1,115 @@
+//! Property-based tests for Pareto extraction: the front is exactly the
+//! set of non-dominated points, its internal order is deterministic, and
+//! extraction is invariant under input permutation.
+
+use adhls_core::dse::DseRow;
+use adhls_core::power::PowerReport;
+use adhls_explore::{dominates, objectives, pareto_front, pareto_indices};
+use proptest::prelude::*;
+
+/// Builds a synthetic row from small integer objective seeds. Throughput is
+/// derived from latency (as in real sweeps), and coarse quantization makes
+/// duplicate objective vectors likely — exercising the tie cases.
+fn row(i: usize, area_s: u16, lat_s: u16, pow_s: u16) -> DseRow {
+    let area = f64::from(area_s % 8 + 1) * 100.0;
+    let latency_ps = f64::from(lat_s % 8 + 1) * 500.0;
+    let power = f64::from(pow_s % 8 + 1) * 2.5;
+    DseRow {
+        name: format!("p{i}"),
+        a_conv: area * 1.2,
+        a_slack: area,
+        save_pct: 10.0,
+        power: PowerReport {
+            dynamic: power * 0.8,
+            leakage: power * 0.2,
+            total: power,
+        },
+        throughput: 1.0e6 / latency_ps,
+        clock_ps: 1000,
+    }
+}
+
+fn rows_from(seeds: &[(u16, u16, u16)]) -> Vec<DseRow> {
+    seeds
+        .iter()
+        .enumerate()
+        .map(|(i, &(a, l, p))| row(i, a, l, p))
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// No front member dominates another front member.
+    #[test]
+    fn front_is_mutually_non_dominated(
+        seeds in prop::collection::vec((0u16..64, 0u16..64, 0u16..64), 1..40),
+    ) {
+        let rows = rows_from(&seeds);
+        let front = pareto_front(&rows);
+        prop_assert!(!front.is_empty(), "non-empty input must keep at least one point");
+        for a in &front {
+            for b in &front {
+                prop_assert!(
+                    !dominates(&objectives(a), &objectives(b)),
+                    "{} dominates fellow front member {}",
+                    a.name, b.name
+                );
+            }
+        }
+    }
+
+    /// Every point dropped from the front is dominated by a front member.
+    #[test]
+    fn dropped_points_are_dominated_by_the_front(
+        seeds in prop::collection::vec((0u16..64, 0u16..64, 0u16..64), 1..40),
+    ) {
+        let rows = rows_from(&seeds);
+        let kept = pareto_indices(&rows);
+        for (i, r) in rows.iter().enumerate() {
+            if kept.contains(&i) {
+                continue;
+            }
+            let oi = objectives(r);
+            prop_assert!(
+                kept.iter().any(|&k| dominates(&objectives(&rows[k]), &oi)),
+                "{} was dropped but nothing on the front dominates it",
+                r.name
+            );
+        }
+    }
+
+    /// Extraction is invariant under permutation: reversing the input
+    /// changes neither membership nor the (sorted) output order.
+    #[test]
+    fn front_is_permutation_invariant(
+        seeds in prop::collection::vec((0u16..64, 0u16..64, 0u16..64), 1..40),
+    ) {
+        let rows = rows_from(&seeds);
+        let mut reversed = rows.clone();
+        reversed.reverse();
+        prop_assert_eq!(pareto_front(&rows), pareto_front(&reversed));
+    }
+
+    /// Dominance itself is a strict partial order on the generated rows:
+    /// irreflexive and antisymmetric (transitivity is what makes
+    /// `dropped_points_are_dominated_by_the_front` hold).
+    #[test]
+    fn dominance_is_strict(
+        seeds in prop::collection::vec((0u16..64, 0u16..64, 0u16..64), 2..20),
+    ) {
+        let rows = rows_from(&seeds);
+        for a in &rows {
+            let oa = objectives(a);
+            prop_assert!(!dominates(&oa, &oa), "{} dominates itself", a.name);
+            for b in &rows {
+                let ob = objectives(b);
+                prop_assert!(
+                    !(dominates(&oa, &ob) && dominates(&ob, &oa)),
+                    "mutual domination between {} and {}",
+                    a.name, b.name
+                );
+            }
+        }
+    }
+}

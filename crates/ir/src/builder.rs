@@ -62,7 +62,12 @@ impl DesignBuilder {
         let start = cfg.add_node(NodeKind::Start);
         let tail = cfg.add_node(NodeKind::Plain);
         let cur_edge = cfg.add_edge(start, tail);
-        DesignBuilder { cfg, dfg: Dfg::new(), cur_edge, tail }
+        DesignBuilder {
+            cfg,
+            dfg: Dfg::new(),
+            cur_edge,
+            tail,
+        }
     }
 
     /// The edge operations are currently born on.

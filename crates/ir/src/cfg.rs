@@ -116,7 +116,12 @@ impl Cfg {
     /// Creates an empty CFG with a design name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        Cfg { name: name.into(), nodes: Vec::new(), edges: Vec::new(), start: None }
+        Cfg {
+            name: name.into(),
+            nodes: Vec::new(),
+            edges: Vec::new(),
+            start: None,
+        }
     }
 
     /// Design name.
@@ -129,7 +134,11 @@ impl Cfg {
     /// node added becomes the CFG's start node.
     pub fn add_node(&mut self, kind: NodeKind) -> NodeId {
         let id = NodeId(self.nodes.len() as u32);
-        self.nodes.push(NodeData { kind, cond: None, name: None });
+        self.nodes.push(NodeData {
+            kind,
+            cond: None,
+            name: None,
+        });
         if kind == NodeKind::Start && self.start.is_none() {
             self.start = Some(id);
         }
@@ -188,11 +197,28 @@ impl Cfg {
         self.add_edge_impl(from, to, None, true)
     }
 
-    fn add_edge_impl(&mut self, from: NodeId, to: NodeId, branch: Option<bool>, back: bool) -> EdgeId {
-        assert!((from.0 as usize) < self.nodes.len(), "edge from unknown node {from}");
-        assert!((to.0 as usize) < self.nodes.len(), "edge to unknown node {to}");
+    fn add_edge_impl(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        branch: Option<bool>,
+        back: bool,
+    ) -> EdgeId {
+        assert!(
+            (from.0 as usize) < self.nodes.len(),
+            "edge from unknown node {from}"
+        );
+        assert!(
+            (to.0 as usize) < self.nodes.len(),
+            "edge to unknown node {to}"
+        );
         let id = EdgeId(self.edges.len() as u32);
-        self.edges.push(EdgeData { from, to, branch, back });
+        self.edges.push(EdgeData {
+            from,
+            to,
+            branch,
+            back,
+        });
         id
     }
 
@@ -289,7 +315,11 @@ impl Cfg {
         // Retarget e to the first soft state, then chain s1 -> s2 -> ... -> orig_to.
         self.edges[e.0 as usize].to = states[0];
         for (i, &s) in states.iter().enumerate() {
-            let next = if i + 1 < states.len() { states[i + 1] } else { orig_to };
+            let next = if i + 1 < states.len() {
+                states[i + 1]
+            } else {
+                orig_to
+            };
             new_edges.push(self.add_edge(s, next));
         }
         new_edges
@@ -354,8 +384,9 @@ impl CfgInfo {
     fn build(cfg: &Cfg) -> Result<CfgInfo> {
         let n_nodes = cfg.len_nodes();
         let n_edges = cfg.len_edges();
-        let start =
-            cfg.start.ok_or_else(|| Error::MalformedCfg("no start node".into()))?;
+        let start = cfg
+            .start
+            .ok_or_else(|| Error::MalformedCfg("no start node".into()))?;
 
         let node_kind: Vec<NodeKind> = cfg.nodes.iter().map(|n| n.kind).collect();
         let edge_from: Vec<NodeId> = cfg.edges.iter().map(|e| e.from).collect();
@@ -391,7 +422,8 @@ impl CfgInfo {
 
         // Reducibility: every back edge must target a node that forward-
         // dominates its source. We check using node dominators.
-        let node_idom = Self::node_dominators(n_nodes, start, &node_topo, &node_topo_pos, cfg, &edge_back);
+        let node_idom =
+            Self::node_dominators(n_nodes, start, &node_topo, &node_topo_pos, cfg, &edge_back);
         for e in 0..n_edges {
             if edge_back[e] {
                 let (u, h) = (edge_from[e], edge_to[e]);
@@ -419,8 +451,15 @@ impl CfgInfo {
         let mut hard_latency = vec![vec![None; n_edges]; n_edges];
         for &e in &edge_topo {
             Self::latency_from(
-                e, n_nodes, &node_topo, &node_topo_pos, &fwd_out, &edge_from, &edge_to,
-                &edge_back, &node_kind,
+                e,
+                n_nodes,
+                &node_topo,
+                &node_topo_pos,
+                &fwd_out,
+                &edge_from,
+                &edge_to,
+                &edge_back,
+                &node_kind,
                 &mut reach[e.0 as usize],
                 &mut latency[e.0 as usize],
                 &mut hard_latency[e.0 as usize],
@@ -444,13 +483,19 @@ impl CfgInfo {
                 back_edges.len()
             )));
         }
-        let edge_loops =
-            Self::loop_membership(cfg, &back_edges, &edge_back, &edge_from, &edge_to, n_nodes, n_edges);
+        let edge_loops = Self::loop_membership(
+            cfg,
+            &back_edges,
+            &edge_back,
+            &edge_from,
+            &edge_to,
+            n_nodes,
+            n_edges,
+        );
 
         // ---- same-cycle co-execution on the state-free full graph
-        let same_cycle = Self::compute_same_cycle(
-            n_nodes, n_edges, &edge_from, &edge_to, &node_kind,
-        )?;
+        let same_cycle =
+            Self::compute_same_cycle(n_nodes, n_edges, &edge_from, &edge_to, &node_kind)?;
 
         Ok(CfgInfo {
             n_nodes,
@@ -708,12 +753,7 @@ impl CfgInfo {
         idom
     }
 
-    fn node_dominates(
-        idom: &[Option<NodeId>],
-        _pos: &[u32],
-        a: NodeId,
-        mut b: NodeId,
-    ) -> bool {
+    fn node_dominates(idom: &[Option<NodeId>], _pos: &[u32], a: NodeId, mut b: NodeId) -> bool {
         // Walk up from b.
         loop {
             if a == b {
@@ -872,15 +912,13 @@ impl CfgInfo {
                     }
                     new_ipdom = match new_ipdom {
                         None => Some(s),
-                        Some(cur) => {
-                            match Self::intersect_generic(&ipdom, &pos, cur, s) {
-                                Some(c) => Some(c),
-                                None => {
-                                    hit_root_split = true;
-                                    Some(cur)
-                                }
+                        Some(cur) => match Self::intersect_generic(&ipdom, &pos, cur, s) {
+                            Some(c) => Some(c),
+                            None => {
+                                hit_root_split = true;
+                                Some(cur)
                             }
-                        }
+                        },
                     };
                 }
                 if hit_root_split {
@@ -1009,19 +1047,18 @@ impl CfgInfo {
             if is_state(NodeId(k as u32)) {
                 continue;
             }
-            for i in 0..n_nodes {
-                if !closure[i][k] {
+            let reach_k = closure[k].clone();
+            for row in closure.iter_mut() {
+                if !row[k] {
                     continue;
                 }
-                for j in 0..n_nodes {
-                    if closure[k][j] {
-                        closure[i][j] = true;
-                    }
+                for (dst, &via) in row.iter_mut().zip(&reach_k) {
+                    *dst = *dst || via;
                 }
             }
         }
-        for i in 0..n_nodes {
-            if closure[i][i] {
+        for (i, row) in closure.iter().enumerate() {
+            if row[i] {
                 return Err(Error::MalformedCfg(format!(
                     "state-free control cycle through n{i} (a loop must contain a state)"
                 )));
@@ -1279,8 +1316,11 @@ mod tests {
         let (g, e) = resizer_cfg();
         let info = g.analyze().unwrap();
         assert!(info.is_back_edge(e[8]));
-        for i in 0..8 {
-            assert!(!info.is_back_edge(e[i]), "e{i} wrongly classified as back edge");
+        for (i, edge) in e.iter().enumerate().take(8) {
+            assert!(
+                !info.is_back_edge(*edge),
+                "e{i} wrongly classified as back edge"
+            );
         }
     }
 
@@ -1325,7 +1365,10 @@ mod tests {
         let info = g.analyze().unwrap();
         // e6 post-dominates e2, e3, e4, e5, e1.
         for i in [1, 2, 3, 4, 5] {
-            assert!(info.edge_postdominates(e[6], e[i]), "e6 should post-dominate e{i}");
+            assert!(
+                info.edge_postdominates(e[6], e[i]),
+                "e6 should post-dominate e{i}"
+            );
         }
         // e4 does not post-dominate e1 (other branch).
         assert!(!info.edge_postdominates(e[4], e[1]));
@@ -1351,8 +1394,8 @@ mod tests {
         assert_eq!(info.back_edges().len(), 1);
         // e0 (entry) is outside the loop; e1..e7 inside.
         assert_eq!(info.loops_of(e[0]), 0);
-        for i in 1..=7 {
-            assert_eq!(info.loops_of(e[i]), 1, "e{i} should be in loop 0");
+        for (i, edge) in e.iter().enumerate().take(8).skip(1) {
+            assert_eq!(info.loops_of(*edge), 1, "e{i} should be in loop 0");
         }
     }
 

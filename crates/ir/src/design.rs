@@ -107,7 +107,10 @@ impl Design {
     /// Ids of operations born on edge `e`, in id order.
     #[must_use]
     pub fn ops_born_on(&self, e: EdgeId) -> Vec<OpId> {
-        self.dfg.op_ids().filter(|&o| self.dfg.birth(o) == e).collect()
+        self.dfg
+            .op_ids()
+            .filter(|&o| self.dfg.birth(o) == e)
+            .collect()
     }
 }
 

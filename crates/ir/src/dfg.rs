@@ -65,7 +65,10 @@ impl Dfg {
         );
         let id = OpId(self.ops.len() as u32);
         for (i, &p) in operands.iter().enumerate() {
-            assert!((p.0 as usize) < self.ops.len(), "operand {p} of {id} does not exist");
+            assert!(
+                (p.0 as usize) < self.ops.len(),
+                "operand {p} of {id} does not exist"
+            );
             self.ops[p.0 as usize].users.push((id, i));
         }
         self.ops.push(OpData {
@@ -106,7 +109,9 @@ impl Dfg {
         );
         let old = self.ops[phi.0 as usize].operands[1];
         // remove old user record
-        self.ops[old.0 as usize].users.retain(|&(u, i)| !(u == phi && i == 1));
+        self.ops[old.0 as usize]
+            .users
+            .retain(|&(u, i)| !(u == phi && i == 1));
         self.ops[phi.0 as usize].operands[1] = carried;
         self.ops[phi.0 as usize].loop_carried[1] = true;
         self.ops[carried.0 as usize].users.push((phi, 1));
@@ -116,7 +121,9 @@ impl Dfg {
     /// lists.
     pub fn replace_operand(&mut self, user: OpId, idx: usize, new_val: OpId) {
         let old = self.ops[user.0 as usize].operands[idx];
-        self.ops[old.0 as usize].users.retain(|&(u, i)| !(u == user && i == idx));
+        self.ops[old.0 as usize]
+            .users
+            .retain(|&(u, i)| !(u == user && i == idx));
         self.ops[user.0 as usize].operands[idx] = new_val;
         self.ops[new_val.0 as usize].users.push((user, idx));
     }
@@ -142,7 +149,9 @@ impl Dfg {
         );
         let operands = self.ops[o.0 as usize].operands.clone();
         for (i, p) in operands.into_iter().enumerate() {
-            self.ops[p.0 as usize].users.retain(|&(u, j)| !(u == o && j == i));
+            self.ops[p.0 as usize]
+                .users
+                .retain(|&(u, j)| !(u == o && j == i));
         }
         self.ops[o.0 as usize].operands.clear();
         self.ops[o.0 as usize].loop_carried.clear();
@@ -234,7 +243,9 @@ impl Dfg {
     /// complexity claims).
     #[must_use]
     pub fn len_forward_edges(&self) -> usize {
-        self.op_ids().map(|o| self.forward_operands(o).count()).sum()
+        self.op_ids()
+            .map(|o| self.forward_operands(o).count())
+            .sum()
     }
 
     /// Topological order of live operations over forward edges.

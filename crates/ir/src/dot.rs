@@ -13,14 +13,13 @@ pub fn cfg_to_dot(cfg: &Cfg) -> String {
     let _ = writeln!(s, "digraph \"{}_cfg\" {{", cfg.name());
     let _ = writeln!(s, "  rankdir=TB; node [fontsize=10];");
     for n in cfg.node_ids() {
-        let label = cfg.node_name(n).map(str::to_owned).unwrap_or_else(|| n.to_string());
+        let label = cfg
+            .node_name(n)
+            .map(str::to_owned)
+            .unwrap_or_else(|| n.to_string());
         let style = match cfg.node_kind(n) {
-            NodeKind::State(StateKind::Hard) => {
-                "shape=circle, style=filled, fillcolor=gray70"
-            }
-            NodeKind::State(StateKind::Soft) => {
-                "shape=circle, style=filled, fillcolor=gray90"
-            }
+            NodeKind::State(StateKind::Hard) => "shape=circle, style=filled, fillcolor=gray70",
+            NodeKind::State(StateKind::Soft) => "shape=circle, style=filled, fillcolor=gray90",
             NodeKind::Start => "shape=doublecircle",
             NodeKind::Fork => "shape=diamond",
             NodeKind::Join => "shape=invtriangle",
@@ -71,7 +70,11 @@ pub fn dfg_to_dot(dfg: &Dfg) -> String {
     }
     for o in dfg.op_ids() {
         for (i, &p) in dfg.operands(o).iter().enumerate() {
-            let style = if dfg.is_loop_carried(o, i) { " [style=dashed]" } else { "" };
+            let style = if dfg.is_loop_carried(o, i) {
+                " [style=dashed]"
+            } else {
+                ""
+            };
             let _ = writeln!(s, "  o{} -> o{}{};", p.0, o.0, style);
         }
     }

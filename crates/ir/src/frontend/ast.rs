@@ -189,10 +189,15 @@ pub fn substitute_stmts(stmts: &[Stmt], var: &str, value: i64) -> Vec<Stmt> {
                 ty: *ty,
                 expr: expr.substitute(var, value),
             },
-            Stmt::Assign { name, expr } => {
-                Stmt::Assign { name: name.clone(), expr: expr.substitute(var, value) }
-            }
-            Stmt::If { cond, then_body, else_body } => Stmt::If {
+            Stmt::Assign { name, expr } => Stmt::Assign {
+                name: name.clone(),
+                expr: expr.substitute(var, value),
+            },
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => Stmt::If {
                 cond: cond.substitute(var, value),
                 then_body: substitute_stmts(then_body, var, value),
                 else_body: substitute_stmts(else_body, var, value),
@@ -201,8 +206,16 @@ pub fn substitute_stmts(stmts: &[Stmt], var: &str, value: i64) -> Vec<Stmt> {
                 cond: cond.substitute(var, value),
                 body: substitute_stmts(body, var, value),
             },
-            Stmt::Loop { body } => Stmt::Loop { body: substitute_stmts(body, var, value) },
-            Stmt::For { var: v, start, end, unroll, body } => {
+            Stmt::Loop { body } => Stmt::Loop {
+                body: substitute_stmts(body, var, value),
+            },
+            Stmt::For {
+                var: v,
+                start,
+                end,
+                unroll,
+                body,
+            } => {
                 // Inner loop shadows `var`: stop substitution if names match.
                 if v == var {
                     s.clone()
@@ -217,9 +230,10 @@ pub fn substitute_stmts(stmts: &[Stmt], var: &str, value: i64) -> Vec<Stmt> {
                 }
             }
             Stmt::Wait | Stmt::Budget(_) => s.clone(),
-            Stmt::Write { port, expr } => {
-                Stmt::Write { port: port.clone(), expr: expr.substitute(var, value) }
-            }
+            Stmt::Write { port, expr } => Stmt::Write {
+                port: port.clone(),
+                expr: expr.substitute(var, value),
+            },
         })
         .collect()
 }
@@ -239,7 +253,11 @@ fn collect_assigned(stmts: &[Stmt], out: &mut Vec<String>) {
     for s in stmts {
         match s {
             Stmt::Let { name, .. } | Stmt::Assign { name, .. } => out.push(name.clone()),
-            Stmt::If { then_body, else_body, .. } => {
+            Stmt::If {
+                then_body,
+                else_body,
+                ..
+            } => {
                 collect_assigned(then_body, out);
                 collect_assigned(else_body, out);
             }
@@ -267,17 +285,27 @@ mod tests {
         let s = e.substitute("i", 7);
         assert_eq!(
             s,
-            Expr::Binary(BinOp::Add, Box::new(Expr::Int(7)), Box::new(Expr::Ident("x".into())))
+            Expr::Binary(
+                BinOp::Add,
+                Box::new(Expr::Int(7)),
+                Box::new(Expr::Ident("x".into()))
+            )
         );
     }
 
     #[test]
     fn assigned_vars_sees_nested() {
         let body = vec![
-            Stmt::Assign { name: "a".into(), expr: Expr::Int(1) },
+            Stmt::Assign {
+                name: "a".into(),
+                expr: Expr::Int(1),
+            },
             Stmt::If {
                 cond: Expr::Int(1),
-                then_body: vec![Stmt::Assign { name: "b".into(), expr: Expr::Int(2) }],
+                then_body: vec![Stmt::Assign {
+                    name: "b".into(),
+                    expr: Expr::Int(2),
+                }],
                 else_body: vec![],
             },
         ];
@@ -291,9 +319,15 @@ mod tests {
             start: 0,
             end: 2,
             unroll: false,
-            body: vec![Stmt::Assign { name: "x".into(), expr: Expr::Ident("i".into()) }],
+            body: vec![Stmt::Assign {
+                name: "x".into(),
+                expr: Expr::Ident("i".into()),
+            }],
         };
-        let subbed = substitute_stmts(&[inner.clone()], "i", 9);
-        assert_eq!(subbed[0], inner, "shadowed induction var must not be substituted");
+        let subbed = substitute_stmts(std::slice::from_ref(&inner), "i", 9);
+        assert_eq!(
+            subbed[0], inner,
+            "shadowed induction var must not be substituted"
+        );
     }
 }

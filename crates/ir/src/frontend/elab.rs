@@ -59,7 +59,10 @@ impl Elab {
         let cur_edge = cfg.add_edge(start, tail);
         let mut ports = BTreeMap::new();
         for p in &proc.ports {
-            if ports.insert(p.name.clone(), (p.dir, p.width, p.signed)).is_some() {
+            if ports
+                .insert(p.name.clone(), (p.dir, p.width, p.signed))
+                .is_some()
+            {
                 return Err(Error::Elab(format!("duplicate port '{}'", p.name)));
             }
         }
@@ -135,10 +138,20 @@ impl Elab {
                 self.dfg.add_op(op, self.cur_edge, &[v.op]);
                 Ok(())
             }
-            Stmt::If { cond, then_body, else_body } => self.elab_if(cond, then_body, else_body),
+            Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            } => self.elab_if(cond, then_body, else_body),
             Stmt::While { cond, body } => self.elab_while(cond, body),
             Stmt::Loop { body } => self.elab_loop(body),
-            Stmt::For { var, start, end, unroll, body } => {
+            Stmt::For {
+                var,
+                start,
+                end,
+                unroll,
+                body,
+            } => {
                 if *unroll {
                     if end < start {
                         return Err(Error::Elab(format!(
@@ -154,7 +167,14 @@ impl Elab {
                     // Desugar: let var = start; while var < end { body; var = var + 1; }
                     let width = 32u16;
                     let init = self.const_op(*start, width, true);
-                    self.vars.insert(var.clone(), Value { op: init, width, signed: true });
+                    self.vars.insert(
+                        var.clone(),
+                        Value {
+                            op: init,
+                            width,
+                            signed: true,
+                        },
+                    );
                     let mut wbody = body.to_vec();
                     wbody.push(Stmt::Assign {
                         name: var.clone(),
@@ -177,7 +197,7 @@ impl Elab {
 
     fn elab_if(&mut self, cond: &Expr, then_body: &[Stmt], else_body: &[Stmt]) -> Result<()> {
         let c = self.expr(cond, None)?;
-        let cbit = self.to_bit(c);
+        let cbit = self.as_bit(c);
         // Current tail becomes the fork.
         let fork = self.tail;
         self.cfg.set_node_kind(fork, NodeKind::Fork);
@@ -235,7 +255,14 @@ impl Elab {
                         op = op.signed();
                     }
                     let m = self.dfg.add_op(op, self.cur_edge, &[cbit.op, t.op, e.op]);
-                    self.vars.insert(name.clone(), Value { op: m, width, signed });
+                    self.vars.insert(
+                        name.clone(),
+                        Value {
+                            op: m,
+                            width,
+                            signed,
+                        },
+                    );
                 }
                 (Some(t), None) => {
                     self.vars.insert(name.clone(), *t);
@@ -273,7 +300,7 @@ impl Elab {
         }
         // Condition on the header edge.
         let c = self.expr(cond, None)?;
-        let cbit = self.to_bit(c);
+        let cbit = self.as_bit(c);
         let fork = self.tail;
         self.cfg.set_node_kind(fork, NodeKind::Fork);
         self.cfg.set_cond(fork, cbit.op);
@@ -350,21 +377,31 @@ impl Elab {
         self.dfg.add_op(op, self.cur_edge, &[])
     }
 
-    fn to_bit(&mut self, v: Value) -> Value {
+    fn as_bit(&mut self, v: Value) -> Value {
         if v.width == 1 {
             return v;
         }
         // v != 0
         let zero = self.const_op(0, v.width, v.signed);
-        let ne = self.dfg.add_op(Op::new(OpKind::Ne, 1), self.cur_edge, &[v.op, zero]);
-        Value { op: ne, width: 1, signed: false }
+        let ne = self
+            .dfg
+            .add_op(Op::new(OpKind::Ne, 1), self.cur_edge, &[v.op, zero]);
+        Value {
+            op: ne,
+            width: 1,
+            signed: false,
+        }
     }
 
     fn expr(&mut self, e: &Expr, hint: Option<(u16, bool)>) -> Result<Value> {
         match e {
             Expr::Int(v) => {
                 let (w, sgn) = hint.unwrap_or_else(|| (literal_width(*v), *v < 0));
-                Ok(Value { op: self.const_op(*v, w, sgn), width: w, signed: sgn })
+                Ok(Value {
+                    op: self.const_op(*v, w, sgn),
+                    width: w,
+                    signed: sgn,
+                })
             }
             Expr::Ident(name) => self
                 .vars
@@ -384,7 +421,11 @@ impl Elab {
                     op = op.signed();
                 }
                 let o = self.dfg.add_op(op, self.cur_edge, &[]);
-                Ok(Value { op: o, width: w, signed: sgn })
+                Ok(Value {
+                    op: o,
+                    width: w,
+                    signed: sgn,
+                })
             }
             Expr::Unary(op, inner) => {
                 let v = self.expr(inner, hint)?;
@@ -398,7 +439,11 @@ impl Elab {
                     o = o.signed();
                 }
                 let id = self.dfg.add_op(o, self.cur_edge, &[v.op]);
-                Ok(Value { op: id, width: v.width, signed })
+                Ok(Value {
+                    op: id,
+                    width: v.width,
+                    signed,
+                })
             }
             Expr::Binary(op, a, b) => {
                 // Elaborate the non-literal side first so the literal can
@@ -440,7 +485,11 @@ impl Elab {
                     o = o.signed();
                 }
                 let id = self.dfg.add_op(o, self.cur_edge, &[va.op, vb.op]);
-                Ok(Value { op: id, width, signed })
+                Ok(Value {
+                    op: id,
+                    width,
+                    signed,
+                })
             }
         }
     }
@@ -522,7 +571,10 @@ mod tests {
             .find(|&o| d.dfg.op(o).kind() == OpKind::Mux)
             .unwrap();
         // div can be hoisted above its branch (span > 1 edge); mux cannot.
-        assert!(spans.span(div).len() > 1, "div should be hoistable as in the paper");
+        assert!(
+            spans.span(div).len() > 1,
+            "div should be hoistable as in the paper"
+        );
         assert_eq!(spans.span(mux).len(), 1, "mux is pinned to the join edge");
     }
 
@@ -541,7 +593,7 @@ mod tests {
         }";
         let d = compile(src).unwrap();
         let t = run(&d, &Stimulus::new(), 1000).unwrap();
-        assert_eq!(t.outputs["y"], vec![0 + 1 + 2 + 3 + 4]);
+        assert_eq!(t.outputs["y"], vec![1 + 2 + 3 + 4]);
     }
 
     #[test]
@@ -556,7 +608,11 @@ mod tests {
         }";
         let d = compile(src).unwrap();
         // Unrolled: three muls, no loop in the CFG.
-        let muls = d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Mul).count();
+        let muls = d
+            .dfg
+            .op_ids()
+            .filter(|&o| d.dfg.op(o).kind() == OpKind::Mul)
+            .count();
         assert_eq!(muls, 3);
         assert!(d.cfg.edge_ids().all(|e| !d.cfg.edge_is_back(e)));
         let t = run(&d, &Stimulus::new().stream("a", vec![3]), 100).unwrap();
@@ -611,10 +667,9 @@ mod tests {
 
     #[test]
     fn statements_after_infinite_loop_rejected() {
-        let err = compile(
-            "proc p(in a: u8, out y: u8) { loop { write(y, read(a)); wait; } let z = 1; }",
-        )
-        .unwrap_err();
+        let err =
+            compile("proc p(in a: u8, out y: u8) { loop { write(y, read(a)); wait; } let z = 1; }")
+                .unwrap_err();
         assert!(matches!(err, Error::Elab(_)));
     }
 

@@ -93,7 +93,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
 
     macro_rules! push {
         ($kind:expr, $len:expr) => {{
-            out.push(Token { kind: $kind, line, col });
+            out.push(Token {
+                kind: $kind,
+                line,
+                col,
+            });
             i += $len;
             col += $len as u32;
         }};
@@ -155,7 +159,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     col,
                     msg: format!("bad integer literal '{text}'"),
                 })?;
-                out.push(Token { kind: Tok::Int(v), line, col });
+                out.push(Token {
+                    kind: Tok::Int(v),
+                    line,
+                    col,
+                });
                 col += (i - start) as u32;
             }
             c if c.is_ascii_alphabetic() || c == '_' => {
@@ -164,7 +172,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
                     i += 1;
                 }
                 let text: String = bytes[start..i].iter().collect();
-                out.push(Token { kind: Tok::Ident(text), line, col });
+                out.push(Token {
+                    kind: Tok::Ident(text),
+                    line,
+                    col,
+                });
                 col += (i - start) as u32;
             }
             other => {
@@ -176,7 +188,11 @@ pub fn lex(source: &str) -> Result<Vec<Token>> {
             }
         }
     }
-    out.push(Token { kind: Tok::Eof, line, col });
+    out.push(Token {
+        kind: Tok::Eof,
+        line,
+        col,
+    });
     Ok(out)
 }
 

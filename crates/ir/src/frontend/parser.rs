@@ -10,7 +10,10 @@ use crate::error::{Error, Result};
 ///
 /// Returns [`Error::Parse`] with the offending source position.
 pub fn parse(tokens: &[Token]) -> Result<Proc> {
-    let mut p = Parser { toks: tokens, pos: 0 };
+    let mut p = Parser {
+        toks: tokens,
+        pos: 0,
+    };
     let proc = p.proc()?;
     p.expect_eof()?;
     Ok(proc)
@@ -33,7 +36,11 @@ impl<'a> Parser<'a> {
 
     fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
         let (line, col) = self.here();
-        Err(Error::Parse { line, col, msg: msg.into() })
+        Err(Error::Parse {
+            line,
+            col,
+            msg: msg.into(),
+        })
     }
 
     fn bump(&mut self) -> Tok {
@@ -116,7 +123,11 @@ impl<'a> Parser<'a> {
             .filter(|&w| (1..=64).contains(&w))
             .ok_or_else(|| {
                 let (line, col) = self.here();
-                Error::Parse { line, col, msg: format!("bad width in type '{name}'") }
+                Error::Parse {
+                    line,
+                    col,
+                    msg: format!("bad width in type '{name}'"),
+                }
             })?;
         Ok((width, signed))
     }
@@ -140,7 +151,12 @@ impl<'a> Parser<'a> {
                 let pname = self.ident("port name")?;
                 self.expect(&Tok::Colon, "':'")?;
                 let (width, signed) = self.ty()?;
-                ports.push(Port { name: pname, dir, width, signed });
+                ports.push(Port {
+                    name: pname,
+                    dir,
+                    width,
+                    signed,
+                });
                 if self.eat(&Tok::RParen) {
                     break;
                 }
@@ -167,7 +183,11 @@ impl<'a> Parser<'a> {
         if self.peek_keyword("let") {
             self.bump();
             let name = self.ident("variable name")?;
-            let ty = if self.eat(&Tok::Colon) { Some(self.ty()?) } else { None };
+            let ty = if self.eat(&Tok::Colon) {
+                Some(self.ty()?)
+            } else {
+                None
+            };
             self.expect(&Tok::Assign, "'='")?;
             let expr = self.expr()?;
             self.expect(&Tok::Semi, "';'")?;
@@ -183,7 +203,11 @@ impl<'a> Parser<'a> {
             } else {
                 Vec::new()
             };
-            return Ok(Stmt::If { cond, then_body, else_body });
+            return Ok(Stmt::If {
+                cond,
+                then_body,
+                else_body,
+            });
         }
         if self.peek_keyword("while") {
             self.bump();
@@ -210,7 +234,13 @@ impl<'a> Parser<'a> {
                 false
             };
             let body = self.block()?;
-            return Ok(Stmt::For { var, start, end, unroll, body });
+            return Ok(Stmt::For {
+                var,
+                start,
+                end,
+                unroll,
+                body,
+            });
         }
         if self.peek_keyword("wait") {
             self.bump();
@@ -342,7 +372,10 @@ mod tests {
     fn precedence_mul_over_add() {
         let p = parse_src("proc p(out y: u8) { let x = 1 + 2 * 3; write(y, x); }").unwrap();
         match &p.body[0] {
-            Stmt::Let { expr: Expr::Binary(BinOp::Add, _, rhs), .. } => {
+            Stmt::Let {
+                expr: Expr::Binary(BinOp::Add, _, rhs),
+                ..
+            } => {
                 assert!(matches!(**rhs, Expr::Binary(BinOp::Mul, _, _)));
             }
             other => panic!("unexpected {other:?}"),
@@ -353,7 +386,10 @@ mod tests {
     fn comparison_binds_looser_than_arith() {
         let p = parse_src("proc p(out y: u1) { let c = 1 + 2 > 2; write(y, c); }").unwrap();
         match &p.body[0] {
-            Stmt::Let { expr: Expr::Binary(BinOp::Gt, lhs, _), .. } => {
+            Stmt::Let {
+                expr: Expr::Binary(BinOp::Gt, lhs, _),
+                ..
+            } => {
                 assert!(matches!(**lhs, Expr::Binary(BinOp::Add, _, _)));
             }
             other => panic!("unexpected {other:?}"),

@@ -147,9 +147,7 @@ pub fn run_placed(
                 outs.iter()
                     .copied()
                     .find(|&e| cfg.edge_branch(e) == Some(want))
-                    .ok_or_else(|| {
-                        Error::Interp(format!("fork {node} lacks branch for {want}"))
-                    })?
+                    .ok_or_else(|| Error::Interp(format!("fork {node} lacks branch for {want}")))?
             }
             _ => match outs.len() {
                 0 => break 'walk, // terminal node
@@ -179,9 +177,8 @@ pub fn run_placed(
                         let init = design.dfg.operands(o)[0];
                         mask(
                             w,
-                            value[init.0 as usize].ok_or_else(|| {
-                                Error::Interp(format!("φ {o} init unevaluated"))
-                            })?,
+                            value[init.0 as usize]
+                                .ok_or_else(|| Error::Interp(format!("φ {o} init unevaluated")))?,
                         )
                     }
                 };
@@ -213,7 +210,11 @@ pub fn run_placed(
         }
     }
 
-    Ok(Trace { outputs, cycles, finished_by_starvation: starved })
+    Ok(Trace {
+        outputs,
+        cycles,
+        finished_by_starvation: starved,
+    })
 }
 
 enum EvalOutcome {
@@ -260,9 +261,10 @@ fn eval_op(
             let name = op.name().unwrap_or("");
             mask(
                 w,
-                *stim.inputs.get(name).ok_or_else(|| {
-                    Error::Interp(format!("no stimulus for input '{name}'"))
-                })?,
+                *stim
+                    .inputs
+                    .get(name)
+                    .ok_or_else(|| Error::Interp(format!("no stimulus for input '{name}'")))?,
             )
         }
         OpKind::Read => {
@@ -441,13 +443,18 @@ mod tests {
         assert_ne!(late, d.dfg.birth(sq), "sq should be sinkable");
         let stim = Stimulus::new().stream("in", vec![2, 3, 4]);
         let t_birth = run(&d, &stim, 1000).unwrap();
-        let t_late = run_placed(&d, &stim, 1000, |o| {
-            if o == sq {
-                late
-            } else {
-                d.dfg.birth(o)
-            }
-        })
+        let t_late = run_placed(
+            &d,
+            &stim,
+            1000,
+            |o| {
+                if o == sq {
+                    late
+                } else {
+                    d.dfg.birth(o)
+                }
+            },
+        )
         .unwrap();
         assert_eq!(t_birth.outputs, t_late.outputs);
     }

@@ -215,8 +215,16 @@ impl Op {
     /// values as masked 64-bit integers).
     #[must_use]
     pub fn new(kind: OpKind, width: u16) -> Self {
-        assert!(width >= 1 && width <= 64, "op width must be in 1..=64, got {width}");
-        Op { kind, width, signed: false, name: None }
+        assert!(
+            (1..=64).contains(&width),
+            "op width must be in 1..=64, got {width}"
+        );
+        Op {
+            kind,
+            width,
+            signed: false,
+            name: None,
+        }
     }
 
     /// Marks the operation as producing/consuming signed values.
@@ -260,7 +268,13 @@ impl Op {
 
 impl fmt::Display for Op {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}{}", self.kind, if self.signed { "i" } else { "u" }, self.width)?;
+        write!(
+            f,
+            "{}:{}{}",
+            self.kind,
+            if self.signed { "i" } else { "u" },
+            self.width
+        )?;
         if let Some(n) = &self.name {
             write!(f, "({n})")?;
         }
@@ -293,7 +307,14 @@ mod tests {
 
     #[test]
     fn comparisons_are_flagged() {
-        for k in [OpKind::Lt, OpKind::Le, OpKind::Gt, OpKind::Ge, OpKind::Eq, OpKind::Ne] {
+        for k in [
+            OpKind::Lt,
+            OpKind::Le,
+            OpKind::Gt,
+            OpKind::Ge,
+            OpKind::Eq,
+            OpKind::Ne,
+        ] {
             assert!(k.is_comparison(), "{k} should be a comparison");
         }
         assert!(!OpKind::Add.is_comparison());

@@ -166,7 +166,11 @@ impl SpanAnalysis {
                     .filter(|&x| info.reaches(e, x) && info.reaches(x, l))
                     .collect()
             };
-            spans[o.0 as usize] = Some(SpanInfo { early: e, late: l, edges });
+            spans[o.0 as usize] = Some(SpanInfo {
+                early: e,
+                late: l,
+                edges,
+            });
         }
         Ok(OpSpans { spans })
     }
@@ -240,9 +244,9 @@ impl SpanAnalysis {
                 if !info.reaches(eo, e) {
                     continue; // must stay within [early, ...]
                 }
-                let ok = users.iter().all(|&u| {
-                    late[u.0 as usize].is_some_and(|ul| info.reaches(e, ul))
-                });
+                let ok = users
+                    .iter()
+                    .all(|&u| late[u.0 as usize].is_some_and(|ul| info.reaches(e, ul)));
                 if ok {
                     found = Some(e);
                     break;
@@ -293,13 +297,7 @@ impl SpanBounds {
     /// Whether `o` may be scheduled on `e`: `e` must be legal for `o` and
     /// lie between the current early and late bounds.
     #[must_use]
-    pub fn contains(
-        &self,
-        analysis: &SpanAnalysis,
-        info: &CfgInfo,
-        o: OpId,
-        e: EdgeId,
-    ) -> bool {
+    pub fn contains(&self, analysis: &SpanAnalysis, info: &CfgInfo, o: OpId, e: EdgeId) -> bool {
         let (early, late) = (self.early(o), self.late(o));
         info.reaches(early, e)
             && info.reaches(e, late)
@@ -331,7 +329,9 @@ impl OpSpans {
     /// Panics if `o` is dead or was added after the spans were computed.
     #[must_use]
     pub fn span(&self, o: OpId) -> &SpanInfo {
-        self.spans[o.0 as usize].as_ref().expect("span queried for unknown/dead op")
+        self.spans[o.0 as usize]
+            .as_ref()
+            .expect("span queried for unknown/dead op")
     }
 
     /// Early edge of `o`.
@@ -408,13 +408,26 @@ mod tests {
         (
             design,
             [e0, e1, e2, e3, e4, e5, e6, e7, e8],
-            ResizerOps { rd_a, add, gt, div, sub, rd_b, mul, mux, wr },
+            ResizerOps {
+                rd_a,
+                add,
+                gt,
+                div,
+                sub,
+                rd_b,
+                mul,
+                mux,
+                wr,
+            },
         )
     }
 
     pub(crate) struct ResizerOps {
         pub rd_a: OpId,
         pub add: OpId,
+        // Kept so the helper mirrors the full resizer op set even though no
+        // current test asserts on the comparison op.
+        #[allow(dead_code)]
         pub gt: OpId,
         pub div: OpId,
         pub sub: OpId,

@@ -65,11 +65,7 @@ pub fn constant_fold(design: &mut Design) -> usize {
         let mut target: Option<(OpId, i64)> = None;
         'search: for o in dfg.op_ids() {
             let kind = dfg.op(o).kind();
-            if kind.is_const()
-                || kind.arity() == 0
-                || kind.is_fixed()
-                || kind == OpKind::LoopPhi
-            {
+            if kind.is_const() || kind.arity() == 0 || kind.is_fixed() || kind == OpKind::LoopPhi {
                 continue;
             }
             let mut vals = Vec::new();
@@ -79,8 +75,7 @@ pub fn constant_fold(design: &mut Design) -> usize {
                     _ => continue 'search,
                 }
             }
-            if let Some(v) = eval_const(kind, dfg.op(o).width(), dfg.op(o).is_signed(), &vals)
-            {
+            if let Some(v) = eval_const(kind, dfg.op(o).width(), dfg.op(o).is_signed(), &vals) {
                 target = Some((o, v));
                 break;
             }
@@ -90,7 +85,9 @@ pub fn constant_fold(design: &mut Design) -> usize {
             Some((o, v)) => {
                 let width = design.dfg.op(o).width();
                 let birth = design.dfg.birth(o);
-                let c = design.dfg.add_op(Op::new(OpKind::Const(v), width), birth, &[]);
+                let c = design
+                    .dfg
+                    .add_op(Op::new(OpKind::Const(v), width), birth, &[]);
                 design.dfg.replace_all_uses(o, c);
                 design.dfg.kill(o);
                 folded += 1;
@@ -251,10 +248,7 @@ mod tests {
         let mut d = b.finish().unwrap();
         dead_code_elimination(&mut d);
         // The read stays: it consumes stream data (observable).
-        assert!(d
-            .dfg
-            .op_ids()
-            .any(|o| d.dfg.op(o).kind() == OpKind::Read));
+        assert!(d.dfg.op_ids().any(|o| d.dfg.op(o).kind() == OpKind::Read));
     }
 
     #[test]
@@ -273,12 +267,7 @@ mod tests {
         d.validate().unwrap();
         // The mul is gone; a const(6) feeds the add.
         assert!(d.dfg.op_ids().all(|o| d.dfg.op(o).kind() != OpKind::Mul));
-        let t = crate::interp::run(
-            &d,
-            &crate::interp::Stimulus::new().input("x", 10),
-            10,
-        )
-        .unwrap();
+        let t = crate::interp::run(&d, &crate::interp::Stimulus::new().input("x", 10), 10).unwrap();
         assert_eq!(t.outputs["y"], vec![16]);
     }
 
@@ -296,7 +285,10 @@ mod tests {
         assert_eq!(merged, 1);
         dead_code_elimination(&mut d);
         assert_eq!(
-            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Add).count(),
+            d.dfg
+                .op_ids()
+                .filter(|&o| d.dfg.op(o).kind() == OpKind::Add)
+                .count(),
             1
         );
         d.validate().unwrap();

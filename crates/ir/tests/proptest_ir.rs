@@ -33,7 +33,9 @@ fn recipe() -> impl Strategy<Value = Recipe> {
 
 fn build(r: &Recipe) -> (Design, Vec<OpId>) {
     let mut b = DesignBuilder::new("prop");
-    let mut pool: Vec<OpId> = (0..r.n_inputs).map(|i| b.input(format!("in{i}"), 16)).collect();
+    let mut pool: Vec<OpId> = (0..r.n_inputs)
+        .map(|i| b.input(format!("in{i}"), 16))
+        .collect();
     let half = r.ops.len() / 2;
     for (i, &(k, ia, ib)) in r.ops.iter().enumerate() {
         if r.hard_mid && i == half {

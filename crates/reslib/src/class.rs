@@ -90,11 +90,7 @@ pub fn classes_for(kind: OpKind) -> &'static [ResClass] {
         OpKind::And | OpKind::Or | OpKind::Xor | OpKind::Not => &[ResClass::Logic],
         OpKind::Shl | OpKind::Shr => &[ResClass::Shifter],
         OpKind::Mux => &[ResClass::Mux],
-        OpKind::LoopPhi
-        | OpKind::Const(_)
-        | OpKind::Input
-        | OpKind::Read
-        | OpKind::Write => &[],
+        OpKind::LoopPhi | OpKind::Const(_) | OpKind::Input | OpKind::Read | OpKind::Write => &[],
         // `OpKind` is non-exhaustive: future kinds default to "no resource"
         // so additions fail loudly in allocation rather than silently here.
         _ => &[],

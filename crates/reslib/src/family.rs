@@ -47,7 +47,13 @@ impl Family {
             "family {class} grades must be strictly faster-is-bigger"
         );
         assert!(ref_width >= 1, "reference width must be positive");
-        Family { class, ref_width, grades, delay_exp, area_exp }
+        Family {
+            class,
+            ref_width,
+            grades,
+            delay_exp,
+            area_exp,
+        }
     }
 
     /// The resource class.

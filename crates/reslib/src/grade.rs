@@ -21,7 +21,10 @@ impl SpeedGrade {
     #[must_use]
     pub fn new(delay_ps: u64, area: f64) -> Self {
         assert!(delay_ps > 0, "grade delay must be positive");
-        assert!(area.is_finite() && area > 0.0, "grade area must be positive");
+        assert!(
+            area.is_finite() && area > 0.0,
+            "grade area must be positive"
+        );
         SpeedGrade { delay_ps, area }
     }
 }
@@ -37,7 +40,9 @@ impl fmt::Display for SpeedGrade {
 /// never be chosen).
 #[must_use]
 pub fn is_tradeoff_curve(grades: &[SpeedGrade]) -> bool {
-    grades.windows(2).all(|w| w[0].delay_ps < w[1].delay_ps && w[0].area > w[1].area)
+    grades
+        .windows(2)
+        .all(|w| w[0].delay_ps < w[1].delay_ps && w[0].area > w[1].area)
 }
 
 /// Piecewise-linear interpolated area at `delay_ps` along a tradeoff curve.

@@ -44,7 +44,13 @@ pub fn table1_adder() -> Vec<SpeedGrade> {
 #[must_use]
 pub fn library() -> Library {
     let mut lib = Library::new("tsmc90");
-    lib.add_family(Family::new(ResClass::Multiplier, 8, table1_multiplier(), 0.85, 1.8));
+    lib.add_family(Family::new(
+        ResClass::Multiplier,
+        8,
+        table1_multiplier(),
+        0.85,
+        1.8,
+    ));
     lib.add_family(Family::new(ResClass::Adder, 16, table1_adder(), 0.9, 1.0));
     // AddSub: an adder/subtractor is slightly slower and ~15% bigger than
     // the plain adder at each grade (§II.A's "addition can be executed by an
@@ -63,7 +69,10 @@ pub fn library() -> Library {
     lib.add_family(Family::new(
         ResClass::Subtractor,
         16,
-        table1_adder().into_iter().map(|gr| g(gr.delay_ps, gr.area * 1.02)).collect(),
+        table1_adder()
+            .into_iter()
+            .map(|gr| g(gr.delay_ps, gr.area * 1.02))
+            .collect(),
         0.9,
         1.0,
     ));
@@ -71,7 +80,12 @@ pub fn library() -> Library {
     lib.add_family(Family::new(
         ResClass::Divider,
         16,
-        vec![g(900, 2600.0), g(1300, 1900.0), g(1800, 1500.0), g(2400, 1250.0)],
+        vec![
+            g(900, 2600.0),
+            g(1300, 1900.0),
+            g(1800, 1500.0),
+            g(2400, 1250.0),
+        ],
         1.1,
         1.5,
     ));

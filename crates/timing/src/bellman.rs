@@ -125,7 +125,13 @@ pub fn compute_slack_bellman(
             *a = 0;
         }
     }
-    SlackResult { mode, clock_ps: t, arr, req, slack }
+    SlackResult {
+        mode,
+        clock_ps: t,
+        arr,
+        req,
+        slack,
+    }
 }
 
 #[cfg(test)]

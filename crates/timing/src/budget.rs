@@ -83,7 +83,13 @@ pub struct OpChoice {
 /// Returns [`Error::MalformedDfg`] if a resource-backed operation has no
 /// library candidates at its width.
 pub fn op_choices(dfg: &Dfg, lib: &Library) -> Result<Vec<OpChoice>> {
-    let mut out = vec![OpChoice { candidates: Vec::new(), fixed_ps: Some(0) }; dfg.len_ids()];
+    let mut out = vec![
+        OpChoice {
+            candidates: Vec::new(),
+            fixed_ps: Some(0)
+        };
+        dfg.len_ids()
+    ];
     for o in dfg.op_ids() {
         let kind = dfg.op(o).kind();
         let const_shift = matches!(kind, adhls_ir::OpKind::Shl | adhls_ir::OpKind::Shr)
@@ -92,9 +98,15 @@ pub fn op_choices(dfg: &Dfg, lib: &Library) -> Result<Vec<OpChoice>> {
                 .get(1)
                 .is_some_and(|&p| dfg.op(p).kind().is_const());
         let choice = if const_shift {
-            OpChoice { candidates: Vec::new(), fixed_ps: Some(0) }
+            OpChoice {
+                candidates: Vec::new(),
+                fixed_ps: Some(0),
+            }
         } else if let Some(f) = lib.fixed_delay_ps(kind) {
-            OpChoice { candidates: Vec::new(), fixed_ps: Some(f) }
+            OpChoice {
+                candidates: Vec::new(),
+                fixed_ps: Some(f),
+            }
         } else {
             let w = op_resource_width(dfg, o);
             let candidates = lib.candidates(kind, w);
@@ -103,7 +115,10 @@ pub fn op_choices(dfg: &Dfg, lib: &Library) -> Result<Vec<OpChoice>> {
                     "no library candidates for {o} ({kind} at width {w})"
                 )));
             }
-            OpChoice { candidates, fixed_ps: None }
+            OpChoice {
+                candidates,
+                fixed_ps: None,
+            }
         };
         out[o.0 as usize] = choice;
     }
@@ -153,7 +168,9 @@ pub fn budget(
     opts: &BudgetOptions,
 ) -> Result<BudgetResult> {
     let choices = op_choices(dfg, lib)?;
-    Ok(budget_with_choices(tdfg, &choices, clock_ps, opts, |_| None))
+    Ok(budget_with_choices(tdfg, &choices, clock_ps, opts, |_| {
+        None
+    }))
 }
 
 /// Budgeting over explicit per-op choices. `locked(o) = Some(delay)` pins an
@@ -221,7 +238,10 @@ pub fn budget_with_choices_from(
             delays[i] = d as i64;
             lock_flag[i] = true;
             // Keep the matching candidate index if one matches exactly.
-            idx[i] = choices[i].candidates.iter().position(|c| c.grade.delay_ps == d);
+            idx[i] = choices[i]
+                .candidates
+                .iter()
+                .position(|c| c.grade.delay_ps == d);
             continue;
         }
         let ch = &choices[i];
@@ -242,7 +262,11 @@ pub fn budget_with_choices_from(
     }
 
     let mut moves = 0usize;
-    let max_moves = 4 * choices.iter().map(|c| c.candidates.len()).sum::<usize>().max(16);
+    let max_moves = 4 * choices
+        .iter()
+        .map(|c| c.candidates.len())
+        .sum::<usize>()
+        .max(16);
 
     // ---- phase 1: repair negative aligned slack by upgrading critical ops.
     let mut r = compute(&delays);
@@ -272,13 +296,15 @@ pub fn budget_with_choices_from(
                 let dgain = (cur.delay_ps - fast.delay_ps) as f64;
                 let acost = (fast.area - cur.area).max(1e-9);
                 let score = dgain / acost;
-                if best.map_or(true, |(_, b)| score > b) {
+                if best.is_none_or(|(_, b)| score > b) {
                     best = Some((o, score));
                 }
             }
             best
         };
-        let Some((o, _)) = pick(true).or_else(|| pick(false)) else { break };
+        let Some((o, _)) = pick(true).or_else(|| pick(false)) else {
+            break;
+        };
         let i = o.0 as usize;
         let k = idx[i].unwrap() - 1;
         idx[i] = Some(k);
@@ -310,7 +336,7 @@ pub fn budget_with_choices_from(
                 continue;
             }
             let saving = cur.area - slow.area;
-            if best.map_or(true, |(_, b)| saving > b) {
+            if best.is_none_or(|(_, b)| saving > b) {
                 best = Some((o, saving));
             }
         }
@@ -349,7 +375,15 @@ pub fn budget_with_choices_from(
         }
     }
     let min_slack = r.min_slack();
-    BudgetResult { choice_idx: idx, chosen, delays, slack: r, min_slack, dedicated_area, moves }
+    BudgetResult {
+        choice_idx: idx,
+        chosen,
+        delays,
+        slack: r,
+        min_slack,
+        dedicated_area,
+        moves,
+    }
 }
 
 #[cfg(test)]
@@ -502,7 +536,10 @@ mod tests {
             &tdfg,
             &lib,
             1500,
-            &BudgetOptions { engine: SlackEngine::BellmanFord, ..Default::default() },
+            &BudgetOptions {
+                engine: SlackEngine::BellmanFord,
+                ..Default::default()
+            },
         )
         .unwrap();
         assert_eq!(topo.choice_idx, bf.choice_idx);

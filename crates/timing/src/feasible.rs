@@ -38,7 +38,11 @@ pub fn check(slack: &SlackResult) -> Feasibility {
         .filter(|&(_, &s)| s != i64::MAX && s < 0)
         .map(|(i, _)| OpId(i as u32))
         .collect();
-    Feasibility { feasible: violations.is_empty(), min_slack, violations }
+    Feasibility {
+        feasible: violations.is_empty(),
+        min_slack,
+        violations,
+    }
 }
 
 #[cfg(test)]

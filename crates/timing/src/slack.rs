@@ -101,7 +101,11 @@ pub fn compute_slack(
 
     for &o in tdfg.topo() {
         let oi = o.0 as usize;
-        let mut a = if tdfg.preds(o).is_empty() { 0 } else { i64::MIN };
+        let mut a = if tdfg.preds(o).is_empty() {
+            0
+        } else {
+            i64::MIN
+        };
         for &(p, w) in tdfg.preds(o) {
             let pa = arr[p.0 as usize];
             let cand = pa + delays[p.0 as usize] - t * i64::from(w);
@@ -133,7 +137,13 @@ pub fn compute_slack(
         let oi = o.0 as usize;
         slack[oi] = req[oi] - arr[oi];
     }
-    SlackResult { mode, clock_ps: t, arr, req, slack }
+    SlackResult {
+        mode,
+        clock_ps: t,
+        arr,
+        req,
+        slack,
+    }
 }
 
 #[cfg(test)]

@@ -83,17 +83,23 @@ impl TimedDfg {
                 preds[o.0 as usize].push((p, w));
                 succs[p.0 as usize].push((o, w));
             }
-            sink_w[o.0 as usize] =
-                info.latency(early(o), late(o)).ok_or_else(|| {
-                    Error::MalformedDfg(format!("span of {o} has undefined internal latency"))
-                })?;
+            sink_w[o.0 as usize] = info.latency(early(o), late(o)).ok_or_else(|| {
+                Error::MalformedDfg(format!("span of {o} has undefined internal latency"))
+            })?;
         }
         let topo: Vec<OpId> = dfg
             .topo_order()?
             .into_iter()
             .filter(|&o| timed[o.0 as usize])
             .collect();
-        Ok(TimedDfg { n_ids, timed, preds, succs, sink_w, topo })
+        Ok(TimedDfg {
+            n_ids,
+            timed,
+            preds,
+            succs,
+            sink_w,
+            topo,
+        })
     }
 
     /// Dense id-space size (index [`OpId`]s up to this).

@@ -18,7 +18,10 @@ struct Recipe {
 }
 
 fn recipe() -> impl Strategy<Value = Recipe> {
-    (prop::collection::vec((0u8..4, 0usize..64, 0usize..64), 1..32), 0u32..4)
+    (
+        prop::collection::vec((0u8..4, 0usize..64, 0usize..64), 1..32),
+        0u32..4,
+    )
         .prop_map(|(ops, soft_states)| Recipe { ops, soft_states })
 }
 
@@ -44,7 +47,9 @@ fn build(r: &Recipe) -> (Design, Vec<OpId>) {
 }
 
 fn delays_from(seed: &[u16], n: usize) -> Vec<i64> {
-    (0..n).map(|i| i64::from(seed[i % seed.len()] % 1500) + 1).collect()
+    (0..n)
+        .map(|i| i64::from(seed[i % seed.len()] % 1500) + 1)
+        .collect()
 }
 
 proptest! {

@@ -20,7 +20,11 @@ pub struct FirConfig {
 
 impl Default for FirConfig {
     fn default() -> Self {
-        FirConfig { coeffs: vec![3, -5, 11, 7], cycles: 2, width: 16 }
+        FirConfig {
+            coeffs: vec![3, -5, 11, 7],
+            cycles: 2,
+            width: 16,
+        }
     }
 }
 
@@ -39,7 +43,9 @@ pub fn build(cfg: &FirConfig) -> Design {
     let lp = b.enter_loop();
     // Delay line φs: d[0] is the newest sample.
     let taps = cfg.coeffs.len();
-    let phis: Vec<OpId> = (0..taps.saturating_sub(1)).map(|_| b.loop_phi(zero, w)).collect();
+    let phis: Vec<OpId> = (0..taps.saturating_sub(1))
+        .map(|_| b.loop_phi(zero, w))
+        .collect();
     let x = b.read("in", w);
     // acc = c0·x + Σ ci·d[i-1]
     let mut acc: Option<OpId> = None;
@@ -105,17 +111,22 @@ mod tests {
         let cfg = FirConfig::default();
         let d = build(&cfg);
         let input: Vec<i64> = vec![1, 2, 3, -4, 5, 0, 7, -8];
-        let stim = Stimulus::new()
-            .stream("in", input.iter().map(|&v| v as u64 & 0xFFFF).collect());
+        let stim = Stimulus::new().stream("in", input.iter().map(|&v| v as u64 & 0xFFFF).collect());
         let t = run(&d, &stim, 10_000).unwrap();
-        let expect: Vec<u64> =
-            golden(&cfg, &input).iter().map(|&v| v as u64 & 0xFFFF).collect();
+        let expect: Vec<u64> = golden(&cfg, &input)
+            .iter()
+            .map(|&v| v as u64 & 0xFFFF)
+            .collect();
         assert_eq!(t.outputs["out"], expect);
     }
 
     #[test]
     fn single_tap_is_scaling() {
-        let cfg = FirConfig { coeffs: vec![4], cycles: 1, width: 16 };
+        let cfg = FirConfig {
+            coeffs: vec![4],
+            cycles: 1,
+            width: 16,
+        };
         let d = build(&cfg);
         let t = run(&d, &Stimulus::new().stream("in", vec![5, 10]), 1000).unwrap();
         assert_eq!(t.outputs["out"], vec![20, 40]);

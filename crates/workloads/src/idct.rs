@@ -44,7 +44,10 @@ pub struct IdctConfig {
 
 impl Default for IdctConfig {
     fn default() -> Self {
-        IdctConfig { cycles: 16, pipelined: None }
+        IdctConfig {
+            cycles: 16,
+            pipelined: None,
+        }
     }
 }
 
@@ -56,7 +59,8 @@ struct Ctx<'a> {
 
 impl Ctx<'_> {
     fn mul_c(&mut self, x: OpId, k: usize) -> OpId {
-        self.b.op(Op::new(OpKind::Mul, WIDTH).signed(), &[x, self.consts[k]])
+        self.b
+            .op(Op::new(OpKind::Mul, WIDTH).signed(), &[x, self.consts[k]])
     }
     fn add(&mut self, a: OpId, b: OpId) -> OpId {
         self.b.op(Op::new(OpKind::Add, WIDTH).signed(), &[a, b])
@@ -65,7 +69,8 @@ impl Ctx<'_> {
         self.b.op(Op::new(OpKind::Sub, WIDTH).signed(), &[a, b])
     }
     fn norm(&mut self, a: OpId) -> OpId {
-        self.b.op(Op::new(OpKind::Shr, WIDTH).signed(), &[a, self.shift6])
+        self.b
+            .op(Op::new(OpKind::Shr, WIDTH).signed(), &[a, self.shift6])
     }
 
     /// One 8-point IDCT over already-built values.
@@ -138,7 +143,11 @@ pub fn build_1d(cycles: u32) -> Design {
     let consts = make_consts(&mut b);
     let shift6 = b.constant(NORM_SHIFT, 8);
     let x: [OpId; 8] = std::array::from_fn(|i| b.input(format!("x{i}"), WIDTH));
-    let mut ctx = Ctx { b: &mut b, consts, shift6 };
+    let mut ctx = Ctx {
+        b: &mut b,
+        consts,
+        shift6,
+    };
     let y = ctx.idct8(&x);
     b.soft_waits(cycles.saturating_sub(1));
     for (i, v) in y.into_iter().enumerate() {
@@ -155,7 +164,11 @@ pub fn build_2d(cfg: &IdctConfig) -> Design {
     let consts = make_consts(&mut b);
     let shift6 = b.constant(NORM_SHIFT, 8);
     let xin: Vec<OpId> = (0..64).map(|i| b.input(format!("in{i}"), WIDTH)).collect();
-    let mut ctx = Ctx { b: &mut b, consts, shift6 };
+    let mut ctx = Ctx {
+        b: &mut b,
+        consts,
+        shift6,
+    };
     // Row pass.
     let mut mid = vec![OpId(0); 64];
     for r in 0..8 {
@@ -273,7 +286,10 @@ pub fn table4_points() -> Vec<(String, IdctConfig, u64)> {
     for (i, cycles) in [32u32, 28].iter().enumerate() {
         pts.push((
             format!("D{}", i + 1),
-            IdctConfig { cycles: *cycles, pipelined: None },
+            IdctConfig {
+                cycles: *cycles,
+                pipelined: None,
+            },
             3000,
         ));
     }
@@ -281,28 +297,37 @@ pub fn table4_points() -> Vec<(String, IdctConfig, u64)> {
     for (i, cycles) in [24u32, 20, 16, 12, 10, 8].iter().enumerate() {
         pts.push((
             format!("D{}", i + 3),
-            IdctConfig { cycles: *cycles, pipelined: None },
+            IdctConfig {
+                cycles: *cycles,
+                pipelined: None,
+            },
             2200,
         ));
     }
     // Timing-critical points (the regression candidates, paper D5–D7:
     // "most resources end up being timing critical, which does not provide
     // much room for improvement").
-    for (i, (cycles, clock)) in
-        [(12u32, 1350u64), (10, 1300), (8, 1400)].iter().enumerate()
-    {
+    for (i, (cycles, clock)) in [(12u32, 1350u64), (10, 1300), (8, 1400)].iter().enumerate() {
         pts.push((
             format!("D{}", i + 9),
-            IdctConfig { cycles: *cycles, pipelined: None },
+            IdctConfig {
+                cycles: *cycles,
+                pipelined: None,
+            },
             *clock,
         ));
     }
     // Pipelined points: block accepted every `ii` cycles.
-    for (i, (cycles, ii)) in [(16u32, 8u32), (16, 4), (24, 12), (32, 16)].iter().enumerate()
+    for (i, (cycles, ii)) in [(16u32, 8u32), (16, 4), (24, 12), (32, 16)]
+        .iter()
+        .enumerate()
     {
         pts.push((
             format!("D{}", i + 12),
-            IdctConfig { cycles: *cycles, pipelined: Some(*ii) },
+            IdctConfig {
+                cycles: *cycles,
+                pipelined: Some(*ii),
+            },
             2200,
         ));
     }
@@ -335,7 +360,10 @@ mod tests {
 
     #[test]
     fn dfg_matches_golden_2d() {
-        let d = build_2d(&IdctConfig { cycles: 8, pipelined: None });
+        let d = build_2d(&IdctConfig {
+            cycles: 8,
+            pipelined: None,
+        });
         let mut input = [0i64; 64];
         for (i, v) in input.iter_mut().enumerate() {
             *v = ((i as i64 * 37) % 201) - 100;
@@ -364,14 +392,15 @@ mod tests {
     #[test]
     fn op_scale_is_paper_like() {
         let d = build_2d(&IdctConfig::default());
-        let muls =
-            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Mul).count();
+        let muls = d
+            .dfg
+            .op_ids()
+            .filter(|&o| d.dfg.op(o).kind() == OpKind::Mul)
+            .count();
         let adds = d
             .dfg
             .op_ids()
-            .filter(|&o| {
-                matches!(d.dfg.op(o).kind(), OpKind::Add | OpKind::Sub)
-            })
+            .filter(|&o| matches!(d.dfg.op(o).kind(), OpKind::Add | OpKind::Sub))
             .count();
         assert_eq!(muls, 16 * 22, "22 multiplications per 1-D transform");
         assert!(adds > 400, "hundreds of additions: got {adds}");
@@ -382,7 +411,10 @@ mod tests {
         let pts = table4_points();
         assert_eq!(pts.len(), 15);
         let cycles: Vec<u32> = pts.iter().map(|(_, c, _)| c.cycles).collect();
-        assert!(cycles.contains(&32) && cycles.contains(&8), "paper: 32 to 8 cycles");
+        assert!(
+            cycles.contains(&32) && cycles.contains(&8),
+            "paper: 32 to 8 cycles"
+        );
         assert!(pts.iter().any(|(_, c, _)| c.pipelined.is_some()));
     }
 }

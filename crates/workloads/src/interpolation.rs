@@ -33,7 +33,12 @@ pub struct InterpolationConfig {
 
 impl Default for InterpolationConfig {
     fn default() -> Self {
-        InterpolationConfig { iterations: 4, cycles: 3, mul_width: 8, add_width: 16 }
+        InterpolationConfig {
+            iterations: 4,
+            cycles: 3,
+            mul_width: 8,
+            add_width: 16,
+        }
     }
 }
 
@@ -89,7 +94,15 @@ pub fn build(cfg: &InterpolationConfig) -> (Design, InterpolationOps) {
     b.soft_waits(cfg.cycles - 1);
     let write = b.write("fx", sum);
     let design = b.finish().expect("interpolation design is valid");
-    (design, InterpolationOps { x_muls, dx_muls, sum_adds, write })
+    (
+        design,
+        InterpolationOps {
+            x_muls,
+            dx_muls,
+            sum_adds,
+            write,
+        },
+    )
 }
 
 /// The exact configuration of paper Fig. 2 / Table 2.
@@ -121,10 +134,16 @@ mod tests {
     #[test]
     fn paper_op_counts() {
         let (d, ops) = paper_example();
-        let muls =
-            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Mul).count();
-        let adds =
-            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Add).count();
+        let muls = d
+            .dfg
+            .op_ids()
+            .filter(|&o| d.dfg.op(o).kind() == OpKind::Mul)
+            .count();
+        let adds = d
+            .dfg
+            .op_ids()
+            .filter(|&o| d.dfg.op(o).kind() == OpKind::Add)
+            .count();
         assert_eq!(muls, 7, "paper: 7 multiplications");
         assert_eq!(adds, 4, "paper: 4 additions");
         assert_eq!(ops.x_muls.len(), 4);

@@ -13,6 +13,8 @@
 //! * [`matmul`] — a dense matrix-multiply dataflow block.
 //! * [`random`] — a seeded random-DAG generator standing in for the paper's
 //!   100 confidential customer designs (DESIGN.md §5).
+//! * [`sweep`] — per-workload sweep constructors producing `DsePoint`
+//!   fleets for the `adhls-explore` engine.
 
 pub mod fir;
 pub mod idct;
@@ -20,3 +22,4 @@ pub mod interpolation;
 pub mod matmul;
 pub mod random;
 pub mod resizer;
+pub mod sweep;

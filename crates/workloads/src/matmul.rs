@@ -16,7 +16,11 @@ pub struct MatmulConfig {
 
 impl Default for MatmulConfig {
     fn default() -> Self {
-        MatmulConfig { n: 4, cycles: 8, width: 16 }
+        MatmulConfig {
+            n: 4,
+            cycles: 8,
+            width: 16,
+        }
     }
 }
 
@@ -31,15 +35,21 @@ pub fn build(cfg: &MatmulConfig) -> Design {
     let n = cfg.n;
     let w = cfg.width;
     let mut b = DesignBuilder::new("matmul");
-    let a: Vec<_> = (0..n * n).map(|i| b.input(format!("a_{}_{}", i / n, i % n), w)).collect();
-    let bb: Vec<_> =
-        (0..n * n).map(|i| b.input(format!("b_{}_{}", i / n, i % n), w)).collect();
+    let a: Vec<_> = (0..n * n)
+        .map(|i| b.input(format!("a_{}_{}", i / n, i % n), w))
+        .collect();
+    let bb: Vec<_> = (0..n * n)
+        .map(|i| b.input(format!("b_{}_{}", i / n, i % n), w))
+        .collect();
     let mut c = Vec::with_capacity(n * n);
     for r in 0..n {
         for col in 0..n {
             let mut acc = None;
             for k in 0..n {
-                let m = b.op(Op::new(OpKind::Mul, w).signed(), &[a[r * n + k], bb[k * n + col]]);
+                let m = b.op(
+                    Op::new(OpKind::Mul, w).signed(),
+                    &[a[r * n + k], bb[k * n + col]],
+                );
                 acc = Some(match acc {
                     None => m,
                     Some(s) => b.op(Op::new(OpKind::Add, w).signed(), &[s, m]),
@@ -85,7 +95,11 @@ mod tests {
 
     #[test]
     fn matches_golden_3x3() {
-        let cfg = MatmulConfig { n: 3, cycles: 4, width: 16 };
+        let cfg = MatmulConfig {
+            n: 3,
+            cycles: 4,
+            width: 16,
+        };
         let d = build(&cfg);
         let a: Vec<i64> = (0..9).map(|i| i - 4).collect();
         let bm: Vec<i64> = (0..9).map(|i| 2 * i + 1).collect();
@@ -108,10 +122,17 @@ mod tests {
 
     #[test]
     fn op_counts() {
-        let cfg = MatmulConfig { n: 4, cycles: 8, width: 16 };
+        let cfg = MatmulConfig {
+            n: 4,
+            cycles: 8,
+            width: 16,
+        };
         let d = build(&cfg);
-        let muls =
-            d.dfg.op_ids().filter(|&o| d.dfg.op(o).kind() == OpKind::Mul).count();
+        let muls = d
+            .dfg
+            .op_ids()
+            .filter(|&o| d.dfg.op(o).kind() == OpKind::Mul)
+            .count();
         assert_eq!(muls, 64);
     }
 }

@@ -26,7 +26,12 @@ pub struct RandomConfig {
 
 impl Default for RandomConfig {
     fn default() -> Self {
-        RandomConfig { seed: 1, ops: 60, inputs: 6, cycles: 4 }
+        RandomConfig {
+            seed: 1,
+            ops: 60,
+            inputs: 6,
+            cycles: 4,
+        }
     }
 }
 
@@ -114,11 +119,16 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = build(&RandomConfig { seed: 1, ..Default::default() });
-        let b = build(&RandomConfig { seed: 2, ..Default::default() });
-        let kinds = |d: &Design| -> Vec<OpKind> {
-            d.dfg.op_ids().map(|o| d.dfg.op(o).kind()).collect()
-        };
+        let a = build(&RandomConfig {
+            seed: 1,
+            ..Default::default()
+        });
+        let b = build(&RandomConfig {
+            seed: 2,
+            ..Default::default()
+        });
+        let kinds =
+            |d: &Design| -> Vec<OpKind> { d.dfg.op_ids().map(|o| d.dfg.op(o).kind()).collect() };
         assert_ne!(kinds(&a), kinds(&b));
     }
 

@@ -39,8 +39,9 @@ mod tests {
     #[test]
     fn functional_behavior() {
         let d = build();
-        let stim =
-            Stimulus::new().stream("a", vec![200, 10, 97, 150]).stream("b", vec![5, 4]);
+        let stim = Stimulus::new()
+            .stream("a", vec![200, 10, 97, 150])
+            .stream("b", vec![5, 4]);
         let t = run(&d, &stim, 10_000).unwrap();
         // x = a+3; x>100 ? x/2-3 : x*b
         // 203 -> 98; 13 -> 13*5 = 65; 100 (not >100) -> 100*4 = 400; 153 -> 73.
@@ -62,8 +63,16 @@ mod tests {
         // div is hoistable across the wait above its branch; mul has no
         // cross-state mobility (its span edges — the elaborator adds helper
         // edges around joins — all sit in one clock cycle).
-        let div = d.dfg.op_ids().find(|&o| d.dfg.op(o).kind() == OpKind::Div).unwrap();
-        let mul = d.dfg.op_ids().find(|&o| d.dfg.op(o).kind() == OpKind::Mul).unwrap();
+        let div = d
+            .dfg
+            .op_ids()
+            .find(|&o| d.dfg.op(o).kind() == OpKind::Div)
+            .unwrap();
+        let mul = d
+            .dfg
+            .op_ids()
+            .find(|&o| d.dfg.op(o).kind() == OpKind::Mul)
+            .unwrap();
         let dsp = spans.span(div);
         assert!(
             info.latency(dsp.early, dsp.late) >= Some(1),
@@ -71,7 +80,9 @@ mod tests {
         );
         let msp = spans.span(mul);
         assert!(
-            msp.edges.iter().all(|&e| info.hard_latency(msp.early, e) == Some(0)),
+            msp.edges
+                .iter()
+                .all(|&e| info.hard_latency(msp.early, e) == Some(0)),
             "mul must stay within one cycle"
         );
     }

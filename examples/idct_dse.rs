@@ -30,7 +30,7 @@ fn main() {
     let t0 = std::time::Instant::now();
     let rows = explore(&points, &lib, &HlsOptions::default()).expect("all points schedulable");
     println!("{}", table4(&rows));
-    let s = summarize(&rows);
+    let s = summarize(&rows).expect("non-empty sweep");
     println!("paper Table 4: average saving 8.9%, 3 regressions (D5-D7)");
     println!(
         "measured     : average saving {:.1}%, {} regressions",
@@ -41,5 +41,8 @@ fn main() {
          measured     : {:.1}x power, {:.1}x throughput, {:.2}x area",
         s.power_range, s.throughput_range, s.area_range
     );
-    println!("\ntotal exploration time: {:.2?} (30 HLS runs)", t0.elapsed());
+    println!(
+        "\ntotal exploration time: {:.2?} (30 HLS runs)",
+        t0.elapsed()
+    );
 }

@@ -15,10 +15,18 @@ fn main() {
     let lib = tsmc90::library();
     let mut t1 = Table::new(["resource", "delay (ps)", "area"]);
     for g in lib.grades(ResClass::Multiplier, 8).unwrap() {
-        t1.row(["mul 8x8".into(), g.delay_ps.to_string(), format!("{:.0}", g.area)]);
+        t1.row([
+            "mul 8x8".into(),
+            g.delay_ps.to_string(),
+            format!("{:.0}", g.area),
+        ]);
     }
     for g in lib.grades(ResClass::Adder, 16).unwrap() {
-        t1.row(["add 16".into(), g.delay_ps.to_string(), format!("{:.0}", g.area)]);
+        t1.row([
+            "add 16".into(),
+            g.delay_ps.to_string(),
+            format!("{:.0}", g.area),
+        ]);
     }
     println!("Paper Table 1 — area/delay trade-offs:\n{t1}");
 
@@ -49,7 +57,11 @@ fn main() {
         ("slowest+upgrade (Case 2)", Flow::SlowestUpgrade),
         ("slack-based (paper)", Flow::SlackBased),
     ] {
-        let opts = HlsOptions { clock_ps: 1500, flow, ..Default::default() };
+        let opts = HlsOptions {
+            clock_ps: 1500,
+            flow,
+            ..Default::default()
+        };
         let r = run_hls(&design, &lib, &opts).expect("schedulable");
         t2.row([
             name.to_string(),
@@ -65,7 +77,11 @@ fn main() {
     // ------------------------------------------------------------------
     // 4. Verify the schedule preserves semantics by simulation.
     // ------------------------------------------------------------------
-    let opts = HlsOptions { clock_ps: 1500, flow: Flow::SlackBased, ..Default::default() };
+    let opts = HlsOptions {
+        clock_ps: 1500,
+        flow: Flow::SlackBased,
+        ..Default::default()
+    };
     let r = run_hls(&design, &lib, &opts).unwrap();
     let stim = Stimulus::new()
         .input("x0", 3)

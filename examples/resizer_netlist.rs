@@ -12,7 +12,11 @@ fn main() {
     println!("source:\n{}\n", resizer::SOURCE);
     let design = resizer::build();
     let lib = tsmc90::library();
-    let opts = HlsOptions { clock_ps: 2000, flow: Flow::SlackBased, ..Default::default() };
+    let opts = HlsOptions {
+        clock_ps: 2000,
+        flow: Flow::SlackBased,
+        ..Default::default()
+    };
     let r = run_hls(&design, &lib, &opts).expect("resizer schedules at 2000 ps");
 
     println!(
@@ -37,11 +41,16 @@ fn main() {
         .stream("a", vec![200, 10, 150])
         .stream("b", vec![5]);
     let reference = run(&design, &stim, 10_000).unwrap();
-    let scheduled =
-        run_placed(&design, &stim, 10_000, |o| r.schedule.edge(o)).unwrap();
+    let scheduled = run_placed(&design, &stim, 10_000, |o| r.schedule.edge(o)).unwrap();
     assert_eq!(reference.outputs, scheduled.outputs);
-    println!("\nsimulation outputs (o): {:?} — schedule verified.\n", scheduled.outputs["o"]);
+    println!(
+        "\nsimulation outputs (o): {:?} — schedule verified.\n",
+        scheduled.outputs["o"]
+    );
 
     let info = design.validate().unwrap();
-    println!("netlist:\n{}", netlist::emit(&design, &info, &r.schedule, &r.regs));
+    println!(
+        "netlist:\n{}",
+        netlist::emit(&design, &info, &r.schedule, &r.regs)
+    );
 }

@@ -57,9 +57,16 @@ fn main() {
 
     // The paper's opSpans (Fig. 4/5).
     println!("opSpans (paper §IV):");
-    for (name, o) in
-        [("rd_a", rd_a), ("add", add), ("div", div), ("sub", sub), ("rd_b", rd_b), ("mul", mul), ("mux", mux), ("wr", wr)]
-    {
+    for (name, o) in [
+        ("rd_a", rd_a),
+        ("add", add),
+        ("div", div),
+        ("sub", sub),
+        ("rd_b", rd_b),
+        ("mul", mul),
+        ("mux", mux),
+        ("wr", wr),
+    ] {
         let sp = spans.span(o);
         let edges: Vec<String> = sp.edges.iter().map(|e| format!("e{}", e.0)).collect();
         println!("  span({name}) = {{{}}}", edges.join(","));
@@ -85,14 +92,44 @@ fn main() {
     let r = compute_slack(&tdfg, &delays, t, SlackMode::Plain);
 
     let paper: &[(&str, adhls::ir::OpId, i64, i64, i64)] = &[
-        ("rd_a", rd_a, 0, 2 * t - 4 * big_d - d, 2 * t - 4 * big_d - d),
+        (
+            "rd_a",
+            rd_a,
+            0,
+            2 * t - 4 * big_d - d,
+            2 * t - 4 * big_d - d,
+        ),
         ("add", add, d, 2 * t - 4 * big_d, 2 * t - 4 * big_d - d),
-        ("div", div, d + big_d, 2 * t - 3 * big_d, 2 * t - 4 * big_d - d),
-        ("sub", sub, d + 2 * big_d, 2 * t - 2 * big_d, 2 * t - 4 * big_d - d),
+        (
+            "div",
+            div,
+            d + big_d,
+            2 * t - 3 * big_d,
+            2 * t - 4 * big_d - d,
+        ),
+        (
+            "sub",
+            sub,
+            d + 2 * big_d,
+            2 * t - 2 * big_d,
+            2 * t - 4 * big_d - d,
+        ),
         ("rd_b", rd_b, 0, t - 2 * big_d - d, t - 2 * big_d - d),
         ("mul", mul, d, t - 2 * big_d, t - 2 * big_d - d),
-        ("mux", mux, d + 3 * big_d - t, t - big_d, 2 * t - 4 * big_d - d),
-        ("wr", wr, d + 4 * big_d - 2 * t, t - d, 3 * t - 4 * big_d - 2 * d),
+        (
+            "mux",
+            mux,
+            d + 3 * big_d - t,
+            t - big_d,
+            2 * t - 4 * big_d - d,
+        ),
+        (
+            "wr",
+            wr,
+            d + 4 * big_d - 2 * t,
+            t - d,
+            3 * t - 4 * big_d - 2 * d,
+        ),
     ];
     let mut t3 = Table::new(["Op", "Arr", "Req", "slack", "paper closed form"]);
     for &(name, o, arr, req, slack) in paper {

@@ -18,7 +18,10 @@
 //! * [`core`] — scheduling flows, binding, area/power models, netlist,
 //!   design-space exploration ([`adhls_core`]).
 //! * [`workloads`] — interpolation, resizer, IDCT, FIR, matmul, random
-//!   fleets ([`adhls_workloads`]).
+//!   fleets, and per-workload sweep constructors ([`adhls_workloads`]).
+//! * [`explore`] — the parallel Pareto design-space exploration engine:
+//!   sweep grids, work-stealing evaluation with a memo cache, dominance
+//!   pruning, JSON/CSV export ([`adhls_explore`]).
 //!
 //! # Quickstart
 //!
@@ -34,6 +37,7 @@
 //! ```
 
 pub use adhls_core as core;
+pub use adhls_explore as explore;
 pub use adhls_ir as ir;
 pub use adhls_reslib as reslib;
 pub use adhls_timing as timing;
@@ -41,8 +45,10 @@ pub use adhls_workloads as workloads;
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use adhls_core::dse::{DsePoint, DseRow};
     pub use adhls_core::sched::{run_hls, Flow, HlsOptions, HlsResult};
     pub use adhls_core::{AreaReport, Schedule};
+    pub use adhls_explore::{pareto_front, Engine, EngineOptions, SweepGrid};
     pub use adhls_ir::builder::DesignBuilder;
     pub use adhls_ir::interp::{run, run_placed, Stimulus};
     pub use adhls_ir::{Design, OpKind};

@@ -13,7 +13,10 @@ use adhls::workloads::{fir, idct, matmul};
 #[test]
 fn pipelining_trades_area_for_throughput() {
     let lib = tsmc90::library();
-    let design = idct::build_2d(&idct::IdctConfig { cycles: 16, pipelined: None });
+    let design = idct::build_2d(&idct::IdctConfig {
+        cycles: 16,
+        pipelined: None,
+    });
     let mut counts = Vec::new();
     for ii in [16u32, 4] {
         let r = run_hls(
@@ -27,10 +30,17 @@ fn pipelining_trades_area_for_throughput() {
             },
         )
         .expect("pipelined point schedules");
-        counts.push((ii, r.schedule.allocation.count(ResClass::Multiplier), r.area.total));
+        counts.push((
+            ii,
+            r.schedule.allocation.count(ResClass::Multiplier),
+            r.area.total,
+        ));
     }
     let (&(_, m16, a16), &(_, m4, a4)) = (&counts[0], &counts[1]);
-    assert!(m4 > m16, "II=4 should need more multipliers ({m4} vs {m16})");
+    assert!(
+        m4 > m16,
+        "II=4 should need more multipliers ({m4} vs {m16})"
+    );
     assert!(a4 > a16, "II=4 should cost more area ({a4:.0} vs {a16:.0})");
 }
 
@@ -38,21 +48,30 @@ fn pipelining_trades_area_for_throughput() {
 /// correctly at the scheduled placement.
 #[test]
 fn fir_loop_schedules_and_streams() {
-    let cfg = fir::FirConfig { coeffs: vec![3, -5, 11, 7], cycles: 3, width: 16 };
+    let cfg = fir::FirConfig {
+        coeffs: vec![3, -5, 11, 7],
+        cycles: 3,
+        width: 16,
+    };
     let design = fir::build(&cfg);
     let lib = tsmc90::library();
     let r = run_hls(
         &design,
         &lib,
-        &HlsOptions { clock_ps: 2000, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 2000,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     )
     .expect("fir schedules");
     let input: Vec<i64> = vec![1, -2, 3, 4, -5, 6, 7, -8, 9, 10];
-    let stim = Stimulus::new()
-        .stream("in", input.iter().map(|&v| v as u64 & 0xFFFF).collect());
+    let stim = Stimulus::new().stream("in", input.iter().map(|&v| v as u64 & 0xFFFF).collect());
     let placed = run_placed(&design, &stim, 100_000, |o| r.schedule.edge(o)).unwrap();
-    let expect: Vec<u64> =
-        fir::golden(&cfg, &input).iter().map(|&v| v as u64 & 0xFFFF).collect();
+    let expect: Vec<u64> = fir::golden(&cfg, &input)
+        .iter()
+        .map(|&v| v as u64 & 0xFFFF)
+        .collect();
     assert_eq!(placed.outputs["out"], expect);
 }
 
@@ -61,14 +80,29 @@ fn fir_loop_schedules_and_streams() {
 #[test]
 fn matmul_budget_scales_resources() {
     let lib = tsmc90::library();
-    let tight = matmul::build(&matmul::MatmulConfig { n: 3, cycles: 3, width: 16 });
-    let loose = matmul::build(&matmul::MatmulConfig { n: 3, cycles: 12, width: 16 });
-    let opts = |_c| HlsOptions { clock_ps: 2400, flow: Flow::SlackBased, ..Default::default() };
+    let tight = matmul::build(&matmul::MatmulConfig {
+        n: 3,
+        cycles: 3,
+        width: 16,
+    });
+    let loose = matmul::build(&matmul::MatmulConfig {
+        n: 3,
+        cycles: 12,
+        width: 16,
+    });
+    let opts = |_c| HlsOptions {
+        clock_ps: 2400,
+        flow: Flow::SlackBased,
+        ..Default::default()
+    };
     let rt = run_hls(&tight, &lib, &opts(())).unwrap();
     let rl = run_hls(&loose, &lib, &opts(())).unwrap();
     let mt = rt.schedule.allocation.count(ResClass::Multiplier);
     let ml = rl.schedule.allocation.count(ResClass::Multiplier);
-    assert!(ml < mt, "loose budget should share multipliers ({ml} vs {mt})");
+    assert!(
+        ml < mt,
+        "loose budget should share multipliers ({ml} vs {mt})"
+    );
 }
 
 /// DSL source with a bounded loop and a conditional compiles, schedules,
@@ -91,7 +125,11 @@ fn dsl_program_end_to_end() {
     let r = run_hls(
         &design,
         &lib,
-        &HlsOptions { clock_ps: 2000, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 2000,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     )
     .expect("schedules");
     let stim = Stimulus::new().stream("a", vec![50, 200, 99, 150, 1, 100]);
@@ -109,7 +147,11 @@ fn netlist_emission_is_complete() {
     let r = run_hls(
         &design,
         &lib,
-        &HlsOptions { clock_ps: 2200, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 2200,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     )
     .unwrap();
     let info = design.validate().unwrap();
@@ -135,7 +177,11 @@ fn library_roundtrip_through_text() {
     let r = run_hls(
         &design,
         &back,
-        &HlsOptions { clock_ps: 1500, flow: Flow::SlackBased, ..Default::default() },
+        &HlsOptions {
+            clock_ps: 1500,
+            flow: Flow::SlackBased,
+            ..Default::default()
+        },
     );
     assert!(r.is_ok());
 }

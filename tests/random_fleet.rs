@@ -16,12 +16,20 @@ fn fleet_average_saving_is_positive() {
         let conv = run_hls(
             design,
             &lib,
-            &HlsOptions { clock_ps: *clock, flow: Flow::Conventional, ..Default::default() },
+            &HlsOptions {
+                clock_ps: *clock,
+                flow: Flow::Conventional,
+                ..Default::default()
+            },
         );
         let slack = run_hls(
             design,
             &lib,
-            &HlsOptions { clock_ps: *clock, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: *clock,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         );
         let (Ok(conv), Ok(slack)) = (conv, slack) else {
             continue; // a random (design, clock) pair may be overconstrained
@@ -35,7 +43,10 @@ fn fleet_average_saving_is_positive() {
         );
         savings.push(save);
     }
-    assert!(savings.len() >= 16, "too many overconstrained fleet members");
+    assert!(
+        savings.len() >= 16,
+        "too many overconstrained fleet members"
+    );
     let avg = savings.iter().sum::<f64>() / savings.len() as f64;
     assert!(
         avg > 2.0,
@@ -52,7 +63,11 @@ fn fleet_schedules_preserve_semantics() {
         let Ok(r) = run_hls(
             &design,
             &lib,
-            &HlsOptions { clock_ps: clock, flow: Flow::SlackBased, ..Default::default() },
+            &HlsOptions {
+                clock_ps: clock,
+                flow: Flow::SlackBased,
+                ..Default::default()
+            },
         ) else {
             continue;
         };

@@ -1,0 +1,194 @@
+//! Offline stand-in for the subset of `criterion` this workspace uses.
+//!
+//! The build environment has no registry access, so the workspace vendors a
+//! small, dependency-free bench harness with the same surface syntax:
+//! [`Criterion::bench_function`], [`Bencher::iter`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros (both the struct-style
+//! and positional forms).
+//!
+//! Behavior: under `cargo bench` (the harness receives a `--bench` flag)
+//! each benchmark is timed for `sample_size` samples and a
+//! `min/mean/max` per-iteration line is printed. Under any other
+//! invocation (e.g. `cargo test --benches`) each benchmark body runs once
+//! as a smoke test, exactly like upstream criterion's `--test` mode, so
+//! benches stay cheap in test runs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level bench context, one per `criterion_group!` config.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    /// Full measurement (true under `cargo bench`) vs single-shot smoke.
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion {
+            sample_size: 20,
+            measure,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 1, "sample_size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs (or smoke-tests) one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if !self.measure {
+            // Smoke mode: run the body once so the bench is exercised by
+            // test invocations without costing bench-scale time.
+            let mut b = Bencher {
+                measure: false,
+                per_iter_ns: 0.0,
+            };
+            f(&mut b);
+            println!("{id}: smoke ok");
+            return self;
+        }
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let mut b = Bencher {
+                measure: true,
+                per_iter_ns: 0.0,
+            };
+            f(&mut b);
+            samples.push(b.per_iter_ns);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        println!(
+            "{id:<50} time: [{} {} {}]",
+            fmt_ns(samples[0]),
+            fmt_ns(mean),
+            fmt_ns(*samples.last().expect("at least one sample")),
+        );
+        self
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Timer handle passed to the benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    measure: bool,
+    per_iter_ns: f64,
+}
+
+impl Bencher {
+    /// Times `f`, auto-scaling the iteration count to a ~5 ms sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if !self.measure {
+            black_box(f());
+            return;
+        }
+        // Calibrate: run once to estimate cost.
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let target = Duration::from_millis(5);
+        let iters = (target.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        let total = t1.elapsed();
+        self.per_iter_ns = total.as_secs_f64() * 1e9 / iters as f64;
+    }
+}
+
+/// Declares a bench group; both upstream forms are accepted.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            $(
+                let mut __c: $crate::Criterion = $config;
+                $target(&mut __c);
+            )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the bench `main` running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_mode_runs_body_once() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measure: false,
+        };
+        let mut runs = 0;
+        c.bench_function("t", |b| {
+            runs += 1;
+            b.iter(|| 1 + 1);
+        });
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measure_mode_collects_samples() {
+        let mut c = Criterion {
+            sample_size: 3,
+            measure: true,
+        };
+        let mut runs = 0;
+        c.bench_function("t", |b| {
+            runs += 1;
+            b.iter(|| black_box(7u64).wrapping_mul(3));
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn fmt_ns_picks_sane_units() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).contains("µs"));
+        assert!(fmt_ns(12_000_000.0).contains("ms"));
+        assert!(fmt_ns(2.0e9).ends_with(" s"));
+    }
+}

@@ -1,0 +1,73 @@
+//! `any::<T>()` — canonical strategies per type.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical strategy.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type AnyStrategy: Strategy<Value = Self>;
+
+    /// Builds the canonical strategy.
+    fn arbitrary() -> Self::AnyStrategy;
+}
+
+/// Upstream `any::<T>()`.
+pub fn any<T: Arbitrary>() -> T::AnyStrategy {
+    T::arbitrary()
+}
+
+/// Canonical strategy for `bool`: a fair coin.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type AnyStrategy = BoolStrategy;
+
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty => $lo:expr, $hi:expr;)*) => {$(
+        impl Arbitrary for $t {
+            type AnyStrategy = std::ops::Range<$t>;
+
+            fn arbitrary() -> std::ops::Range<$t> {
+                // Full-ish domain; kept below i64 bounds for the uniform
+                // i128 draw used by range strategies.
+                $lo..$hi
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int! {
+    u8 => 0, u8::MAX;
+    u16 => 0, u16::MAX;
+    u32 => 0, u32::MAX;
+    i64 => i64::MIN / 2, i64::MAX / 2;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bool_takes_both_values() {
+        let mut rng = TestRng::for_case("bool", 0);
+        let s = any::<bool>();
+        let draws: Vec<bool> = (0..64).map(|_| s.generate(&mut rng)).collect();
+        assert!(draws.iter().any(|&b| b));
+        assert!(draws.iter().any(|&b| !b));
+    }
+}

@@ -1,0 +1,79 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SizeRange {
+    lo: usize,
+    /// Exclusive upper bound.
+    hi: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty vec size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end,
+        }
+    }
+}
+
+/// Strategy producing `Vec`s of `element` values (see [`vec`]).
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.uniform_i128(self.size.lo as i128, self.size.hi as i128) as usize;
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// `prop::collection::vec(element, len)` — a vector whose length is drawn
+/// from `size` and whose elements come from `element`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_size_is_exact() {
+        let mut rng = TestRng::for_case("vec_exact", 0);
+        for _ in 0..20 {
+            assert_eq!(vec(0u8..10, 4).generate(&mut rng).len(), 4);
+        }
+    }
+
+    #[test]
+    fn ranged_size_stays_in_range() {
+        let mut rng = TestRng::for_case("vec_range", 0);
+        let s = vec(0u8..10, 1..28);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!((1..28).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+}

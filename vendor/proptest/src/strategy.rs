@@ -1,0 +1,149 @@
+//! The [`Strategy`] trait plus range, tuple, and mapped strategies.
+
+use crate::test_runner::TestRng;
+use std::ops::Range;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (upstream `prop_map`).
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// A mapped strategy (see [`Strategy::prop_map`]).
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.uniform_i128(i128::from(self.start as i64), i128::from(self.end as i64))
+                    as $t
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, i8, i16, i32, i64);
+
+// usize/u64 need the full unsigned domain (no lossless cast through i64 in
+// general, but test ranges stay far below i64::MAX; draw via i128 anyway).
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn generate(&self, rng: &mut TestRng) -> usize {
+        rng.uniform_i128(self.start as i128, self.end as i128) as usize
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.uniform_i128(i128::from(self.start), i128::from(self.end)) as u64
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+/// A strategy returning a constant (used by `Just` in upstream; handy for
+/// composing fixed fields into tuples).
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::for_case("ranges", 0);
+        for _ in 0..500 {
+            let a = (3u8..9).generate(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (1400u64..3200).generate(&mut rng);
+            assert!((1400..3200).contains(&b));
+            let c = (-7i64..4).generate(&mut rng);
+            assert!((-7..4).contains(&c));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = TestRng::for_case("map", 0);
+        let s = (0u8..4).prop_map(|v| v as u32 + 100);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((100..104).contains(&v));
+        }
+    }
+
+    #[test]
+    fn tuples_generate_componentwise() {
+        let mut rng = TestRng::for_case("tuple", 0);
+        let s = (0u8..2, 10usize..12, 100i64..102);
+        for _ in 0..50 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!(a < 2 && (10..12).contains(&b) && (100..102).contains(&c));
+        }
+    }
+}

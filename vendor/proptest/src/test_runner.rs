@@ -1,0 +1,174 @@
+//! Case runner and deterministic RNG.
+
+/// Per-test configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run.
+    pub cases: u32,
+    /// Maximum rejected draws (via `prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 64,
+            max_global_rejects: 4096,
+        }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` accepted cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig {
+            cases,
+            ..Default::default()
+        }
+    }
+}
+
+/// Why a single case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// `prop_assume!` precondition unmet; the case is re-drawn.
+    Reject(String),
+    /// `prop_assert*` failure; the whole test fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing case.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (skipped) case.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// The result type proptest bodies produce.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Deterministic SplitMix64 stream handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds the stream for one (test, case) pair.
+    #[must_use]
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index, so every
+        // test explores an independent deterministic stream.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng {
+            state: h ^ (u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        }
+    }
+
+    /// Next raw 64-bit draw.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw from `lo..hi` over a signed 128-bit domain.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    pub fn uniform_i128(&mut self, lo: i128, hi: i128) -> i128 {
+        assert!(lo < hi, "uniform draw over an empty range {lo}..{hi}");
+        let span = (hi - lo) as u128;
+        lo + (u128::from(self.next_u64()) % span) as i128
+    }
+}
+
+/// Runs `config.cases` accepted cases of `f`, panicking on the first
+/// failure with the case index (cases are deterministic, so the index is a
+/// reproduction handle).
+///
+/// # Panics
+///
+/// Panics when a case fails or too many cases are rejected.
+pub fn run_cases<F>(config: &ProptestConfig, test_name: &str, mut f: F)
+where
+    F: FnMut(&mut TestRng) -> TestCaseResult,
+{
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let mut draw = 0u32;
+    while accepted < config.cases {
+        let mut rng = TestRng::for_case(test_name, draw);
+        match f(&mut rng) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected <= config.max_global_rejects,
+                    "{test_name}: gave up after {rejected} rejected cases \
+                     ({accepted}/{} accepted)",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case #{draw} failed: {msg}")
+            }
+        }
+        draw += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic_per_name_and_case() {
+        let mut a = TestRng::for_case("t", 3);
+        let mut b = TestRng::for_case("t", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("t", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn runner_counts_accepted_cases() {
+        let mut n = 0;
+        run_cases(&ProptestConfig::with_cases(10), "count", |_| {
+            n += 1;
+            Ok(())
+        });
+        assert_eq!(n, 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "case #")]
+    fn runner_panics_on_failure() {
+        run_cases(&ProptestConfig::with_cases(10), "fail", |_| {
+            Err(TestCaseError::fail("boom"))
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "rejected")]
+    fn runner_gives_up_on_reject_storm() {
+        let cfg = ProptestConfig {
+            cases: 1,
+            max_global_rejects: 8,
+        };
+        run_cases(&cfg, "reject", |_| Err(TestCaseError::reject("never")));
+    }
+}
