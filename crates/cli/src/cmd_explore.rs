@@ -1,14 +1,19 @@
 //! `adhls explore` — expand a sweep, fan it across cores, report the
-//! Pareto front.
+//! Pareto front. With `--adaptive`, refine the front through a persistent
+//! evaluator pool instead of exhausting the grid.
 
 use crate::opts::{write_out, Opts};
 use adhls_core::dse::{summarize, DsePoint, DseRow};
 use adhls_core::report::Table;
 use adhls_core::sched::HlsOptions;
-use adhls_explore::export::{front_to_json, rows_to_csv};
-use adhls_explore::{pareto_front, Engine, EngineOptions};
-use adhls_ir::frontend;
+use adhls_explore::export::{front_to_json, refine_to_json, rows_to_csv};
+use adhls_explore::pool::{EvaluatorPool, PoolOptions};
+use adhls_explore::refine::{refine, RefineOptions};
+use adhls_explore::sweep::SweepCell;
+use adhls_explore::{pareto_front, Engine, EngineOptions, SweepGrid};
+use adhls_ir::{frontend, Design};
 use adhls_workloads::sweep;
+use adhls_workloads::{idct, interpolation, matmul};
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
@@ -24,9 +29,24 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--dim",
             "--count",
             "--seed",
+            "--budget",
+            "--gap-tol",
         ],
-        &["--serial", "--skip-infeasible", "--front-only"],
+        &[
+            "--serial",
+            "--skip-infeasible",
+            "--front-only",
+            "--adaptive",
+        ],
     )?;
+    if o.flag("--adaptive") {
+        return run_adaptive(&o);
+    }
+    for flag in ["--budget", "--gap-tol"] {
+        if o.get(flag).is_some() {
+            return Err(format!("{flag} only makes sense with --adaptive"));
+        }
+    }
     let points = build_points(&o)?;
     if points.is_empty() {
         return Err("the sweep is empty (check --clocks/--cycles)".into());
@@ -77,6 +97,182 @@ pub fn run(args: &[String]) -> Result<(), String> {
         write_out(path, &rows_to_csv(&result.rows), "sweep CSV")?;
     }
     Ok(())
+}
+
+/// `adhls explore --adaptive`: refine the Pareto front of a workload grid
+/// through a persistent evaluator pool instead of sweeping every cell.
+fn run_adaptive(o: &Opts) -> Result<(), String> {
+    if !o.positional.is_empty() {
+        return Err("--adaptive explores workload grids, not DSL files".into());
+    }
+    // Strict validation: a silently-clamped budget or tolerance would make
+    // "why did it stop there?" undebuggable.
+    let budget = match o.get("--budget") {
+        None => 0,
+        Some(v) => {
+            let n: usize = v
+                .parse()
+                .map_err(|_| format!("--budget: `{v}` is not a whole number"))?;
+            if n == 0 {
+                return Err("--budget must be >= 1 (omit it for no budget)".into());
+            }
+            n
+        }
+    };
+    let gap_tol = match o.get("--gap-tol") {
+        None => 0.05,
+        Some(v) => {
+            let t: f64 = v
+                .parse()
+                .map_err(|_| format!("--gap-tol: `{v}` is not a number"))?;
+            if !t.is_finite() || t < 0.0 {
+                return Err(format!("--gap-tol: `{v}` must be a finite number >= 0"));
+            }
+            t
+        }
+    };
+    let (grid, prefix, build) = adaptive_grid(o)?;
+    if grid.is_empty() {
+        return Err("the sweep is empty (check --clocks/--cycles)".into());
+    }
+    let opts = RefineOptions {
+        budget,
+        gap_tol,
+        ..Default::default()
+    };
+    let skip = o.flag("--skip-infeasible");
+    let threads = o.num("--threads", 0usize)?;
+    let t0 = std::time::Instant::now();
+    let result = if o.flag("--serial") {
+        let lib = adhls_reslib::tsmc90::library();
+        let engine = Engine::with_options(
+            &lib,
+            HlsOptions::default(),
+            EngineOptions {
+                threads: 1,
+                skip_infeasible: skip,
+            },
+        );
+        refine(&engine, &grid, &prefix, build, &opts)
+    } else {
+        let pool = EvaluatorPool::new(
+            adhls_reslib::tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads,
+                skip_infeasible: skip,
+            },
+        );
+        refine(&pool, &grid, &prefix, build, &opts)
+    }
+    .map_err(|e| {
+        format!(
+            "adaptive exploration failed: {e} (use --skip-infeasible to drop unschedulable cells)"
+        )
+    })?;
+    let elapsed = t0.elapsed();
+
+    let exporting_to_stdout = o.get("--json") == Some("-") || o.get("--csv") == Some("-");
+    if !exporting_to_stdout {
+        print_human(o, &result.rows, &result.front);
+    }
+    for (name, why) in &result.skipped {
+        eprintln!("skipped {name}: {why}");
+    }
+    eprintln!(
+        "adaptive: {} of {} grid cells evaluated ({} pruned), {} on the front, \
+         {} rounds, gap tol {}, {:.2?}",
+        result.evaluated,
+        result.grid_cells,
+        result.pruned,
+        result.front.len(),
+        result.trace.len().saturating_sub(1),
+        gap_tol,
+        elapsed
+    );
+
+    if let Some(path) = o.get("--json") {
+        write_out(path, &refine_to_json(&result), "refinement JSON")?;
+    }
+    if let Some(path) = o.get("--csv") {
+        write_out(path, &rows_to_csv(&result.rows), "sweep CSV")?;
+    }
+    Ok(())
+}
+
+/// The grid, point-name prefix, and cell builder for an adaptive workload.
+#[allow(clippy::type_complexity)]
+fn adaptive_grid(
+    o: &Opts,
+) -> Result<(SweepGrid, String, Box<dyn FnMut(&SweepCell) -> Design>), String> {
+    let clocks = o.list::<u64>("--clocks")?;
+    let cycles = o.list::<u32>("--cycles")?;
+    let modes = o.pipeline_modes()?;
+    if clocks.as_deref().is_some_and(|c| c.contains(&0)) {
+        return Err("--clocks: clock periods must be >= 1 ps".into());
+    }
+    if cycles.as_deref().is_some_and(|c| c.contains(&0)) {
+        return Err("--cycles: latency budgets must be >= 1 cycle".into());
+    }
+    if modes.as_deref().is_some_and(|m| m.contains(&Some(0))) {
+        return Err("--pipeline: initiation intervals must be >= 1".into());
+    }
+    let workload = o
+        .get("--workload")
+        .ok_or("explore --adaptive needs --workload <name>")?;
+    match workload {
+        "interpolation" | "interp" => {
+            if modes.is_some() {
+                return Err("--pipeline: only the idct workload has a pipelining axis".into());
+            }
+            let grid = SweepGrid::new()
+                .clocks_ps(clocks.unwrap_or_else(|| vec![1100, 1400, 1800, 2400]))
+                .cycles(cycles.unwrap_or_else(|| vec![3, 4, 6]));
+            let build = |cell: &SweepCell| {
+                let cfg = interpolation::InterpolationConfig {
+                    cycles: cell.cycles,
+                    ..Default::default()
+                };
+                interpolation::build(&cfg).0
+            };
+            Ok((grid, "interp".into(), Box::new(build)))
+        }
+        "idct" => {
+            let grid = SweepGrid::new()
+                .clocks_ps(clocks.unwrap_or_else(|| vec![2200, 3000]))
+                .cycles(cycles.unwrap_or_else(|| vec![12, 16, 24, 32]))
+                .pipeline_modes(modes.unwrap_or_else(|| vec![None]));
+            let build = |cell: &SweepCell| {
+                idct::build_2d(&idct::IdctConfig {
+                    cycles: cell.cycles,
+                    pipelined: cell.pipeline_ii,
+                })
+            };
+            Ok((grid, "idct".into(), Box::new(build)))
+        }
+        "matmul" => {
+            if modes.is_some() {
+                return Err("--pipeline: only the idct workload has a pipelining axis".into());
+            }
+            let n = o.num("--dim", 3usize)?;
+            let grid = SweepGrid::new()
+                .clocks_ps(clocks.unwrap_or_else(|| vec![2200, 3000]))
+                .cycles(cycles.unwrap_or_else(|| vec![4, 6, 8]));
+            let build = move |cell: &SweepCell| {
+                matmul::build(&matmul::MatmulConfig {
+                    n,
+                    cycles: cell.cycles,
+                    ..Default::default()
+                })
+            };
+            // The prefix must match the non-adaptive sweep's naming so rows
+            // stay cross-referenceable; matmul encodes its dimension there.
+            Ok((grid, format!("mm{n}"), Box::new(build)))
+        }
+        other => Err(format!(
+            "workload `{other}` has no adaptive grid (interpolation | idct | matmul)"
+        )),
+    }
 }
 
 /// Builds the point fleet from `--workload` (grid axes optional) or from a

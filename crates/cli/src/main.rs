@@ -46,6 +46,14 @@ EXPLORE OPTIONS:
     --json <PATH>         write sweep + front JSON (`-` for stdout)
     --csv <PATH>          write sweep CSV (`-` for stdout)
 
+ADAPTIVE EXPLORE OPTIONS (interpolation | idct | matmul):
+    --adaptive            refine the front instead of sweeping the grid:
+                          seed the axis corners/midpoints, bisect the
+                          widest Pareto gaps, prune dominated cells
+    --budget <N>          stop after evaluating N grid cells    [default: none]
+    --gap-tol <T>         stop when no normalized front gap
+                          exceeds T                             [default: 0.05]
+
 Exploring a DSL file sweeps --clocks only (the file fixes its own states).
 ";
 

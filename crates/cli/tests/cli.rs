@@ -78,3 +78,67 @@ fn explore_rejects_contradictory_inputs() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("--workload"));
 }
+
+#[test]
+fn explore_adaptive_emits_refinement_json() {
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--adaptive",
+        "--gap-tol",
+        "0.1",
+        "--skip-infeasible",
+        "--json",
+        "-",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"refine\":"), "refine block missing: {json}");
+    assert!(json.contains("\"rounds\":"), "trace missing: {json}");
+    let front = json.split("\"front\":").nth(1).expect("front key present");
+    assert!(
+        front.contains("\"name\":\"interp-"),
+        "Pareto front is empty: {front}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("adaptive:"), "stderr: {stderr}");
+}
+
+#[test]
+fn explore_adaptive_validates_its_flags() {
+    // --budget/--gap-tol without --adaptive.
+    let out = adhls(&["explore", "--workload", "idct", "--budget", "5"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--adaptive"));
+    // Zero budget.
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "idct",
+        "--adaptive",
+        "--budget",
+        "0",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains(">= 1"));
+    // Non-finite tolerance.
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "idct",
+        "--adaptive",
+        "--gap-tol",
+        "inf",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("finite"));
+    // Workload without a grid builder.
+    let out = adhls(&["explore", "--workload", "random", "--adaptive"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("no adaptive grid"));
+}

@@ -54,6 +54,18 @@ impl DsePoint {
         }
     }
 
+    /// Exact time between successive data items for this point, in
+    /// picoseconds. This is a pure function of the grid coordinates — no
+    /// scheduling required — which is what lets adaptive refinement prune
+    /// unevaluated cells on the latency axis with a *provable* (not
+    /// estimated) value. Must stay the single definition shared with
+    /// [`evaluate_point`], or pruning bounds drift from what evaluation
+    /// reports.
+    #[must_use]
+    pub fn item_time_ps(&self) -> f64 {
+        grid_item_time_ps(self.clock_ps, self.cycles_per_item)
+    }
+
     /// Items-per-run heuristic for designs that bake their own budget (DSL
     /// files, random fleets): one item per pass through the state sequence,
     /// i.e. the number of state nodes (≥ 1).
@@ -102,6 +114,19 @@ pub struct DseSummary {
     pub area_range: f64,
 }
 
+/// Exact item time of a grid cell `(clock_ps, cycles_per_item)` in
+/// picoseconds, with the same degenerate-cell clamp as [`evaluate_point`]
+/// (a zero `cycles_per_item` counts as 1 so throughput stays finite).
+///
+/// Grid-cell latency and throughput are closed-form — only area and power
+/// need an actual HLS run — so exploration drivers can bound unevaluated
+/// cells (e.g. cells produced by bisecting a Pareto gap) without paying for
+/// scheduling.
+#[must_use]
+pub fn grid_item_time_ps(clock_ps: u64, cycles_per_item: u32) -> f64 {
+    f64::from(cycles_per_item.max(1)) * clock_ps as f64
+}
+
 /// Evaluates one design point under both flows — the single-point kernel
 /// shared by the serial [`explore`] driver here and the parallel engine in
 /// `adhls-explore`.
@@ -129,7 +154,7 @@ pub fn evaluate_point(p: &DsePoint, lib: &Library, base: &HlsOptions) -> Result<
         cycles_per_item,
         p.clock_ps,
     );
-    let item_time_ps = f64::from(cycles_per_item) * p.clock_ps as f64;
+    let item_time_ps = grid_item_time_ps(p.clock_ps, cycles_per_item);
     let save_pct = if conv.area.total == 0.0 {
         0.0
     } else {
@@ -272,6 +297,17 @@ mod tests {
         let g = DsePoint::grid("g", p.design, 1100, 0, None);
         assert_eq!(g.cycles_per_item, 1, "zero budget clamps to 1");
         assert_eq!(g.name, "g-c1100-l0");
+    }
+
+    #[test]
+    fn item_time_helper_matches_evaluation() {
+        // The closed-form item time must be exactly what evaluate_point
+        // reports through throughput — refinement pruning relies on it.
+        let lib = tsmc90::library();
+        let p = point("T", 2, 1300);
+        let row = evaluate_point(&p, &lib, &HlsOptions::default()).unwrap();
+        assert_eq!(row.throughput, 1.0e6 / p.item_time_ps());
+        assert_eq!(grid_item_time_ps(1300, 0), grid_item_time_ps(1300, 1));
     }
 
     #[test]

@@ -83,6 +83,28 @@ impl ResultCache {
     }
 }
 
+/// Memo key for one point under `base` options — the one shared definition
+/// used by [`Engine`] and the persistent pool in [`crate::pool`].
+///
+/// The pipeline-II option is encoded as a separate tag word plus the raw
+/// value: the old `ii + 1` trick both overflowed at `u32::MAX` (debug
+/// panic) and, in release, wrapped `Some(u32::MAX)` onto the same word as
+/// `None` — a silent key collision between a pipelined and a sequential
+/// point.
+pub(crate) fn point_key(base: &HlsOptions, p: &DsePoint) -> u64 {
+    let mut h = Fnv::default();
+    h.u64(design_fingerprint(&p.design));
+    h.u64(options_fingerprint(base));
+    h.u64(p.clock_ps);
+    match p.pipeline_ii {
+        None => h.u64(0),
+        Some(ii) => h.u64(1).u64(u64::from(ii)),
+    };
+    h.u64(u64::from(p.cycles_per_item));
+    h.str(&p.name);
+    h.digest()
+}
+
 /// Tuning knobs for [`Engine`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EngineOptions {
@@ -153,20 +175,16 @@ impl<'a> Engine<'a> {
 
     /// Memo key for one point under the engine's base options.
     fn point_key(&self, p: &DsePoint) -> u64 {
-        let mut h = Fnv::default();
-        h.u64(design_fingerprint(&p.design));
-        h.u64(options_fingerprint(&self.base));
-        h.u64(p.clock_ps);
-        h.u64(u64::from(p.pipeline_ii.map_or(0, |ii| ii + 1)));
-        h.u64(u64::from(p.cycles_per_item));
-        h.str(&p.name);
-        h.digest()
+        point_key(&self.base, p)
     }
 
-    /// Evaluates one point through the cache.
-    fn evaluate_one(&self, p: &DsePoint) -> Result<DseRow> {
+    /// Evaluates one point through the cache, crediting a hit to the
+    /// caller's per-sweep counter (not the engine-lifetime stats, which
+    /// other concurrent sweeps also move).
+    fn evaluate_one(&self, p: &DsePoint, sweep_hits: &AtomicU64) -> Result<DseRow> {
         let key = self.point_key(p);
         if let Some(row) = self.cache.get(key) {
+            sweep_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(row);
         }
         let row = evaluate_point(p, self.lib, &self.base)?;
@@ -181,10 +199,10 @@ impl<'a> Engine<'a> {
     /// Returns the first point's scheduling error unless
     /// [`EngineOptions::skip_infeasible`] is set.
     pub fn evaluate_serial(&self, points: &[DsePoint]) -> Result<SweepResult> {
-        let (h0, _) = self.cache.stats();
+        let hits = AtomicU64::new(0);
         let mut results: Vec<Result<DseRow>> = Vec::with_capacity(points.len());
         for p in points {
-            let r = self.evaluate_one(p);
+            let r = self.evaluate_one(p, &hits);
             // In strict mode one failure fails the whole sweep — don't burn
             // HLS runs on the remaining points.
             let bail = r.is_err() && !self.opts.skip_infeasible;
@@ -193,8 +211,7 @@ impl<'a> Engine<'a> {
                 break;
             }
         }
-        let (h1, _) = self.cache.stats();
-        self.collect(points, results, h1 - h0, 1)
+        self.collect(points, results, hits.into_inner(), 1)
     }
 
     /// Parallel evaluation: bit-identical rows to
@@ -213,7 +230,7 @@ impl<'a> Engine<'a> {
         if workers <= 1 {
             return self.evaluate_serial(points);
         }
-        let (h0, _) = self.cache.stats();
+        let hits = AtomicU64::new(0);
         let next = AtomicUsize::new(0);
         let failed = std::sync::atomic::AtomicBool::new(false);
         let slots: Vec<OnceLock<Result<DseRow>>> =
@@ -228,7 +245,7 @@ impl<'a> Engine<'a> {
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(p) = points.get(i) else { break };
-                    let out = self.evaluate_one(p);
+                    let out = self.evaluate_one(p, &hits);
                     if out.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -242,8 +259,7 @@ impl<'a> Engine<'a> {
         // the prefix is therefore the first failing point in input order.
         let results: Vec<Result<DseRow>> =
             slots.into_iter().map_while(OnceLock::into_inner).collect();
-        let (h1, _) = self.cache.stats();
-        self.collect(points, results, h1 - h0, workers)
+        self.collect(points, results, hits.into_inner(), workers)
     }
 
     fn worker_count(&self, n_points: usize) -> usize {
@@ -424,6 +440,47 @@ mod tests {
             misses, 1,
             "the point after the failure must not be evaluated"
         );
+    }
+
+    #[test]
+    fn point_key_distinguishes_max_ii_from_sequential() {
+        // `ii + 1` used to wrap Some(u32::MAX) onto None's encoding (and
+        // panic in debug); the tag+value encoding must keep them distinct
+        // without overflowing.
+        let base = HlsOptions::default();
+        let seq = point("k", 2, 1100);
+        let mut max_ii = seq.clone();
+        max_ii.pipeline_ii = Some(u32::MAX);
+        assert_ne!(point_key(&base, &seq), point_key(&base, &max_ii));
+        let mut ii0 = seq.clone();
+        ii0.pipeline_ii = Some(0);
+        assert_ne!(point_key(&base, &seq), point_key(&base, &ii0));
+        assert_ne!(point_key(&base, &max_ii), point_key(&base, &ii0));
+        // Same point, same key — the memo still works.
+        assert_eq!(point_key(&base, &max_ii), point_key(&base, &max_ii.clone()));
+    }
+
+    #[test]
+    fn concurrent_sweeps_each_count_their_own_hits() {
+        // Two sweeps racing on one shared engine must not attribute each
+        // other's hits to themselves (the old global-delta accounting did).
+        let lib = tsmc90::library();
+        let pts = fleet();
+        let engine = Engine::new(&lib, HlsOptions::default());
+        engine.evaluate_serial(&pts).unwrap(); // warm the cache
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| scope.spawn(|| engine.evaluate(&pts).unwrap()))
+                .collect();
+            for h in handles {
+                let r = h.join().unwrap();
+                assert_eq!(
+                    r.cache_hits,
+                    pts.len() as u64,
+                    "each warm sweep sees exactly its own hits"
+                );
+            }
+        });
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! identical rows — diffs of exploration artifacts stay meaningful.
 
 use crate::pareto::objectives;
+use crate::refine::RefineResult;
 use adhls_core::dse::DseRow;
 use std::fmt::Write as _;
 
@@ -78,6 +79,41 @@ pub fn front_to_json(rows: &[DseRow], front: &[DseRow]) -> String {
         "{{\n\"sweep\": {},\n\"front\": {}\n}}",
         rows_to_json(rows),
         rows_to_json(front)
+    )
+}
+
+/// Renders an adaptive refinement as one JSON document: the evaluated
+/// sweep, its front, and a `refine` block with the per-round trace so runs
+/// are auditable (how many cells each round added, how the front grew, how
+/// wide the worst gap was, what the prune discarded).
+#[must_use]
+pub fn refine_to_json(result: &RefineResult) -> String {
+    let mut rounds = String::from("[");
+    for (i, r) in result.trace.iter().enumerate() {
+        if i > 0 {
+            rounds.push(',');
+        }
+        let _ = write!(
+            rounds,
+            "\n    {{\"round\":{},\"new_points\":{},\"front_size\":{},\
+             \"max_gap\":{},\"pruned\":{}}}",
+            r.round, r.new_points, r.front_size, r.max_gap, r.pruned,
+        );
+    }
+    rounds.push_str(if result.trace.is_empty() {
+        "]"
+    } else {
+        "\n  ]"
+    });
+    format!(
+        "{{\n\"sweep\": {},\n\"front\": {},\n\"refine\": {{\n  \
+         \"grid_cells\":{},\"evaluated\":{},\"pruned\":{},\n  \"rounds\": {}\n}}\n}}",
+        rows_to_json(&result.rows),
+        rows_to_json(&result.front),
+        result.grid_cells,
+        result.evaluated,
+        result.pruned,
+        rounds,
     )
 }
 

@@ -38,7 +38,8 @@
 //!             ..Default::default()
 //!         };
 //!         interpolation::build(&cfg).0
-//!     });
+//!     })
+//!     .unwrap();
 //! let engine = Engine::new(&lib, HlsOptions::default());
 //! let sweep = engine.evaluate(&points).unwrap();
 //! let front = pareto_front(&sweep.rows);
@@ -50,10 +51,17 @@ pub mod engine;
 pub mod export;
 pub mod fingerprint;
 pub mod pareto;
+pub mod pool;
+pub mod refine;
 pub mod sweep;
 
 pub use engine::{Engine, EngineOptions, SweepResult};
-pub use pareto::{dominates, objectives, pareto_front, pareto_indices, Objectives};
+pub use pareto::{
+    dominates, objectives, pareto_front, pareto_indices, staircase_indices, tradeoff_staircase,
+    Objectives,
+};
+pub use pool::{EvaluatorPool, PoolOptions};
+pub use refine::{refine, Evaluator, RefineOptions, RefineResult, RoundTrace};
 pub use sweep::{SweepCell, SweepGrid};
 
 // Re-exported so downstream code can name the point/row types without a
@@ -63,8 +71,10 @@ pub use adhls_core::dse::{DsePoint, DseRow};
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineOptions, SweepResult};
-    pub use crate::export::{front_to_json, rows_to_csv, rows_to_json};
-    pub use crate::pareto::{dominates, objectives, pareto_front, Objectives};
+    pub use crate::export::{front_to_json, refine_to_json, rows_to_csv, rows_to_json};
+    pub use crate::pareto::{dominates, objectives, pareto_front, tradeoff_staircase, Objectives};
+    pub use crate::pool::{EvaluatorPool, PoolOptions};
+    pub use crate::refine::{refine, Evaluator, RefineOptions, RefineResult, RoundTrace};
     pub use crate::sweep::{SweepCell, SweepGrid};
     pub use adhls_core::dse::{DsePoint, DseRow};
 }

@@ -34,8 +34,27 @@ pub fn objectives(row: &DseRow) -> Objectives {
     }
 }
 
+impl Objectives {
+    /// True when every objective is a finite number. Rows that fail this
+    /// (e.g. `throughput == 0` ⇒ `latency_ps == inf`, or a NaN power
+    /// estimate) carry no usable tradeoff information: NaN compares false
+    /// against everything, so such a row would never be dominated and would
+    /// pollute every front it touched.
+    #[must_use]
+    pub fn is_finite(&self) -> bool {
+        self.area.is_finite()
+            && self.latency_ps.is_finite()
+            && self.power.is_finite()
+            && self.throughput.is_finite()
+    }
+}
+
 /// True iff `a` dominates `b`: no worse everywhere, strictly better
 /// somewhere.
+///
+/// Non-finite objectives make dominance vacuously false in both directions
+/// (NaN comparisons are false); [`pareto_indices`] therefore rejects
+/// non-finite rows up front rather than letting them survive by default.
 #[must_use]
 pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
     let no_worse = a.area <= b.area
@@ -50,15 +69,20 @@ pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
 }
 
 /// Indices of the non-dominated rows, sorted by (area, latency, name).
+///
+/// Rows with any non-finite objective are deterministically excluded: they
+/// can neither dominate nor appear on the front (a NaN/inf row would
+/// otherwise always survive, since nothing compares as better than it).
 #[must_use]
 pub fn pareto_indices(rows: &[DseRow]) -> Vec<usize> {
     let objs: Vec<Objectives> = rows.iter().map(objectives).collect();
     let mut front: Vec<usize> = (0..rows.len())
         .filter(|&i| {
-            !objs
-                .iter()
-                .enumerate()
-                .any(|(j, oj)| j != i && dominates(oj, &objs[i]))
+            objs[i].is_finite()
+                && !objs
+                    .iter()
+                    .enumerate()
+                    .any(|(j, oj)| j != i && oj.is_finite() && dominates(oj, &objs[i]))
         })
         .collect();
     front.sort_by(|&i, &j| order_key(&rows[i], &objs[i], &rows[j], &objs[j]));
@@ -69,6 +93,47 @@ pub fn pareto_indices(rows: &[DseRow]) -> Vec<usize> {
 #[must_use]
 pub fn pareto_front(rows: &[DseRow]) -> Vec<DseRow> {
     pareto_indices(rows)
+        .into_iter()
+        .map(|i| rows[i].clone())
+        .collect()
+}
+
+/// Indices of the rows non-dominated in the (area, latency) plane alone —
+/// the paper's Table-4 area/delay tradeoff staircase — sorted by area
+/// ascending (and therefore latency strictly descending). Rows with
+/// non-finite objectives are excluded, like in [`pareto_indices`].
+///
+/// This is the curve adaptive refinement resolves: with power and
+/// throughput in play most grid cells are mutually incomparable and the
+/// full front approaches the whole grid, but the two-axis projection stays
+/// small and monotone.
+#[must_use]
+pub fn staircase_indices(rows: &[DseRow]) -> Vec<usize> {
+    let objs: Vec<Objectives> = rows.iter().map(objectives).collect();
+    let mut idx: Vec<usize> = (0..rows.len()).filter(|&i| objs[i].is_finite()).collect();
+    idx.sort_by(|&i, &j| {
+        objs[i]
+            .area
+            .total_cmp(&objs[j].area)
+            .then(objs[i].latency_ps.total_cmp(&objs[j].latency_ps))
+            .then(rows[i].name.cmp(&rows[j].name))
+            .then(i.cmp(&j))
+    });
+    let mut out = Vec::new();
+    let mut best_lat = f64::INFINITY;
+    for i in idx {
+        if objs[i].latency_ps < best_lat {
+            best_lat = objs[i].latency_ps;
+            out.push(i);
+        }
+    }
+    out
+}
+
+/// The (area, latency) staircase rows themselves, area ascending.
+#[must_use]
+pub fn tradeoff_staircase(rows: &[DseRow]) -> Vec<DseRow> {
+    staircase_indices(rows)
         .into_iter()
         .map(|i| rows[i].clone())
         .collect()
@@ -153,5 +218,88 @@ mod tests {
     #[test]
     fn empty_input_empty_front() {
         assert!(pareto_front(&[]).is_empty());
+    }
+
+    #[test]
+    fn zero_throughput_row_is_excluded_not_immortal() {
+        // throughput == 0 ⇒ latency_ps == inf; NaN-blind dominance used to
+        // keep such a row on every front.
+        let mut stalled = row("stalled", 50.0, 1000.0, 5.0);
+        stalled.throughput = 0.0;
+        let rows = vec![stalled, row("good", 100.0, 1000.0, 10.0)];
+        let names: Vec<String> = pareto_front(&rows).into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["good"]);
+    }
+
+    #[test]
+    fn nan_objective_rows_are_excluded() {
+        let mut bad_power = row("nan_power", 50.0, 500.0, 5.0);
+        bad_power.power.total = f64::NAN;
+        let mut bad_area = row("nan_area", 10.0, 100.0, 1.0);
+        bad_area.a_slack = f64::NAN;
+        let rows = vec![bad_power, row("good", 100.0, 1000.0, 10.0), bad_area];
+        let front = pareto_front(&rows);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].name, "good");
+    }
+
+    #[test]
+    fn all_nonfinite_input_yields_empty_front() {
+        let mut a = row("a", 1.0, 1.0, 1.0);
+        a.throughput = 0.0;
+        let mut b = row("b", 1.0, 1.0, 1.0);
+        b.power.total = f64::NAN;
+        assert!(pareto_front(&[a, b]).is_empty());
+    }
+
+    #[test]
+    fn staircase_is_the_2d_tradeoff_curve() {
+        let rows = vec![
+            row("cheap_slow", 100.0, 4000.0, 30.0),
+            // On the full front thanks to its low power, but 2D-dominated
+            // by mid — must NOT be on the staircase.
+            row("low_power", 250.0, 3500.0, 1.0),
+            row("mid", 200.0, 2000.0, 10.0),
+            row("big_fast", 400.0, 1000.0, 20.0),
+            row("strictly_worse", 450.0, 1500.0, 25.0),
+        ];
+        let names: Vec<String> = tradeoff_staircase(&rows)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(names, ["cheap_slow", "mid", "big_fast"]);
+        assert!(
+            pareto_front(&rows).iter().any(|r| r.name == "low_power"),
+            "low_power stays on the 4-objective front"
+        );
+    }
+
+    #[test]
+    fn staircase_excludes_nonfinite_and_is_latency_descending() {
+        let mut stalled = row("stalled", 50.0, 1000.0, 5.0);
+        stalled.throughput = 0.0;
+        let rows = vec![
+            stalled,
+            row("a", 100.0, 3000.0, 5.0),
+            row("b", 200.0, 2000.0, 10.0),
+        ];
+        let st = tradeoff_staircase(&rows);
+        assert_eq!(st.len(), 2);
+        let lats: Vec<f64> = st.iter().map(|r| objectives(r).latency_ps).collect();
+        assert!(
+            lats.windows(2).all(|w| w[0] > w[1]),
+            "latency descends: {lats:?}"
+        );
+    }
+
+    #[test]
+    fn infinite_throughput_row_cannot_dominate_finite_rows() {
+        // An inf-throughput row would trivially "beat" everything on that
+        // axis; it must be excluded from both sides of the comparison.
+        let mut warp = row("warp", 1.0, 1.0, 1.0);
+        warp.throughput = f64::INFINITY;
+        let rows = vec![warp, row("good", 100.0, 1000.0, 10.0)];
+        let names: Vec<String> = pareto_front(&rows).into_iter().map(|r| r.name).collect();
+        assert_eq!(names, ["good"]);
     }
 }

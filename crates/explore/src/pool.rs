@@ -1,0 +1,572 @@
+//! Persistent evaluator pool: worker threads and a sharded result cache
+//! that outlive individual sweeps.
+//!
+//! [`Engine`](crate::engine::Engine) spawns scoped workers per sweep — fine
+//! for one-shot CLI runs, wasteful when a server handles many concurrent
+//! exploration requests (thread churn, and every request starts cold).
+//! [`EvaluatorPool`] keeps the workers and the memo cache alive across
+//! requests: share the pool via `Arc`, submit batches from any thread, and
+//! cells revisited by later sweeps (adaptive refinement re-deriving a
+//! neighborhood, two clients exploring overlapping grids) are free.
+//!
+//! Determinism contract, inherited from the engine: each point's row is a
+//! pure function of (design, library, options), rows are published into
+//! per-index slots, and cache hits return bit-identical rows — so a batch's
+//! result does not depend on which thread ran which point, how many worker
+//! threads exist, or what other batches are in flight.
+//!
+//! The submitting thread always helps drain its own batch, so a batch makes
+//! progress even on a pool with zero background workers (`threads: 1`
+//! behaves exactly like the serial engine) and submitters cannot deadlock
+//! waiting on a saturated pool.
+
+use crate::engine::{point_key, ResultCache, SweepResult};
+use adhls_core::dse::{evaluate_point, DsePoint, DseRow};
+use adhls_core::sched::HlsOptions;
+use adhls_reslib::Library;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+use adhls_ir::{Error, Result};
+
+/// Tuning knobs for [`EvaluatorPool`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PoolOptions {
+    /// Total evaluation threads per batch, counting the submitter; `0` =
+    /// one per available core. `1` means no background workers at all
+    /// (submitters drain their own batches serially).
+    pub threads: usize,
+    /// Skip points that fail to schedule (recorded in
+    /// [`SweepResult::skipped`]) instead of failing the whole batch.
+    pub skip_infeasible: bool,
+}
+
+/// One submitted sweep: its points, result slots, and completion state.
+///
+/// Claiming is a single shared counter, so claimed indices always form a
+/// contiguous prefix and every claimed slot is eventually filled by its
+/// claimer — the same publication scheme the engine uses, which is what
+/// makes pool results bit-identical to serial evaluation.
+struct Batch {
+    points: Vec<DsePoint>,
+    skip_infeasible: bool,
+    next: AtomicUsize,
+    filled: AtomicUsize,
+    slots: Vec<OnceLock<Result<DseRow>>>,
+    hits: AtomicU64,
+    failed: AtomicBool,
+    done: Mutex<bool>,
+    done_cv: Condvar,
+}
+
+impl Batch {
+    fn new(points: Vec<DsePoint>, skip_infeasible: bool) -> Self {
+        let slots = (0..points.len()).map(|_| OnceLock::new()).collect();
+        Batch {
+            points,
+            skip_infeasible,
+            next: AtomicUsize::new(0),
+            filled: AtomicUsize::new(0),
+            slots,
+            hits: AtomicU64::new(0),
+            failed: AtomicBool::new(false),
+            done: Mutex::new(false),
+            done_cv: Condvar::new(),
+        }
+    }
+
+    /// True when no further indices should be claimed: every index is
+    /// taken, or a strict-mode failure doomed the batch.
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.points.len()
+            || (!self.skip_infeasible && self.failed.load(Ordering::Relaxed))
+    }
+
+    /// True when every claimed slot has been filled and no more claims can
+    /// happen — the submitter may collect.
+    ///
+    /// `next`'s fetch_adds return 0, 1, 2, …, so the number of claims ever
+    /// made is exactly `min(next, len)` — one atomic tells us both "how far
+    /// claiming got" and "how many fills are owed", with no window where a
+    /// claim is made but not yet registered. `filled` is read *before*
+    /// `next`: if the two agree, no claim existed unfilled at the earlier
+    /// read, and no claim has happened since (the count didn't move).
+    fn complete(&self) -> bool {
+        let filled = self.filled.load(Ordering::Acquire);
+        let next = self.next.load(Ordering::Acquire);
+        let claims = next.min(self.points.len());
+        let exhausted = next >= self.points.len()
+            || (!self.skip_infeasible && self.failed.load(Ordering::Acquire));
+        exhausted && filled == claims
+    }
+
+    fn signal_if_complete(&self) {
+        if self.complete() {
+            let mut done = self.done.lock().expect("batch mutex poisoned");
+            *done = true;
+            self.done_cv.notify_all();
+        }
+    }
+
+    fn wait_complete(&self) {
+        let mut done = self.done.lock().expect("batch mutex poisoned");
+        while !*done {
+            done = self.done_cv.wait(done).expect("batch mutex poisoned");
+        }
+    }
+}
+
+/// Shared state between the pool handle and its worker threads.
+struct Shared {
+    lib: Library,
+    base: HlsOptions,
+    cache: ResultCache,
+    queue: Mutex<VecDeque<Arc<Batch>>>,
+    work_ready: Condvar,
+    shutdown: AtomicBool,
+}
+
+impl Shared {
+    /// Evaluates one point through the cross-request cache, crediting a hit
+    /// to the batch's own counter (per-sweep accounting — concurrent
+    /// batches must not see each other's hits).
+    ///
+    /// A panic inside HLS evaluation is caught and surfaced as an error:
+    /// on a persistent pool the panicking thread may be a background
+    /// worker, and a claimed-but-never-filled slot would leave the
+    /// submitter waiting forever (the scoped-thread engine propagates such
+    /// panics at join; a pool has no equivalent joining point per batch).
+    fn evaluate_one(&self, p: &DsePoint, batch_hits: &AtomicU64) -> Result<DseRow> {
+        let key = point_key(&self.base, p);
+        if let Some(row) = self.cache.get(key) {
+            batch_hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(row);
+        }
+        let row = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            evaluate_point(p, &self.lib, &self.base)
+        }))
+        .unwrap_or_else(|panic| {
+            let msg = panic
+                .downcast_ref::<&str>()
+                .map(|s| (*s).to_string())
+                .or_else(|| panic.downcast_ref::<String>().cloned())
+                .unwrap_or_else(|| "non-string panic payload".into());
+            Err(Error::Interp(format!(
+                "evaluating {} panicked: {msg}",
+                p.name
+            )))
+        })?;
+        self.cache.insert(key, row.clone());
+        Ok(row)
+    }
+
+    /// Claims and evaluates points from `batch` until it is exhausted.
+    fn drain(&self, batch: &Batch) {
+        loop {
+            if !batch.skip_infeasible && batch.failed.load(Ordering::Relaxed) {
+                break;
+            }
+            let i = batch.next.fetch_add(1, Ordering::AcqRel);
+            if i >= batch.points.len() {
+                break;
+            }
+            let out = self.evaluate_one(&batch.points[i], &batch.hits);
+            if out.is_err() {
+                batch.failed.store(true, Ordering::Relaxed);
+            }
+            assert!(batch.slots[i].set(out).is_ok(), "slot {i} written twice");
+            batch.filled.fetch_add(1, Ordering::AcqRel);
+            batch.signal_if_complete();
+        }
+        // An exhausted batch with zero points (or one doomed before this
+        // worker claimed anything) still needs its completion signal.
+        batch.signal_if_complete();
+    }
+
+    /// Background worker: pick the oldest batch with work left, help drain
+    /// it, repeat until shutdown.
+    fn worker_loop(&self) {
+        loop {
+            let batch = {
+                let mut q = self.queue.lock().expect("pool queue poisoned");
+                loop {
+                    while q.front().is_some_and(|b| b.exhausted()) {
+                        q.pop_front();
+                    }
+                    if let Some(b) = q.front() {
+                        break Arc::clone(b);
+                    }
+                    if self.shutdown.load(Ordering::Acquire) {
+                        return;
+                    }
+                    q = self.work_ready.wait(q).expect("pool queue poisoned");
+                }
+            };
+            self.drain(&batch);
+        }
+    }
+}
+
+/// A persistent, shareable sweep evaluator.
+///
+/// Construct once (wrapping in `Arc` to share across request handlers),
+/// then call [`EvaluatorPool::evaluate`] from any number of threads
+/// concurrently. All requests share the worker threads and the sharded
+/// result cache.
+///
+/// # Example
+///
+/// ```
+/// use adhls_core::sched::HlsOptions;
+/// use adhls_explore::pool::{EvaluatorPool, PoolOptions};
+/// use adhls_reslib::tsmc90;
+/// use adhls_workloads::sweep;
+/// use std::sync::Arc;
+///
+/// let pool = Arc::new(EvaluatorPool::new(
+///     tsmc90::library(),
+///     HlsOptions::default(),
+///     PoolOptions { threads: 4, ..Default::default() },
+/// ));
+/// let points = sweep::interpolation_default();
+/// let first = pool.evaluate(&points).unwrap();
+/// let second = pool.evaluate(&points).unwrap(); // all cache hits
+/// assert_eq!(first.rows, second.rows);
+/// assert_eq!(second.cache_hits, points.len() as u64);
+/// ```
+pub struct EvaluatorPool {
+    shared: Arc<Shared>,
+    opts: PoolOptions,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for EvaluatorPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EvaluatorPool")
+            .field("opts", &self.opts)
+            .field("workers", &self.workers.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl EvaluatorPool {
+    /// Spawns the pool. `threads` counts the submitting thread, so a pool
+    /// of `threads: N` spawns `N - 1` background workers (`0` = one thread
+    /// per available core).
+    #[must_use]
+    pub fn new(lib: Library, base: HlsOptions, opts: PoolOptions) -> Self {
+        let shared = Arc::new(Shared {
+            lib,
+            base,
+            cache: ResultCache::default(),
+            queue: Mutex::new(VecDeque::new()),
+            work_ready: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let threads = if opts.threads == 0 {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        } else {
+            opts.threads
+        };
+        let workers = (1..threads)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("adhls-pool-{i}"))
+                    .spawn(move || shared.worker_loop())
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        EvaluatorPool {
+            shared,
+            opts,
+            workers,
+        }
+    }
+
+    /// Evaluates a batch through the pool: bit-identical rows to
+    /// [`Engine::evaluate_serial`](crate::engine::Engine::evaluate_serial)
+    /// under the same library/options, in input order. The submitting
+    /// thread participates in the work, and background workers join in
+    /// (also finishing older batches first).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) point's scheduling error unless
+    /// [`PoolOptions::skip_infeasible`] is set.
+    pub fn evaluate(&self, points: &[DsePoint]) -> Result<SweepResult> {
+        let batch = Arc::new(Batch::new(points.to_vec(), self.opts.skip_infeasible));
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.push_back(Arc::clone(&batch));
+            self.shared.work_ready.notify_all();
+        }
+        self.shared.drain(&batch);
+        batch.wait_complete();
+        // Retire the batch from the queue ourselves: background workers
+        // also pop exhausted fronts opportunistically, but on a pool with
+        // no background workers (threads: 1) nobody else ever would, and a
+        // long-lived pool would leak one finished batch per request.
+        {
+            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
+            q.retain(|b| !Arc::ptr_eq(b, &batch));
+        }
+        // Claims were contiguous from 0 and every claimed slot is filled,
+        // so filled slots form a prefix; the unfilled suffix (strict-mode
+        // early bail) is exactly the never-claimed points. The queue (and a
+        // worker between loop iterations) may still hold the Arc briefly,
+        // so collect by reference instead of consuming it.
+        let hits = batch.hits.load(Ordering::Acquire);
+        let results: Vec<Result<DseRow>> =
+            batch.slots.iter().map_while(|s| s.get().cloned()).collect();
+        let mut rows = Vec::with_capacity(results.len());
+        let mut skipped = Vec::new();
+        for (p, r) in batch.points.iter().zip(results) {
+            match r {
+                Ok(row) => rows.push(row),
+                Err(e) if self.opts.skip_infeasible => {
+                    skipped.push((p.name.clone(), e.to_string()));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(SweepResult {
+            rows,
+            skipped,
+            cache_hits: hits,
+            workers: self.workers.len() + 1,
+        })
+    }
+
+    /// (hits, misses) across the pool's lifetime, all batches combined.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.shared.cache.stats()
+    }
+
+    /// Number of distinct (design, options) results currently cached.
+    #[must_use]
+    pub fn cache_len(&self) -> usize {
+        self.shared.cache.len()
+    }
+
+    /// Total evaluation threads per batch (background workers + the
+    /// submitter).
+    #[must_use]
+    pub fn thread_count(&self) -> usize {
+        self.workers.len() + 1
+    }
+
+    /// The base options batches are evaluated under.
+    #[must_use]
+    pub fn base_options(&self) -> &HlsOptions {
+        &self.shared.base
+    }
+}
+
+impl Drop for EvaluatorPool {
+    fn drop(&mut self) {
+        {
+            // Set shutdown while holding the queue lock: a worker is then
+            // either before its lock (it will observe the flag) or already
+            // waiting (it will get the notification) — no missed wakeup.
+            let _q = self.shared.queue.lock().expect("pool queue poisoned");
+            self.shared.shutdown.store(true, Ordering::Release);
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            // Surface worker panics instead of hiding them — unless we are
+            // already unwinding, where a double panic would abort.
+            if let Err(e) = w.join() {
+                if !std::thread::panicking() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::Engine;
+    use adhls_ir::builder::DesignBuilder;
+    use adhls_ir::OpKind;
+    use adhls_reslib::tsmc90;
+
+    fn point(name: &str, soft: u32, clock: u64) -> DsePoint {
+        let mut b = DesignBuilder::new(name);
+        let x = b.input("x", 8);
+        let y = b.input("y", 8);
+        let m1 = b.binop(OpKind::Mul, x, y, 8);
+        let m2 = b.binop(OpKind::Mul, m1, x, 8);
+        let a = b.binop(OpKind::Add, m1, m2, 16);
+        b.soft_waits(soft);
+        b.write("z", a);
+        DsePoint {
+            name: name.into(),
+            design: b.finish().unwrap(),
+            clock_ps: clock,
+            pipeline_ii: None,
+            cycles_per_item: soft + 1,
+        }
+    }
+
+    fn fleet() -> Vec<DsePoint> {
+        (1..=6)
+            .flat_map(|soft| {
+                [1100u64, 1400].map(|clock| point(&format!("p{soft}c{clock}"), soft, clock))
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pool_rows_match_serial_engine_bit_for_bit() {
+        let lib = tsmc90::library();
+        let pts = fleet();
+        let serial = Engine::new(&lib, HlsOptions::default())
+            .evaluate_serial(&pts)
+            .unwrap();
+        let pool = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        );
+        let r = pool.evaluate(&pts).unwrap();
+        assert_eq!(r.rows, serial.rows);
+        assert_eq!(r.workers, 4);
+    }
+
+    #[test]
+    fn single_thread_pool_works_without_background_workers() {
+        let pool = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(pool.thread_count(), 1);
+        let r = pool.evaluate(&fleet()).unwrap();
+        assert_eq!(r.rows.len(), 12);
+    }
+
+    #[test]
+    fn cache_persists_across_batches() {
+        let pool = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 3,
+                ..Default::default()
+            },
+        );
+        let pts = fleet();
+        let first = pool.evaluate(&pts).unwrap();
+        assert_eq!(first.cache_hits, 0);
+        let second = pool.evaluate(&pts).unwrap();
+        assert_eq!(second.cache_hits, pts.len() as u64);
+        assert_eq!(first.rows, second.rows);
+        assert_eq!(pool.cache_len(), pts.len());
+    }
+
+    #[test]
+    fn strict_failure_propagates_and_skip_policy_skips() {
+        // 1 ps clock: nothing fits — guaranteed infeasible.
+        let bad = point("bad", 0, 1);
+        let good = point("good", 3, 1400);
+        let strict = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert!(strict.evaluate(&[good.clone(), bad.clone()]).is_err());
+        let lenient = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 2,
+                skip_infeasible: true,
+            },
+        );
+        let r = lenient.evaluate(&[good, bad]).unwrap();
+        assert_eq!(r.rows.len(), 1);
+        assert_eq!(r.skipped, vec![("bad".into(), r.skipped[0].1.clone())]);
+    }
+
+    #[test]
+    fn empty_batch_completes_immediately() {
+        let pool = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let r = pool.evaluate(&[]).unwrap();
+        assert!(r.rows.is_empty());
+        assert!(r.skipped.is_empty());
+    }
+
+    #[test]
+    fn completed_batches_are_retired_from_the_queue() {
+        // With no background workers, only the submitter can retire its
+        // batch; a long-lived pool must not accumulate finished batches.
+        let pool = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 1,
+                ..Default::default()
+            },
+        );
+        let pts = fleet();
+        for _ in 0..3 {
+            pool.evaluate(&pts).unwrap();
+            assert_eq!(
+                pool.shared.queue.lock().unwrap().len(),
+                0,
+                "finished batch left in the queue"
+            );
+        }
+    }
+
+    #[test]
+    fn concurrent_submitters_share_one_pool() {
+        let pool = Arc::new(EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 4,
+                ..Default::default()
+            },
+        ));
+        let lib = tsmc90::library();
+        let pts = fleet();
+        let reference = Engine::new(&lib, HlsOptions::default())
+            .evaluate_serial(&pts)
+            .unwrap();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..4)
+                .map(|_| {
+                    let pool = Arc::clone(&pool);
+                    let pts = pts.clone();
+                    scope.spawn(move || pool.evaluate(&pts).unwrap())
+                })
+                .collect();
+            for h in handles {
+                assert_eq!(h.join().unwrap().rows, reference.rows);
+            }
+        });
+    }
+}

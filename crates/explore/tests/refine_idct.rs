@@ -1,0 +1,128 @@
+//! The acceptance bar on the paper's own workload: adaptive refinement of
+//! an IDCT clock × latency grid reaches a front within the gap tolerance
+//! of the exhaustive grid's front while evaluating measurably fewer cells.
+//!
+//! "Within the gap tolerance" is measured where refinement steers: the
+//! (area, latency) plane of the paper's Table-4 tradeoff, normalized by
+//! the exhaustive front's bounding box. Both directions are asserted —
+//! nothing the exact sweep found is missed by more than the tolerance, and
+//! nothing the refinement kept is beaten by more than the tolerance.
+//!
+//! The 1-D 8-point IDCT keeps a single scheduling run cheap enough for a
+//! 70-cell exhaustive reference in debug-profile CI; the 2-D kernel has
+//! the same axes and is exercised by the benches.
+
+use adhls_core::sched::HlsOptions;
+use adhls_explore::pareto::{objectives, pareto_front, tradeoff_staircase};
+use adhls_explore::pool::{EvaluatorPool, PoolOptions};
+use adhls_explore::refine::{refine, RefineOptions};
+use adhls_explore::sweep::SweepCell;
+use adhls_explore::SweepGrid;
+use adhls_ir::Design;
+use adhls_reslib::tsmc90;
+use adhls_workloads::idct;
+
+fn idct_cell(cell: &SweepCell) -> Design {
+    idct::build_1d(cell.cycles)
+}
+
+#[test]
+fn idct_adaptive_front_matches_exhaustive_within_tolerance_with_fewer_evals() {
+    const GAP_TOL: f64 = 0.05;
+    let grid = SweepGrid::new()
+        .clocks_ps([1400, 1550, 1700, 1850, 2000, 2200, 2400, 2600, 2900, 3200])
+        .cycles([4, 6, 8, 10, 12, 14, 16]);
+    let grid_cells = grid.checked_len().expect("grid counts");
+    assert_eq!(grid_cells, 70);
+
+    let pool = EvaluatorPool::new(
+        tsmc90::library(),
+        HlsOptions::default(),
+        PoolOptions {
+            threads: 0, // all cores — the sweep and refinement share the cache
+            skip_infeasible: true,
+        },
+    );
+
+    // Exhaustive reference through the same pool.
+    let points = grid.expand("idct", idct_cell).expect("grid expands");
+    let ex = pool.evaluate(&points).expect("exhaustive sweep runs");
+    assert!(
+        ex.rows.len() >= 60,
+        "most IDCT cells schedule, got {}",
+        ex.rows.len()
+    );
+    let ex_front = pareto_front(&ex.rows);
+    assert!(!ex_front.is_empty());
+
+    let r = refine(
+        &pool,
+        &grid,
+        "idct",
+        idct_cell,
+        &RefineOptions {
+            gap_tol: GAP_TOL,
+            ..Default::default()
+        },
+    )
+    .expect("refinement runs");
+
+    // Measurably fewer evaluations than the exhaustive grid.
+    assert!(
+        r.evaluated * 3 <= grid_cells * 2,
+        "adaptive evaluated {} of {} cells — not measurably fewer",
+        r.evaluated,
+        grid_cells
+    );
+
+    // Normalization box: the exhaustive front's (area, latency) extent.
+    let (mut amin, mut amax) = (f64::INFINITY, f64::NEG_INFINITY);
+    let (mut lmin, mut lmax) = (f64::INFINITY, f64::NEG_INFINITY);
+    for o in ex_front.iter().map(objectives) {
+        amin = amin.min(o.area);
+        amax = amax.max(o.area);
+        lmin = lmin.min(o.latency_ps);
+        lmax = lmax.max(o.latency_ps);
+    }
+    let atol = (amax - amin).max(1e-9) * GAP_TOL + 1e-9;
+    let ltol = (lmax - lmin).max(1e-9) * GAP_TOL + 1e-9;
+
+    // Direction 1 — soundness: no point on the refined tradeoff staircase
+    // is beaten by an exhaustive row by more than the tolerance. (The full
+    // four-objective front legitimately keeps 2D-beaten points — they win
+    // on power — so soundness is a staircase property.)
+    let ad_stairs = tradeoff_staircase(&r.rows);
+    assert!(!ad_stairs.is_empty());
+    for a in &ad_stairs {
+        let oa = objectives(a);
+        let beaten = ex.rows.iter().find(|e| {
+            let oe = objectives(e);
+            oe.area <= oa.area
+                && oe.latency_ps <= oa.latency_ps
+                && (oa.area - oe.area > atol || oa.latency_ps - oe.latency_ps > ltol)
+        });
+        assert!(
+            beaten.is_none(),
+            "refined staircase point {} is beaten beyond the tolerance by {}",
+            a.name,
+            beaten.map_or(String::new(), |e| e.name.clone())
+        );
+    }
+
+    // Direction 2 — completeness: every exhaustive front point (and, a
+    // fortiori, every exhaustive staircase point) is matched by a refined
+    // staircase point no more than the tolerance worse on area and
+    // latency (ε-cover of the exact front's tradeoff projection).
+    for e in ex_front.iter().chain(tradeoff_staircase(&ex.rows).iter()) {
+        let oe = objectives(e);
+        let covered = ad_stairs.iter().any(|a| {
+            let oa = objectives(a);
+            oa.area <= oe.area + atol && oa.latency_ps <= oe.latency_ps + ltol
+        });
+        assert!(
+            covered,
+            "exhaustive front point {} is not ε-covered",
+            e.name
+        );
+    }
+}

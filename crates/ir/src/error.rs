@@ -32,6 +32,9 @@ pub enum Error {
     /// Runtime error during interpretation (input stream exhausted, division
     /// by zero, step limit exceeded, …).
     Interp(String),
+    /// A requested expansion exceeds what the machine can represent or hold
+    /// (e.g. a sweep grid whose cell count overflows `usize`).
+    Capacity(String),
 }
 
 impl fmt::Display for Error {
@@ -45,6 +48,7 @@ impl fmt::Display for Error {
             Error::Elab(m) => write!(f, "elaboration error: {m}"),
             Error::Transform(m) => write!(f, "transform error: {m}"),
             Error::Interp(m) => write!(f, "interpreter error: {m}"),
+            Error::Capacity(m) => write!(f, "capacity error: {m}"),
         }
     }
 }

@@ -1,0 +1,60 @@
+//! Adaptive front refinement vs the exhaustive sweep on an IDCT grid:
+//! same tradeoff staircase, a fraction of the evaluations.
+//!
+//! Run with `cargo run --release --example adaptive_refine`.
+
+use adhls_core::sched::HlsOptions;
+use adhls_explore::pareto::tradeoff_staircase;
+use adhls_explore::pool::{EvaluatorPool, PoolOptions};
+use adhls_explore::prelude::*;
+use adhls_explore::refine::{refine, RefineOptions};
+use adhls_reslib::tsmc90;
+use adhls_workloads::idct;
+
+fn main() {
+    let grid = SweepGrid::new()
+        .clocks_ps([1400, 1550, 1700, 1850, 2000, 2200, 2400, 2600, 2900, 3200])
+        .cycles([4, 6, 8, 10, 12, 14, 16]);
+    let build = |cell: &SweepCell| idct::build_1d(cell.cycles);
+
+    // One persistent pool serves both runs; overlapping cells are free.
+    let pool = EvaluatorPool::new(
+        tsmc90::library(),
+        HlsOptions::default(),
+        PoolOptions {
+            threads: 0,
+            skip_infeasible: true,
+        },
+    );
+
+    let points = grid.expand("idct", build).expect("grid expands");
+    let exhaustive = pool.evaluate(&points).expect("sweep runs");
+    println!(
+        "exhaustive: {} cells, staircase {} points",
+        exhaustive.rows.len(),
+        tradeoff_staircase(&exhaustive.rows).len()
+    );
+
+    let r =
+        refine(&pool, &grid, "idct", build, &RefineOptions::default()).expect("refinement runs");
+    println!(
+        "adaptive:   {} cells ({} pruned), staircase {} points",
+        r.evaluated,
+        r.pruned,
+        tradeoff_staircase(&r.rows).len()
+    );
+    for t in &r.trace {
+        println!(
+            "  round {:>2}: +{:<3} cells, front {:>3}, max gap {:.3}, pruned {}",
+            t.round, t.new_points, t.front_size, t.max_gap, t.pruned
+        );
+    }
+    println!("\n== refined tradeoff staircase ==");
+    for row in tradeoff_staircase(&r.rows) {
+        let o = objectives(&row);
+        println!(
+            "  {:<16} area {:>9.0} latency {:>8.0} ps power {:>8.1}",
+            row.name, o.area, o.latency_ps, o.power
+        );
+    }
+}
