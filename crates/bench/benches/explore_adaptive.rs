@@ -68,6 +68,7 @@ fn bench(c: &mut Criterion) {
         PoolOptions {
             threads: 0,
             skip_infeasible: true,
+            ..Default::default()
         },
     );
     refine(&pool, &grid, "idct", build, &RefineOptions::default()).expect("warmup");

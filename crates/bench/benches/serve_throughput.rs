@@ -1,0 +1,78 @@
+//! `adhls serve` request throughput against one shared pool.
+//!
+//! Drives the session layer directly through in-memory reader/writer pairs
+//! (no sockets — this measures dispatch + evaluation + rendering, not the
+//! kernel's TCP stack): protocol-only requests (`stats`), warm-cache
+//! sweeps (every point a cache hit), and warm adaptive refinements. The
+//! cold path is the same HLS work `explore_parallel` already tracks.
+
+use adhls_core::sched::HlsOptions;
+use adhls_explore::pool::{EvaluatorPool, PoolOptions};
+use adhls_explore::server::Server;
+use adhls_reslib::tsmc90;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+const SWEEP_REQ: &str = "{\"id\":1,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+                         \"clocks\":[1100,1400,1800,2400],\"cycles\":[3,4,6]}\n";
+const REFINE_REQ: &str = "{\"id\":2,\"cmd\":\"refine\",\"workload\":\"interpolation\",\
+                          \"clocks\":[1100,1250,1400,1800,2400],\"cycles\":[3,4,6],\
+                          \"gap_tol\":0.1}\n";
+const STATS_REQ: &str = "{\"id\":3,\"cmd\":\"stats\"}\n";
+
+fn roundtrip(server: &Server, req: &str) -> usize {
+    let mut out = Vec::new();
+    server
+        .serve_connection(req.as_bytes(), &mut out)
+        .expect("in-memory serve");
+    out.len()
+}
+
+fn bench(c: &mut Criterion) {
+    let server = Server::new(EvaluatorPool::new(
+        tsmc90::library(),
+        HlsOptions::default(),
+        PoolOptions {
+            threads: 0,
+            skip_infeasible: true,
+            cache_bytes: Some(32 << 20),
+        },
+    ));
+    // Warm the cache: after this, sweep/refine requests measure the serve
+    // overhead on top of pure cache hits — the steady state of a long-
+    // lived server answering popular grids.
+    roundtrip(&server, SWEEP_REQ);
+    roundtrip(&server, REFINE_REQ);
+
+    c.bench_function("serve/stats_protocol_only", |b| {
+        b.iter(|| black_box(roundtrip(&server, STATS_REQ)));
+    });
+    c.bench_function("serve/sweep_warm_cache", |b| {
+        b.iter(|| black_box(roundtrip(&server, SWEEP_REQ)));
+    });
+    c.bench_function("serve/refine_warm_cache", |b| {
+        b.iter(|| black_box(roundtrip(&server, REFINE_REQ)));
+    });
+    c.bench_function("serve/sweep_cold_pool", |b| {
+        b.iter(|| {
+            // A fresh pool per iteration: the cold-start cost a first
+            // request pays, for comparison with the warm path above.
+            let cold = Server::new(EvaluatorPool::new(
+                tsmc90::library(),
+                HlsOptions::default(),
+                PoolOptions {
+                    threads: 0,
+                    skip_infeasible: true,
+                    cache_bytes: Some(32 << 20),
+                },
+            ));
+            black_box(roundtrip(&cold, SWEEP_REQ))
+        });
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,6 +1,10 @@
 //! `adhls explore` — expand a sweep, fan it across cores, report the
 //! Pareto front. With `--adaptive`, refine the front through a persistent
 //! evaluator pool instead of exhausting the grid.
+//!
+//! Workload grids and axis validation are shared with the exploration
+//! server (`adhls_explore::server::session`), so the CLI and a `refine`
+//! request over the wire accept exactly the same inputs.
 
 use crate::opts::{write_out, Opts};
 use adhls_core::dse::{summarize, DsePoint, DseRow};
@@ -8,12 +12,9 @@ use adhls_core::report::Table;
 use adhls_core::sched::HlsOptions;
 use adhls_explore::export::{front_to_json, refine_to_json, rows_to_csv};
 use adhls_explore::pool::{EvaluatorPool, PoolOptions};
-use adhls_explore::refine::{refine, RefineOptions};
-use adhls_explore::sweep::SweepCell;
-use adhls_explore::{pareto_front, Engine, EngineOptions, SweepGrid};
-use adhls_ir::{frontend, Design};
-use adhls_workloads::sweep;
-use adhls_workloads::{idct, interpolation, matmul};
+use adhls_explore::refine::{refine, warm_start_cells, RefineOptions};
+use adhls_explore::server::{sweep_points, workload_grid, WorkloadSpec};
+use adhls_explore::{pareto_front, Engine, EngineOptions};
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
@@ -31,6 +32,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--seed",
             "--budget",
             "--gap-tol",
+            "--warm-start",
         ],
         &[
             "--serial",
@@ -42,7 +44,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if o.flag("--adaptive") {
         return run_adaptive(&o);
     }
-    for flag in ["--budget", "--gap-tol"] {
+    for flag in ["--budget", "--gap-tol", "--warm-start"] {
         if o.get(flag).is_some() {
             return Err(format!("{flag} only makes sense with --adaptive"));
         }
@@ -131,13 +133,28 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
             t
         }
     };
-    let (grid, prefix, build) = adaptive_grid(o)?;
+    let warm_start = match o.get("--warm-start") {
+        None => Vec::new(),
+        Some(path) => {
+            let json = std::fs::read_to_string(path)
+                .map_err(|e| format!("--warm-start: reading {path}: {e}"))?;
+            let cells =
+                warm_start_cells(&json).map_err(|e| format!("--warm-start: {path}: {e}"))?;
+            eprintln!("warm start: {} grid cells from {path}", cells.len());
+            cells
+        }
+    };
+    if o.get("--workload").is_none() {
+        return Err("explore --adaptive needs --workload <name>".into());
+    }
+    let (grid, prefix, build) = workload_grid(&spec_from_opts(o)?).map_err(with_cli_flags)?;
     if grid.is_empty() {
         return Err("the sweep is empty (check --clocks/--cycles)".into());
     }
     let opts = RefineOptions {
         budget,
         gap_tol,
+        warm_start,
         ..Default::default()
     };
     let skip = o.flag("--skip-infeasible");
@@ -161,6 +178,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
             PoolOptions {
                 threads,
                 skip_infeasible: skip,
+                ..Default::default()
             },
         );
         refine(&pool, &grid, &prefix, build, &opts)
@@ -200,169 +218,70 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
     Ok(())
 }
 
-/// The grid, point-name prefix, and cell builder for an adaptive workload.
-#[allow(clippy::type_complexity)]
-fn adaptive_grid(
-    o: &Opts,
-) -> Result<(SweepGrid, String, Box<dyn FnMut(&SweepCell) -> Design>), String> {
-    let clocks = o.list::<u64>("--clocks")?;
-    let cycles = o.list::<u32>("--cycles")?;
-    let modes = o.pipeline_modes()?;
-    if clocks.as_deref().is_some_and(|c| c.contains(&0)) {
-        return Err("--clocks: clock periods must be >= 1 ps".into());
-    }
-    if cycles.as_deref().is_some_and(|c| c.contains(&0)) {
-        return Err("--cycles: latency budgets must be >= 1 cycle".into());
-    }
-    if modes.as_deref().is_some_and(|m| m.contains(&Some(0))) {
-        return Err("--pipeline: initiation intervals must be >= 1".into());
-    }
-    let workload = o
-        .get("--workload")
-        .ok_or("explore --adaptive needs --workload <name>")?;
-    match workload {
-        "interpolation" | "interp" => {
-            if modes.is_some() {
-                return Err("--pipeline: only the idct workload has a pipelining axis".into());
-            }
-            let grid = SweepGrid::new()
-                .clocks_ps(clocks.unwrap_or_else(|| vec![1100, 1400, 1800, 2400]))
-                .cycles(cycles.unwrap_or_else(|| vec![3, 4, 6]));
-            let build = |cell: &SweepCell| {
-                let cfg = interpolation::InterpolationConfig {
-                    cycles: cell.cycles,
-                    ..Default::default()
-                };
-                interpolation::build(&cfg).0
-            };
-            Ok((grid, "interp".into(), Box::new(build)))
+/// Re-spells the shared validation's wire-field names as the CLI flags the
+/// user actually typed (`clocks: …` → `--clocks: …`), so error messages
+/// point at something fixable on this surface.
+fn with_cli_flags(e: String) -> String {
+    for field in [
+        "workload", "clocks", "cycles", "pipeline", "dim", "count", "seed", "dsl",
+    ] {
+        if let Some(rest) = e.strip_prefix(&format!("{field}:")) {
+            return format!("--{field}:{rest}");
         }
-        "idct" => {
-            let grid = SweepGrid::new()
-                .clocks_ps(clocks.unwrap_or_else(|| vec![2200, 3000]))
-                .cycles(cycles.unwrap_or_else(|| vec![12, 16, 24, 32]))
-                .pipeline_modes(modes.unwrap_or_else(|| vec![None]));
-            let build = |cell: &SweepCell| {
-                idct::build_2d(&idct::IdctConfig {
-                    cycles: cell.cycles,
-                    pipelined: cell.pipeline_ii,
-                })
-            };
-            Ok((grid, "idct".into(), Box::new(build)))
-        }
-        "matmul" => {
-            if modes.is_some() {
-                return Err("--pipeline: only the idct workload has a pipelining axis".into());
-            }
-            let n = o.num("--dim", 3usize)?;
-            let grid = SweepGrid::new()
-                .clocks_ps(clocks.unwrap_or_else(|| vec![2200, 3000]))
-                .cycles(cycles.unwrap_or_else(|| vec![4, 6, 8]));
-            let build = move |cell: &SweepCell| {
-                matmul::build(&matmul::MatmulConfig {
-                    n,
-                    cycles: cell.cycles,
-                    ..Default::default()
-                })
-            };
-            // The prefix must match the non-adaptive sweep's naming so rows
-            // stay cross-referenceable; matmul encodes its dimension there.
-            Ok((grid, format!("mm{n}"), Box::new(build)))
-        }
-        other => Err(format!(
-            "workload `{other}` has no adaptive grid (interpolation | idct | matmul)"
-        )),
     }
+    e
+}
+
+/// Optional `--key value` number (no default — absence means "workload
+/// default").
+fn opt_num<T: std::str::FromStr>(o: &Opts, key: &str) -> Result<Option<T>, String> {
+    match o.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .parse()
+            .map(Some)
+            .map_err(|_| format!("{key}: `{v}` is not a valid number")),
+    }
+}
+
+/// The shared workload spec for the flags this command accepts — the same
+/// structure a server request parses to, so grid construction and
+/// validation have exactly one definition.
+fn spec_from_opts(o: &Opts) -> Result<WorkloadSpec, String> {
+    Ok(WorkloadSpec {
+        workload: o.get("--workload").map(str::to_string),
+        dsl: None,
+        dsl_prefix: None,
+        clocks: o.list::<u64>("--clocks")?,
+        cycles: o.list::<u32>("--cycles")?,
+        pipeline: o.pipeline_modes()?,
+        dim: opt_num(o, "--dim")?,
+        count: opt_num(o, "--count")?,
+        seed: opt_num(o, "--seed")?,
+    })
 }
 
 /// Builds the point fleet from `--workload` (grid axes optional) or from a
 /// positional DSL file (clock sweep only).
 fn build_points(o: &Opts) -> Result<Vec<DsePoint>, String> {
-    match (o.get("--workload"), o.positional.as_slice()) {
-        (Some(w), []) => workload_points(o, w),
-        (None, [path]) => dsl_points(o, path),
-        (Some(_), [_, ..]) => Err("pass either --workload or a DSL file, not both".into()),
-        (None, []) => Err("explore needs --workload <name> or a <file.dsl>".into()),
-        (None, _) => Err("explore takes at most one DSL file".into()),
-    }
-}
-
-fn workload_points(o: &Opts, workload: &str) -> Result<Vec<DsePoint>, String> {
-    let clocks = o.list::<u64>("--clocks")?;
-    let cycles = o.list::<u32>("--cycles")?;
-    let modes = o.pipeline_modes()?;
-    // The workload builders assert on zero axes (a 0 ps clock or 0-cycle
-    // budget is meaningless); reject them here with a real error instead.
-    if clocks.as_deref().is_some_and(|c| c.contains(&0)) {
-        return Err("--clocks: clock periods must be >= 1 ps".into());
-    }
-    if cycles.as_deref().is_some_and(|c| c.contains(&0)) {
-        return Err("--cycles: latency budgets must be >= 1 cycle".into());
-    }
-    if modes.as_deref().is_some_and(|m| m.contains(&Some(0))) {
-        return Err("--pipeline: initiation intervals must be >= 1".into());
-    }
-    let pts = match workload {
-        "interpolation" | "interp" => match (clocks, cycles) {
-            (None, None) => sweep::interpolation_default(),
-            (c, l) => sweep::interpolation_sweep(
-                &c.unwrap_or_else(|| vec![1100, 1400, 1800, 2400]),
-                &l.unwrap_or_else(|| vec![3, 4, 6]),
-            ),
-        },
-        "idct" => sweep::idct_sweep(
-            &clocks.unwrap_or_else(|| vec![2200, 3000]),
-            &cycles.unwrap_or_else(|| vec![12, 16, 24, 32]),
-            &modes.unwrap_or_else(|| vec![None]),
-        ),
-        "idct-table4" | "table4" => sweep::idct_table4(),
-        "fir" => sweep::fir_sweep(
-            clocks
-                .as_deref()
-                .and_then(|c| c.first().copied())
-                .unwrap_or(2200),
-            &[2, 4, 8],
-            &cycles.unwrap_or_else(|| vec![2, 3, 4]),
-        ),
-        "matmul" => sweep::matmul_sweep(
-            o.num("--dim", 3usize)?,
-            &clocks.unwrap_or_else(|| vec![2200, 3000]),
-            &cycles.unwrap_or_else(|| vec![4, 6, 8]),
-        ),
-        "random" => sweep::random_fleet(o.num("--count", 12usize)?, o.num("--seed", 42u64)?),
-        other => {
-            return Err(format!(
-                "unknown workload `{other}` (interpolation | idct | idct-table4 | \
-                 fir | matmul | random)"
-            ))
+    let mut spec = spec_from_opts(o)?;
+    match (spec.workload.is_some(), o.positional.as_slice()) {
+        (true, []) => sweep_points(&spec).map_err(with_cli_flags),
+        (false, [path]) => {
+            spec.dsl =
+                Some(std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?);
+            // The file's stem names the points, as before the server
+            // existed (the server itself uses the design's own name).
+            spec.dsl_prefix = Some(std::path::Path::new(path).file_stem().map_or_else(
+                || "design".to_string(),
+                |s| s.to_string_lossy().into_owned(),
+            ));
+            sweep_points(&spec).map_err(|e| format!("{path}: {}", with_cli_flags(e)))
         }
-    };
-    Ok(pts)
-}
-
-fn dsl_points(o: &Opts, path: &str) -> Result<Vec<DsePoint>, String> {
-    let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
-    let design = frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?;
-    // The file fixes its own state structure; the sweepable axis is the
-    // clock. Items-per-run = one pass through the state sequence.
-    let cycles = DsePoint::states_per_item(&design);
-    let clocks = o
-        .list::<u64>("--clocks")?
-        .unwrap_or_else(|| vec![1500, 2000, 2600, 3200]);
-    let stem = std::path::Path::new(path).file_stem().map_or_else(
-        || "design".to_string(),
-        |s| s.to_string_lossy().into_owned(),
-    );
-    Ok(clocks
-        .into_iter()
-        .map(|clock_ps| DsePoint {
-            name: format!("{stem}-c{clock_ps}"),
-            design: design.clone(),
-            clock_ps,
-            pipeline_ii: None,
-            cycles_per_item: cycles,
-        })
-        .collect())
+        (true, [_, ..]) => Err("pass either --workload or a DSL file, not both".into()),
+        (false, []) => Err("explore needs --workload <name> or a <file.dsl>".into()),
+        (false, _) => Err("explore takes at most one DSL file".into()),
+    }
 }
 
 fn print_human(o: &Opts, rows: &[DseRow], front: &[DseRow]) {

@@ -1,15 +1,29 @@
 //! `adhls schedule <file.dsl>` — compile a DSL design and run one HLS flow.
+//! `--netlist <path|->` additionally dumps the Verilog-flavored
+//! datapath/FSM sketch `core::netlist` emits (see `docs/NETLIST.md`).
 
-use crate::opts::{parse_flow, Opts};
+use crate::opts::{parse_flow, write_out, Opts};
+use adhls_core::netlist;
 use adhls_core::report::Table;
 use adhls_core::sched::{run_hls, HlsOptions};
 use adhls_ir::frontend;
 
 pub fn run(args: &[String]) -> Result<(), String> {
-    let o = Opts::parse(args, &["--clock", "--flow", "--pipeline"], &["--json"])?;
+    let o = Opts::parse(
+        args,
+        &["--clock", "--flow", "--pipeline", "--netlist"],
+        &["--json"],
+    )?;
     let [path] = o.positional.as_slice() else {
         return Err("schedule needs exactly one <file.dsl> argument".into());
     };
+    // Both would claim stdout; silently dropping one output is worse than
+    // refusing the combination.
+    if o.flag("--json") && o.get("--netlist") == Some("-") {
+        return Err(
+            "--json and --netlist - both write to stdout; send the netlist to a file".into(),
+        );
+    }
     let source = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
     let design = frontend::compile(&source).map_err(|e| format!("{path}: {e}"))?;
 
@@ -29,6 +43,19 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
     let lib = adhls_reslib::tsmc90::library();
     let res = run_hls(&design, &lib, &hls).map_err(|e| format!("scheduling failed: {e}"))?;
+
+    if let Some(out) = o.get("--netlist") {
+        let info = design
+            .validate()
+            .map_err(|e| format!("validating the design for netlist emission: {e}"))?;
+        let text = netlist::emit(&design, &info, &res.schedule, &res.regs);
+        write_out(out, &text, "netlist")?;
+        // Dumping to stdout? The report table would corrupt the netlist
+        // stream a consumer is piping away — same rule as JSON exports.
+        if out == "-" {
+            return Ok(());
+        }
+    }
 
     let n_ops = design.dfg.len_ops();
     let n_insts = res.schedule.allocation.len();

@@ -1,0 +1,95 @@
+//! `adhls serve` — run the long-lived exploration server.
+//!
+//! Clients speak the line-delimited JSON protocol documented in
+//! `docs/PROTOCOL.md` over TCP (default) or this process's stdin/stdout
+//! (`--stdio`, for harnesses and one-off piping). All connections share
+//! one evaluator pool: worker threads, the budgeted cross-request result
+//! cache, and in-flight coalescing.
+
+use crate::opts::Opts;
+use adhls_core::sched::HlsOptions;
+use adhls_explore::pool::{EvaluatorPool, PoolOptions};
+use adhls_explore::server::Server;
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let o = Opts::parse(
+        args,
+        &["--addr", "--threads", "--cache-bytes"],
+        &["--stdio", "--strict"],
+    )?;
+    if !o.positional.is_empty() {
+        return Err("serve takes no positional arguments".into());
+    }
+    let cache_bytes = o.get("--cache-bytes").map(parse_bytes).transpose()?;
+    let pool = EvaluatorPool::new(
+        adhls_reslib::tsmc90::library(),
+        HlsOptions::default(),
+        PoolOptions {
+            threads: o.num("--threads", 0usize)?,
+            // A server should answer what it can rather than fail a whole
+            // request on one unschedulable cell; --strict restores the
+            // fail-fast CLI behavior.
+            skip_infeasible: !o.flag("--strict"),
+            cache_bytes,
+        },
+    );
+    let server = Server::new(pool);
+
+    if o.flag("--stdio") {
+        if o.get("--addr").is_some() {
+            return Err("--stdio and --addr are mutually exclusive".into());
+        }
+        return server
+            .serve_connection(std::io::stdin().lock(), std::io::stdout().lock())
+            .map_err(|e| format!("serve (stdio): {e}"));
+    }
+
+    let addr = o.get("--addr").unwrap_or("127.0.0.1:7130");
+    let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
+    let local = listener
+        .local_addr()
+        .map_err(|e| format!("resolving the bound address: {e}"))?;
+    // One parseable line on stdout so scripts (and the e2e tests) learn the
+    // actual port when --addr ends in :0.
+    println!("adhls serve listening on {local}");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    server
+        .serve_tcp(&listener)
+        .map_err(|e| format!("serve: {e}"))?;
+    eprintln!("adhls serve: shutdown requested, exiting");
+    Ok(())
+}
+
+/// Parses a byte count with an optional binary `k`/`m`/`g` suffix
+/// (case-insensitive): `1048576`, `1024k`, `64m`, `2g`.
+fn parse_bytes(v: &str) -> Result<usize, String> {
+    let (digits, mult) = match v.trim().to_ascii_lowercase() {
+        s if s.ends_with('k') => (s[..s.len() - 1].to_string(), 1usize << 10),
+        s if s.ends_with('m') => (s[..s.len() - 1].to_string(), 1usize << 20),
+        s if s.ends_with('g') => (s[..s.len() - 1].to_string(), 1usize << 30),
+        s => (s, 1),
+    };
+    let n: usize = digits
+        .parse()
+        .map_err(|_| format!("--cache-bytes: `{v}` is not a byte count (e.g. 1048576, 64m)"))?;
+    n.checked_mul(mult)
+        .filter(|&n| n > 0)
+        .ok_or_else(|| format!("--cache-bytes: `{v}` must be >= 1 and fit in memory"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn byte_counts_parse_with_suffixes() {
+        assert_eq!(parse_bytes("4096"), Ok(4096));
+        assert_eq!(parse_bytes("4k"), Ok(4096));
+        assert_eq!(parse_bytes("2M"), Ok(2 << 20));
+        assert_eq!(parse_bytes("1g"), Ok(1 << 30));
+        assert!(parse_bytes("0").is_err());
+        assert!(parse_bytes("lots").is_err());
+        assert!(parse_bytes("-1").is_err());
+    }
+}

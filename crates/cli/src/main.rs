@@ -2,9 +2,10 @@
 //! command line, no Rust required.
 //!
 //! ```text
-//! adhls schedule <file.dsl> [--clock PS] [--flow conv|slow|slack]
+//! adhls schedule <file.dsl> [--clock PS] [--flow conv|slow|slack] [--netlist PATH]
 //! adhls explore  --workload <name> [axes...] [--json PATH] [--csv PATH]
 //! adhls explore  <file.dsl> --clocks 1500,2000,2600
+//! adhls serve    [--addr HOST:PORT | --stdio] [--cache-bytes N]
 //! adhls report   [table4|table2]
 //! ```
 //!
@@ -13,6 +14,7 @@
 mod cmd_explore;
 mod cmd_report;
 mod cmd_schedule;
+mod cmd_serve;
 mod opts;
 
 use std::process::ExitCode;
@@ -23,6 +25,7 @@ adhls — area/delay-tradeoff-aware high-level synthesis (DATE 2012 reproduction
 USAGE:
     adhls schedule <file.dsl> [OPTIONS]
     adhls explore  (--workload <name> | <file.dsl>) [OPTIONS]
+    adhls serve    [OPTIONS]
     adhls report   [table4|table2]
     adhls help
 
@@ -31,6 +34,8 @@ SCHEDULE OPTIONS:
     --flow <FLOW>         conv | slow | slack           [default: slack]
     --pipeline <II>       pipeline initiation interval  [default: off]
     --json                emit the result as JSON instead of a table
+    --netlist <PATH>      dump the Verilog-flavored datapath/FSM netlist
+                          (`-` for stdout; see docs/NETLIST.md)
 
 EXPLORE OPTIONS:
     --workload <NAME>     interpolation | idct | idct-table4 | fir |
@@ -53,6 +58,18 @@ ADAPTIVE EXPLORE OPTIONS (interpolation | idct | matmul):
     --budget <N>          stop after evaluating N grid cells    [default: none]
     --gap-tol <T>         stop when no normalized front gap
                           exceeds T                             [default: 0.05]
+    --warm-start <PATH>   seed refinement from a previously exported
+                          front/sweep JSON (grid-named rows only)
+
+SERVE OPTIONS (line-delimited JSON protocol; see docs/PROTOCOL.md):
+    --addr <HOST:PORT>    TCP listen address  [default: 127.0.0.1:7130;
+                          port 0 picks a free port, printed on stdout]
+    --stdio               serve one session on stdin/stdout instead of TCP
+    --threads <N>         evaluator pool threads (0 = all cores) [default: 0]
+    --cache-bytes <N>     byte budget for the cross-request result cache,
+                          with optional k/m/g suffix    [default: unbounded]
+    --strict              fail requests on unschedulable points instead of
+                          skipping them
 
 Exploring a DSL file sweeps --clocks only (the file fixes its own states).
 ";
@@ -69,6 +86,7 @@ fn main() -> ExitCode {
     let result = match cmd {
         "schedule" => cmd_schedule::run(rest),
         "explore" => cmd_explore::run(rest),
+        "serve" => cmd_serve::run(rest),
         "report" => cmd_report::run(rest),
         "help" | "--help" | "-h" => {
             print!("{USAGE}");

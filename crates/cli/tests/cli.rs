@@ -45,6 +45,49 @@ fn schedule_compiles_the_resizer_dsl() {
 }
 
 #[test]
+fn schedule_netlist_dumps_the_datapath_fsm_sketch() {
+    let dsl = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/dsl/resizer.adhls"
+    );
+    let out = adhls(&["schedule", dsl, "--clock", "2000", "--netlist", "-"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("module resizer"), "{text}");
+    assert!(text.contains("endmodule"), "{text}");
+    assert!(text.contains("input  wire clk"), "{text}");
+    assert!(text.contains("// FSM:"), "{text}");
+    assert!(text.contains("functional units"), "{text}");
+    // Netlist-to-stdout is machine-consumable: no report table mixed in.
+    assert!(!text.contains("| metric"), "{text}");
+
+    // --json and --netlist - both claim stdout: refused, not silently
+    // resolved in favor of one of them.
+    let out = adhls(&["schedule", dsl, "--json", "--netlist", "-"]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("stdout"));
+
+    // Writing to a file keeps the human report on stdout.
+    let path = std::env::temp_dir().join("adhls_netlist_test.v");
+    let out = adhls(&[
+        "schedule",
+        dsl,
+        "--netlist",
+        path.to_str().expect("utf-8 temp path"),
+    ]);
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("| metric"), "{text}");
+    let written = std::fs::read_to_string(&path).expect("netlist file written");
+    assert!(written.contains("module resizer"));
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
 fn explore_interpolation_emits_nonempty_front_json() {
     let out = adhls(&[
         "explore",
@@ -107,6 +150,55 @@ fn explore_adaptive_emits_refinement_json() {
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("adaptive:"), "stderr: {stderr}");
+}
+
+#[test]
+fn explore_adaptive_warm_starts_from_an_exported_front() {
+    let path = std::env::temp_dir().join("adhls_warm_front_test.json");
+    let path_str = path.to_str().expect("utf-8 temp path");
+    let base = [
+        "explore",
+        "--workload",
+        "interpolation",
+        "--adaptive",
+        "--gap-tol",
+        "0.1",
+        "--skip-infeasible",
+    ];
+    let mut export = base.to_vec();
+    export.extend(["--json", path_str]);
+    let out = adhls(&export);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let mut warm = base.to_vec();
+    warm.extend(["--warm-start", path_str]);
+    let out = adhls(&warm);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("warm start:"),
+        "warm-start cells not reported: {stderr}"
+    );
+    let _ = std::fs::remove_file(&path);
+
+    // Without --adaptive the flag is rejected, like --budget/--gap-tol.
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--warm-start",
+        "x.json",
+    ]);
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--adaptive"));
 }
 
 #[test]

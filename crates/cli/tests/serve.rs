@@ -1,0 +1,259 @@
+//! End-to-end tests for `adhls serve` — the PR's acceptance path: start
+//! the daemon, submit two *concurrent* adaptive requests for the IDCT
+//! workload over separate TCP connections, and check that both returned
+//! fronts are bit-identical to a direct `Engine` run of the same grid,
+//! that the server's `stats` response shows cross-request cache sharing,
+//! and that the cache stayed within its `--cache-bytes` budget.
+
+use adhls_core::json::Value;
+use adhls_core::sched::HlsOptions;
+use adhls_explore::export::rows_to_json_line;
+use adhls_explore::refine::{refine, RefineOptions};
+use adhls_explore::server::{workload_grid, WorkloadSpec};
+use adhls_explore::{Engine, EngineOptions};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::{Child, Command, Stdio};
+
+const CACHE_BYTES: u64 = 256 * 1024;
+
+/// The grid both server requests and the direct reference run explore:
+/// small enough to keep the test fast, rich enough for multiple rounds.
+const CLOCKS: [u64; 2] = [2200, 3000];
+const CYCLES: [u32; 3] = [12, 16, 24];
+const GAP_TOL: f64 = 0.1;
+
+struct Serve {
+    child: Child,
+    addr: String,
+}
+
+impl Serve {
+    fn start(extra: &[&str]) -> Serve {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_adhls"))
+            .arg("serve")
+            .args(["--addr", "127.0.0.1:0"])
+            .args(extra)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("adhls serve spawns");
+        let stdout = child.stdout.take().expect("stdout piped");
+        let mut line = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("serve announces its address");
+        let addr = line
+            .trim()
+            .rsplit(' ')
+            .next()
+            .expect("address at end of announcement")
+            .to_string();
+        assert!(
+            addr.starts_with("127.0.0.1:"),
+            "unexpected announcement: {line}"
+        );
+        Serve { child, addr }
+    }
+
+    /// Sends one request line on a fresh connection; returns all response
+    /// lines up to and including the terminal `result`.
+    fn request(&self, line: &str) -> Vec<Value> {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect");
+        stream.write_all(line.as_bytes()).expect("send");
+        stream.write_all(b"\n").expect("send newline");
+        let mut reader = BufReader::new(stream);
+        let mut out = Vec::new();
+        loop {
+            let mut resp = String::new();
+            let n = reader.read_line(&mut resp).expect("read response");
+            assert!(n > 0, "connection closed before a result message");
+            let v = Value::parse(resp.trim()).expect("response is JSON");
+            let terminal = v.get("event").and_then(Value::as_str) == Some("result");
+            out.push(v);
+            if terminal {
+                return out;
+            }
+        }
+    }
+
+    fn shutdown(mut self) {
+        let mut stream = TcpStream::connect(&self.addr).expect("connect for shutdown");
+        stream
+            .write_all(b"{\"cmd\":\"shutdown\"}\n")
+            .expect("send shutdown");
+        let mut resp = String::new();
+        BufReader::new(stream).read_line(&mut resp).ok();
+        let status = self.child.wait().expect("serve exits after shutdown");
+        assert!(status.success(), "serve exited with {status}");
+    }
+}
+
+impl Drop for Serve {
+    fn drop(&mut self) {
+        // Belt and braces: if an assertion fired before shutdown(), don't
+        // leak the daemon.
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+/// The direct (no server, no pool) reference front for the test grid.
+fn direct_front_json() -> String {
+    let lib = adhls_reslib::tsmc90::library();
+    let engine = Engine::with_options(
+        &lib,
+        HlsOptions::default(),
+        EngineOptions {
+            skip_infeasible: true,
+            ..Default::default()
+        },
+    );
+    let (grid, prefix, build) = workload_grid(&WorkloadSpec {
+        workload: Some("idct".into()),
+        clocks: Some(CLOCKS.to_vec()),
+        cycles: Some(CYCLES.to_vec()),
+        ..Default::default()
+    })
+    .expect("idct grid builds");
+    let r = refine(
+        &engine,
+        &grid,
+        &prefix,
+        build,
+        &RefineOptions {
+            gap_tol: GAP_TOL,
+            ..Default::default()
+        },
+    )
+    .expect("direct refinement runs");
+    rows_to_json_line(&r.front)
+}
+
+#[test]
+fn concurrent_adaptive_requests_share_one_pool_and_match_direct_runs() {
+    let serve = Serve::start(&["--cache-bytes", &CACHE_BYTES.to_string(), "--threads", "4"]);
+    let req = |id: usize| {
+        format!(
+            "{{\"id\":{id},\"cmd\":\"refine\",\"workload\":\"idct\",\
+             \"clocks\":[2200,3000],\"cycles\":[12,16,24],\"gap_tol\":{GAP_TOL}}}"
+        )
+    };
+
+    // Two concurrent adaptive requests over separate connections.
+    let (resp_a, resp_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| serve.request(&req(1)));
+        let b = scope.spawn(|| serve.request(&req(2)));
+        (a.join().expect("client A"), b.join().expect("client B"))
+    });
+
+    let expected_front = direct_front_json();
+    for (who, resp) in [("A", &resp_a), ("B", &resp_b)] {
+        let result = resp.last().expect("terminal message");
+        assert_eq!(
+            result.get("ok"),
+            Some(&Value::Bool(true)),
+            "client {who}: {}",
+            result.render()
+        );
+        // Round events streamed before the result.
+        assert!(
+            resp.len() >= 2,
+            "client {who} saw no streamed rounds: {} messages",
+            resp.len()
+        );
+        // The served front is byte-identical to the direct Engine run.
+        let served = result.render();
+        assert!(
+            served.contains(&format!("\"front\":{expected_front}")),
+            "client {who}'s front diverged from the direct run\n\
+             served: {served}\nexpected front: {expected_front}"
+        );
+    }
+
+    // Cross-request sharing: the stats response must show cache hits
+    // (direct hits, or waits coalesced onto the other request's in-flight
+    // evaluations — both mean one HLS run served two requests).
+    let stats_resp = serve.request("{\"id\":9,\"cmd\":\"stats\"}");
+    let stats = stats_resp[0].get("stats").expect("stats payload");
+    let hits = stats.get("hits").and_then(Value::as_u64).unwrap();
+    let coalesced = stats.get("coalesced").and_then(Value::as_u64).unwrap();
+    assert!(
+        hits + coalesced > 0,
+        "identical concurrent requests shared nothing: {}",
+        stats.render()
+    );
+
+    // Evictions respect --cache-bytes: the budget is echoed and the live
+    // byte gauge sits within it.
+    assert_eq!(
+        stats.get("capacity_bytes").and_then(Value::as_u64),
+        Some(CACHE_BYTES)
+    );
+    let bytes = stats.get("bytes").and_then(Value::as_u64).unwrap();
+    assert!(
+        bytes <= CACHE_BYTES,
+        "cache at {bytes} bytes exceeds the {CACHE_BYTES} budget"
+    );
+    assert!(stats.get("evictions").and_then(Value::as_u64).is_some());
+
+    serve.shutdown();
+}
+
+#[test]
+fn tiny_cache_budget_forces_evictions_but_not_wrong_answers() {
+    // A budget far below one IDCT row per shard: everything evicts, rows
+    // still match the engine (eviction trades hits for recomputation).
+    let serve = Serve::start(&["--cache-bytes", "1k", "--threads", "2"]);
+    let req = "{\"id\":1,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+               \"clocks\":[1100,1400],\"cycles\":[3,4]}";
+    let first = serve.request(req);
+    let second = serve.request(req);
+    assert_eq!(
+        first[0].get("rows").unwrap().render(),
+        second[0].get("rows").unwrap().render(),
+        "rows changed across repeated requests under eviction pressure"
+    );
+    let stats = serve.request("{\"cmd\":\"stats\"}");
+    let s = stats[0].get("stats").unwrap();
+    let bytes = s.get("bytes").and_then(Value::as_u64).unwrap();
+    assert!(bytes <= 1024, "{bytes} bytes cached under a 1k budget");
+    serve.shutdown();
+}
+
+#[test]
+fn stdio_transport_answers_ping_and_sweep() {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_adhls"))
+        .args(["serve", "--stdio"])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("adhls serve --stdio spawns");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(
+            b"{\"id\":1,\"cmd\":\"ping\"}\n\
+              {\"id\":2,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+               \"clocks\":[1100],\"cycles\":[3]}\n",
+        )
+        .expect("write requests");
+    let out = child.wait_with_output().expect("stdio serve exits on EOF");
+    assert!(out.status.success());
+    let lines: Vec<Value> = String::from_utf8_lossy(&out.stdout)
+        .lines()
+        .map(|l| Value::parse(l).expect("JSON line"))
+        .collect();
+    assert_eq!(lines.len(), 2, "one response per request");
+    assert_eq!(lines[0].get("cmd").and_then(Value::as_str), Some("ping"));
+    assert_eq!(lines[1].get("ok"), Some(&Value::Bool(true)));
+    assert_eq!(
+        lines[1]
+            .get("rows")
+            .and_then(Value::as_arr)
+            .map(<[Value]>::len),
+        Some(1)
+    );
+}

@@ -66,6 +66,30 @@ impl DsePoint {
         grid_item_time_ps(self.clock_ps, self.cycles_per_item)
     }
 
+    /// Inverse of [`DsePoint::grid_name`]: recovers
+    /// `(clock_ps, cycles, pipeline_ii)` from a grid point's name, or
+    /// `None` for names not produced by the grid naming scheme. The prefix
+    /// is ignored — only the trailing `-c<clock>-l<cycles>[-ii<n>]` cell
+    /// coordinates matter — so fronts exported from any workload can seed a
+    /// warm start on the matching grid.
+    #[must_use]
+    pub fn parse_grid_name(name: &str) -> Option<(u64, u32, Option<u32>)> {
+        // Walk the dash-separated segments from the right: [ii<n>] then
+        // l<cycles> then c<clock>. Prefixes may themselves contain dashes.
+        let mut parts = name.rsplit('-');
+        let mut seg = parts.next()?;
+        let ii = if let Some(raw) = seg.strip_prefix("ii") {
+            let ii = raw.parse().ok()?;
+            seg = parts.next()?;
+            Some(ii)
+        } else {
+            None
+        };
+        let cycles = seg.strip_prefix('l')?.parse().ok()?;
+        let clock_ps = parts.next()?.strip_prefix('c')?.parse().ok()?;
+        Some((clock_ps, cycles, ii))
+    }
+
     /// Items-per-run heuristic for designs that bake their own budget (DSL
     /// files, random fleets): one item per pass through the state sequence,
     /// i.e. the number of state nodes (≥ 1).
@@ -213,6 +237,21 @@ pub fn summarize(rows: &[DseRow]) -> Option<DseSummary> {
     })
 }
 
+impl DseSummary {
+    /// The summary as a JSON object, for protocol responses and exports.
+    #[must_use]
+    pub fn to_json(&self) -> crate::json::Value {
+        use crate::json::Value;
+        Value::Obj(vec![
+            ("avg_save_pct".into(), Value::Num(self.avg_save_pct)),
+            ("regressions".into(), Value::Num(self.regressions as f64)),
+            ("power_range".into(), Value::Num(self.power_range)),
+            ("throughput_range".into(), Value::Num(self.throughput_range)),
+            ("area_range".into(), Value::Num(self.area_range)),
+        ])
+    }
+}
+
 /// Renders rows as the paper's Table 4.
 #[must_use]
 pub fn table4(rows: &[DseRow]) -> String {
@@ -297,6 +336,34 @@ mod tests {
         let g = DsePoint::grid("g", p.design, 1100, 0, None);
         assert_eq!(g.cycles_per_item, 1, "zero budget clamps to 1");
         assert_eq!(g.name, "g-c1100-l0");
+    }
+
+    #[test]
+    fn grid_name_round_trips_through_its_parser() {
+        for (clock, cycles, ii) in [(1100, 3, None), (2200, 16, Some(8)), (1, 1, Some(1))] {
+            let name = DsePoint::grid_name("idct-2d", clock, cycles, ii);
+            assert_eq!(DsePoint::parse_grid_name(&name), Some((clock, cycles, ii)));
+        }
+        for bad in [
+            "idct",
+            "x-c12",
+            "x-l3",
+            "c1100-l3x",
+            "x-cq-l3",
+            "x-c1100-l3-iiq",
+        ] {
+            assert_eq!(DsePoint::parse_grid_name(bad), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn summary_renders_as_json_object() {
+        let lib = tsmc90::library();
+        let rows = explore(&[point("P1", 1, 1100)], &lib, &HlsOptions::default()).unwrap();
+        let s = summarize(&rows).unwrap().to_json().render();
+        assert!(s.starts_with('{'), "{s}");
+        assert!(s.contains("\"avg_save_pct\":"), "{s}");
+        assert!(s.contains("\"regressions\":0"), "{s}");
     }
 
     #[test]

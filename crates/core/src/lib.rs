@@ -20,7 +20,10 @@
 //! * [`power`] — a simple switched-area dynamic power model,
 //! * [`netlist`] — Verilog-flavored datapath/FSM emission,
 //! * [`dse`] — the design-space-exploration driver regenerating paper
-//!   Table 4.
+//!   Table 4,
+//! * [`json`] — a minimal JSON value/parser/renderer for the exploration
+//!   server's line-delimited protocol and warm-start front imports (the
+//!   workspace vendors no serde).
 //!
 //! # Example
 //!
@@ -45,10 +48,13 @@
 //! assert!(result.area.total > 0.0);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod alloc;
 pub mod area;
 pub mod bind;
 pub mod dse;
+pub mod json;
 pub mod netlist;
 pub mod power;
 pub mod report;

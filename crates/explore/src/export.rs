@@ -51,6 +51,25 @@ fn json_row(out: &mut String, row: &DseRow) {
     );
 }
 
+/// Renders rows as a *single-line* JSON array (input order preserved) —
+/// the rendering the line-delimited server protocol embeds in response
+/// messages, where a literal newline would split one message into two.
+/// Field order and number formatting match [`rows_to_json`] exactly, so a
+/// row rendered here is byte-identical to the same row in a file export
+/// modulo the indentation.
+#[must_use]
+pub fn rows_to_json_line(rows: &[DseRow]) -> String {
+    let mut out = String::from("[");
+    for (i, row) in rows.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        json_row(&mut out, row);
+    }
+    out.push(']');
+    out
+}
+
 /// Renders rows as a JSON array (input order preserved).
 #[must_use]
 pub fn rows_to_json(rows: &[DseRow]) -> String {
@@ -204,6 +223,19 @@ mod tests {
     fn csv_quotes_awkward_names() {
         let s = rows_to_csv(&[row("a,b\"c")]);
         assert!(s.contains("\"a,b\"\"c\""));
+    }
+
+    #[test]
+    fn single_line_rendering_matches_pretty_rendering_modulo_whitespace() {
+        let rows = [row("d1"), row("d2")];
+        let line = rows_to_json_line(&rows);
+        assert!(!line.contains('\n'), "one message, one line: {line}");
+        let pretty: String = rows_to_json(&rows)
+            .chars()
+            .filter(|c| *c != '\n' && *c != ' ')
+            .collect();
+        assert_eq!(line, pretty);
+        assert_eq!(rows_to_json_line(&[]), "[]");
     }
 
     #[test]

@@ -13,7 +13,14 @@
 //!   (area, latency, power, throughput) with dominance pruning and
 //!   deterministic ordering regardless of thread interleaving,
 //! * [`export`] — JSON/CSV renderers for sweeps and fronts,
-//! * [`fingerprint`] — stable structural hashing of designs and options.
+//! * [`fingerprint`] — stable structural hashing of designs and options,
+//! * [`pool`] — a persistent evaluator pool sharing worker threads and a
+//!   budgeted cross-request cache between concurrent submitters,
+//! * [`refine`](mod@refine) — adaptive Pareto-front refinement with warm
+//!   starts,
+//! * [`server`] — the `adhls serve` daemon: a line-delimited JSON protocol
+//!   multiplexing sweep/refine requests onto one pool, with cache
+//!   eviction for long-lived processes.
 //!
 //! The engine's contract: **parallel evaluation returns bit-identical rows
 //! to serial evaluation, in input order.** Each point's result depends only
@@ -47,12 +54,15 @@
 //! assert_eq!(sweep.rows, engine.evaluate_serial(&points).unwrap().rows);
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod engine;
 pub mod export;
 pub mod fingerprint;
 pub mod pareto;
 pub mod pool;
 pub mod refine;
+pub mod server;
 pub mod sweep;
 
 pub use engine::{Engine, EngineOptions, SweepResult};
@@ -61,7 +71,11 @@ pub use pareto::{
     Objectives,
 };
 pub use pool::{EvaluatorPool, PoolOptions};
-pub use refine::{refine, Evaluator, RefineOptions, RefineResult, RoundTrace};
+pub use refine::{
+    refine, refine_with_progress, warm_start_cells, Evaluator, RefineOptions, RefineResult,
+    RoundTrace,
+};
+pub use server::{CacheStats, Server};
 pub use sweep::{SweepCell, SweepGrid};
 
 // Re-exported so downstream code can name the point/row types without a
@@ -74,7 +88,11 @@ pub mod prelude {
     pub use crate::export::{front_to_json, refine_to_json, rows_to_csv, rows_to_json};
     pub use crate::pareto::{dominates, objectives, pareto_front, tradeoff_staircase, Objectives};
     pub use crate::pool::{EvaluatorPool, PoolOptions};
-    pub use crate::refine::{refine, Evaluator, RefineOptions, RefineResult, RoundTrace};
+    pub use crate::refine::{
+        refine, refine_with_progress, warm_start_cells, Evaluator, RefineOptions, RefineResult,
+        RoundTrace,
+    };
+    pub use crate::server::{CacheStats, Server, WorkloadSpec};
     pub use crate::sweep::{SweepCell, SweepGrid};
     pub use adhls_core::dse::{DsePoint, DseRow};
 }

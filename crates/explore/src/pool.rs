@@ -20,7 +20,8 @@
 //! behaves exactly like the serial engine) and submitters cannot deadlock
 //! waiting on a saturated pool.
 
-use crate::engine::{point_key, ResultCache, SweepResult};
+use crate::engine::{point_key, SweepResult};
+use crate::server::eviction::{CacheStats, EvictingCache, Outcome};
 use adhls_core::dse::{evaluate_point, DsePoint, DseRow};
 use adhls_core::sched::HlsOptions;
 use adhls_reslib::Library;
@@ -41,6 +42,10 @@ pub struct PoolOptions {
     /// Skip points that fail to schedule (recorded in
     /// [`SweepResult::skipped`]) instead of failing the whole batch.
     pub skip_infeasible: bool,
+    /// Approximate byte budget for the cross-request result cache
+    /// (`None` = unbounded, the one-shot CLI default). Long-lived servers
+    /// should set this; see [`crate::server::eviction`].
+    pub cache_bytes: Option<usize>,
 }
 
 /// One submitted sweep: its points, result slots, and completion state.
@@ -122,7 +127,7 @@ impl Batch {
 struct Shared {
     lib: Library,
     base: HlsOptions,
-    cache: ResultCache,
+    cache: EvictingCache,
     queue: Mutex<VecDeque<Arc<Batch>>>,
     work_ready: Condvar,
     shutdown: AtomicBool,
@@ -131,7 +136,9 @@ struct Shared {
 impl Shared {
     /// Evaluates one point through the cross-request cache, crediting a hit
     /// to the batch's own counter (per-sweep accounting — concurrent
-    /// batches must not see each other's hits).
+    /// batches must not see each other's hits). Coalescing onto another
+    /// request's in-flight evaluation of the same key counts as a hit too:
+    /// from this batch's perspective the row was free.
     ///
     /// A panic inside HLS evaluation is caught and surfaced as an error:
     /// on a persistent pool the panicking thread may be a background
@@ -140,26 +147,26 @@ impl Shared {
     /// panics at join; a pool has no equivalent joining point per batch).
     fn evaluate_one(&self, p: &DsePoint, batch_hits: &AtomicU64) -> Result<DseRow> {
         let key = point_key(&self.base, p);
-        if let Some(row) = self.cache.get(key) {
+        let (result, outcome) = self.cache.get_or_compute(key, || {
+            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                evaluate_point(p, &self.lib, &self.base)
+            }))
+            .unwrap_or_else(|panic| {
+                let msg = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".into());
+                Err(Error::Interp(format!(
+                    "evaluating {} panicked: {msg}",
+                    p.name
+                )))
+            })
+        });
+        if result.is_ok() && outcome != Outcome::Computed {
             batch_hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(row);
         }
-        let row = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            evaluate_point(p, &self.lib, &self.base)
-        }))
-        .unwrap_or_else(|panic| {
-            let msg = panic
-                .downcast_ref::<&str>()
-                .map(|s| (*s).to_string())
-                .or_else(|| panic.downcast_ref::<String>().cloned())
-                .unwrap_or_else(|| "non-string panic payload".into());
-            Err(Error::Interp(format!(
-                "evaluating {} panicked: {msg}",
-                p.name
-            )))
-        })?;
-        self.cache.insert(key, row.clone());
-        Ok(row)
+        result
     }
 
     /// Claims and evaluates points from `batch` until it is exhausted.
@@ -260,7 +267,7 @@ impl EvaluatorPool {
         let shared = Arc::new(Shared {
             lib,
             base,
-            cache: ResultCache::default(),
+            cache: EvictingCache::new(opts.cache_bytes),
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -341,8 +348,19 @@ impl EvaluatorPool {
     }
 
     /// (hits, misses) across the pool's lifetime, all batches combined.
+    /// "Hits" include coalesced in-flight waits — both avoided an HLS run.
+    /// See [`EvaluatorPool::cache_metrics`] for the full breakdown.
     #[must_use]
     pub fn cache_stats(&self) -> (u64, u64) {
+        let s = self.shared.cache.stats();
+        (s.hits + s.coalesced, s.misses)
+    }
+
+    /// Full cache counters and gauges (hits, coalesced waits, misses,
+    /// evictions, live entries/bytes, configured budget) — what the
+    /// server's `stats` request reports.
+    #[must_use]
+    pub fn cache_metrics(&self) -> CacheStats {
         self.shared.cache.stats()
     }
 
@@ -496,6 +514,7 @@ mod tests {
             PoolOptions {
                 threads: 2,
                 skip_infeasible: true,
+                ..Default::default()
             },
         );
         let r = lenient.evaluate(&[good, bad]).unwrap();

@@ -86,6 +86,13 @@ pub struct RefineOptions {
     pub gap_tol: f64,
     /// Safety valve on refinement rounds (`0` = seed only).
     pub max_rounds: usize,
+    /// Warm-start cells — typically a previous run's exported front (see
+    /// [`warm_start_cells`]) — evaluated with the seed so refinement
+    /// resumes from the old front instead of re-deriving it. Cells that
+    /// name no cell of this grid are ignored; on a shared
+    /// [`EvaluatorPool`] the warm cells are usually cache hits, making a
+    /// warm re-refinement nearly free.
+    pub warm_start: Vec<SweepCell>,
 }
 
 impl Default for RefineOptions {
@@ -94,8 +101,51 @@ impl Default for RefineOptions {
             budget: 0,
             gap_tol: 0.05,
             max_rounds: 32,
+            warm_start: Vec::new(),
         }
     }
+}
+
+/// Extracts warm-start cells from a previously exported sweep/front/refine
+/// JSON document (any of `export::front_to_json`, `export::refine_to_json`,
+/// or a bare row array). Rows are matched by their grid names
+/// (`prefix-c<clock>-l<cycles>[-ii<n>]`); rows whose names encode no grid
+/// cell (e.g. the paper's hand-named D1–D15 points) are skipped, because
+/// they cannot be mapped back onto any grid.
+///
+/// # Errors
+///
+/// [`Error::Interp`] when `json` is not parseable JSON or has none of the
+/// recognized shapes.
+pub fn warm_start_cells(json: &str) -> Result<Vec<SweepCell>> {
+    use adhls_core::json::Value;
+    let doc = Value::parse(json)
+        .map_err(|e| Error::Interp(format!("warm-start JSON did not parse: {e}")))?;
+    // Prefer the front (the useful part of an exported document); fall
+    // back to the sweep, then to a bare array.
+    let rows = doc
+        .get("front")
+        .and_then(Value::as_arr)
+        .or_else(|| doc.get("sweep").and_then(Value::as_arr))
+        .or_else(|| doc.as_arr())
+        .ok_or_else(|| Error::Interp("warm-start JSON has no `front`/`sweep` array".into()))?;
+    let mut cells = Vec::new();
+    for row in rows {
+        let Some(name) = row.get("name").and_then(Value::as_str) else {
+            continue;
+        };
+        if let Some((clock_ps, cycles, pipeline_ii)) = DsePoint::parse_grid_name(name) {
+            let cell = SweepCell {
+                clock_ps,
+                cycles,
+                pipeline_ii,
+            };
+            if !cells.contains(&cell) {
+                cells.push(cell);
+            }
+        }
+    }
+    Ok(cells)
 }
 
 /// One refinement round's bookkeeping, exported with the sweep so runs are
@@ -457,6 +507,29 @@ pub fn refine<F>(
 where
     F: FnMut(&SweepCell) -> Design,
 {
+    refine_with_progress(eval, grid, prefix, build, opts, |_| {})
+}
+
+/// [`refine`], reporting each round's [`RoundTrace`] to `observe` as soon
+/// as the round's rows are integrated (the seed round included). This is
+/// the hook the exploration server streams per-round progress events from;
+/// the trace passed to `observe` is exactly the entry that ends up in
+/// [`RefineResult::trace`].
+///
+/// # Errors
+///
+/// As [`refine`].
+pub fn refine_with_progress<F>(
+    eval: &dyn Evaluator,
+    grid: &SweepGrid,
+    prefix: &str,
+    build: F,
+    opts: &RefineOptions,
+    mut observe: impl FnMut(&RoundTrace),
+) -> Result<RefineResult>
+where
+    F: FnMut(&SweepCell) -> Design,
+{
     let gap_tol = if opts.gap_tol.is_finite() && opts.gap_tol >= 0.0 {
         opts.gap_tol
     } else {
@@ -515,12 +588,28 @@ where
         });
     }
 
-    // Seed: axis corners and midpoints, every pipeline mode.
+    // Seed: axis corners and midpoints, every pipeline mode — plus any
+    // warm-start cells that map onto this grid (appended after the
+    // geometric seed so a warm start never changes which cells a cold seed
+    // evaluates, only adds to them).
     let mut seed: Vec<Cell> = Vec::new();
     for &ci in &seed_indices(driver.clocks.len()) {
         for &li in &seed_indices(driver.cycles.len()) {
             for mi in 0..driver.modes.len() {
                 seed.push((ci, li, mi));
+            }
+        }
+    }
+    for w in &opts.warm_start {
+        let found = (
+            driver.clocks.iter().position(|&c| c == w.clock_ps),
+            driver.cycles.iter().position(|&c| c == w.cycles),
+            driver.modes.iter().position(|&m| m == w.pipeline_ii),
+        );
+        if let (Some(ci), Some(li), Some(mi)) = found {
+            let cell = (ci, li, mi);
+            if !seed.contains(&cell) {
+                seed.push(cell);
             }
         }
     }
@@ -535,6 +624,7 @@ where
         max_gap: 0.0,
         pruned: 0,
     }];
+    observe(&trace[0]);
 
     for round in 1..=opts.max_rounds {
         let stairs = driver.staircase();
@@ -561,6 +651,7 @@ where
             max_gap,
             pruned: pruned_now,
         });
+        observe(trace.last().expect("round trace just pushed"));
     }
 
     let front = driver
@@ -742,6 +833,124 @@ mod tests {
             r.evaluated >= 9,
             "NaN tolerance must not stop refinement early"
         );
+    }
+
+    #[test]
+    fn warm_start_cells_parse_export_documents_and_skip_foreign_names() {
+        let json = r#"{"sweep": [], "front": [
+            {"name":"syn-c1100-l2","a_slack":10},
+            {"name":"D7","a_slack":11},
+            {"name":"syn-c1400-l4-ii2","a_slack":12},
+            {"name":"syn-c1100-l2","a_slack":10}
+        ]}"#;
+        let cells = warm_start_cells(json).unwrap();
+        assert_eq!(
+            cells,
+            vec![
+                SweepCell {
+                    clock_ps: 1100,
+                    cycles: 2,
+                    pipeline_ii: None
+                },
+                SweepCell {
+                    clock_ps: 1400,
+                    cycles: 4,
+                    pipeline_ii: Some(2)
+                },
+            ],
+            "grid names map to cells, D7 and duplicates are dropped"
+        );
+        assert!(warm_start_cells("not json").is_err());
+        assert!(warm_start_cells("{\"x\":1}").is_err());
+    }
+
+    #[test]
+    fn warm_start_extends_the_seed_and_preserves_the_front() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1250, 1400, 1600, 1800, 2100], &[2, 3, 4, 5, 6]);
+        let opts = RefineOptions {
+            gap_tol: 0.25,
+            ..Default::default()
+        };
+        let cold = refine(&engine(&lib), &g, "syn", build_cell, &opts).unwrap();
+        // Warm-start from the cold run's front (as if re-imported from its
+        // exported JSON): the warm seed contains every front cell, and the
+        // refined front can only be at least as good — here, identical.
+        let warm_cells: Vec<SweepCell> = cold
+            .front
+            .iter()
+            .map(|r| {
+                let (clock_ps, cycles, pipeline_ii) =
+                    adhls_core::dse::DsePoint::parse_grid_name(&r.name).unwrap();
+                SweepCell {
+                    clock_ps,
+                    cycles,
+                    pipeline_ii,
+                }
+            })
+            .collect();
+        let warm = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                warm_start: warm_cells.clone(),
+                ..opts
+            },
+        )
+        .unwrap();
+        assert!(
+            warm.trace[0].new_points >= cold.trace[0].new_points,
+            "warm seed is a superset of the cold seed"
+        );
+        for c in &warm_cells {
+            let name =
+                adhls_core::dse::DsePoint::grid_name("syn", c.clock_ps, c.cycles, c.pipeline_ii);
+            assert!(
+                warm.rows.iter().any(|r| r.name == name),
+                "warm cell {name} was evaluated in the warm run"
+            );
+        }
+        assert_eq!(warm.front, cold.front, "same grid, same converged front");
+        // Cells that name no cell of this grid are ignored, not errors.
+        let stray = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                warm_start: vec![SweepCell {
+                    clock_ps: 99_999,
+                    cycles: 77,
+                    pipeline_ii: Some(3),
+                }],
+                gap_tol: 0.25,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(stray.trace[0].new_points, cold.trace[0].new_points);
+    }
+
+    #[test]
+    fn progress_observer_sees_every_trace_entry() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1250, 1400, 1600, 1800], &[2, 3, 4, 6]);
+        let mut seen = Vec::new();
+        let r = refine_with_progress(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                gap_tol: 0.1,
+                ..Default::default()
+            },
+            |t| seen.push(t.clone()),
+        )
+        .unwrap();
+        assert_eq!(seen, r.trace, "streamed traces match the result trace");
     }
 
     #[test]

@@ -1,0 +1,481 @@
+//! The exploration server's wire protocol: line-delimited JSON.
+//!
+//! One request per line in, one message per line out. Every response
+//! message echoes the request's `id` (any JSON scalar the client chose, so
+//! clients can multiplex requests over one connection) and carries an
+//! `event` discriminator:
+//!
+//! * `"round"` — a streamed progress event, one per adaptive-refinement
+//!   round, emitted while the request is still running,
+//! * `"result"` — the terminal message for the request, exactly one per
+//!   request, with `ok` true/false.
+//!
+//! Row arrays inside results use the exact field order and number
+//! formatting of the file exporters ([`crate::export`]), so a front
+//! returned over the wire is byte-comparable with a front exported by the
+//! CLI for the same rows. `docs/PROTOCOL.md` documents the full surface
+//! with worked examples.
+
+use crate::engine::SweepResult;
+use crate::export::rows_to_json_line;
+use crate::pareto::tradeoff_staircase;
+use crate::refine::{RefineResult, RoundTrace};
+use crate::server::eviction::CacheStats;
+use adhls_core::dse::{summarize, DseRow};
+use adhls_core::json::{escape_into, Value};
+use std::fmt::Write as _;
+
+/// What to explore: a named workload grid or an inline DSL design, plus
+/// optional axis overrides. Shared by `sweep` and `refine` requests (and
+/// reused by the CLI, so the server and `adhls explore` accept the same
+/// axes with the same validation).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorkloadSpec {
+    /// Named workload (`interpolation | idct | idct-table4 | fir | matmul
+    /// | random`), mutually exclusive with `dsl`.
+    pub workload: Option<String>,
+    /// Inline DSL source, mutually exclusive with `workload`.
+    pub dsl: Option<String>,
+    /// Point-name prefix for DSL sweeps (defaults to the design's name).
+    pub dsl_prefix: Option<String>,
+    /// Clock axis override (ps).
+    pub clocks: Option<Vec<u64>>,
+    /// Latency-budget axis override (cycles).
+    pub cycles: Option<Vec<u32>>,
+    /// Pipelining axis override (`null` = sequential).
+    pub pipeline: Option<Vec<Option<u32>>>,
+    /// Matrix dimension for the matmul workload.
+    pub dim: Option<usize>,
+    /// Fleet size for the random workload.
+    pub count: Option<usize>,
+    /// Seed for the random workload.
+    pub seed: Option<u64>,
+}
+
+/// One parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Evaluate a full grid (or point fleet) and return rows + front.
+    Sweep(WorkloadSpec),
+    /// Adaptively refine a workload grid's front, streaming round events.
+    Refine {
+        /// The grid to refine.
+        spec: WorkloadSpec,
+        /// Evaluation budget (`0` = none).
+        budget: usize,
+        /// Staircase gap tolerance.
+        gap_tol: f64,
+        /// Grid-point names from a previously returned front, used to
+        /// warm-start the seed.
+        warm_front: Vec<String>,
+    },
+    /// Report the pool's cache counters and server gauges.
+    Stats,
+    /// Liveness probe.
+    Ping,
+    /// Stop accepting connections and exit the serve loop.
+    Shutdown,
+}
+
+/// Parses one request line. The request `id` (echoed on every response) is
+/// extracted best-effort even when the command itself is malformed, so the
+/// error can still be correlated by the client.
+pub fn parse_request(line: &str) -> (Option<Value>, Result<Command, String>) {
+    let doc = match Value::parse(line) {
+        Ok(v) => v,
+        Err(e) => return (None, Err(format!("request is not valid JSON: {e}"))),
+    };
+    let id = doc.get("id").cloned();
+    let id = match id {
+        Some(Value::Num(_) | Value::Str(_) | Value::Null) | None => id,
+        Some(_) => return (None, Err("`id` must be a number, string, or null".into())),
+    };
+    let cmd = parse_command(&doc);
+    (id, cmd)
+}
+
+fn parse_command(doc: &Value) -> Result<Command, String> {
+    let Some(cmd) = doc.get("cmd").and_then(Value::as_str) else {
+        return Err("request needs a string `cmd` field".into());
+    };
+    match cmd {
+        "sweep" => Ok(Command::Sweep(parse_spec(doc)?)),
+        "refine" => {
+            let budget = match doc.get("budget") {
+                None => 0,
+                Some(v) => {
+                    let n = v.as_u64().ok_or("`budget` must be a whole number >= 1")?;
+                    if n == 0 {
+                        return Err("`budget` must be >= 1 (omit it for no budget)".into());
+                    }
+                    usize::try_from(n).map_err(|_| "`budget` too large")?
+                }
+            };
+            let gap_tol = match doc.get("gap_tol") {
+                None => 0.05,
+                Some(v) => {
+                    let t = v.as_f64().ok_or("`gap_tol` must be a number")?;
+                    if !t.is_finite() || t < 0.0 {
+                        return Err("`gap_tol` must be a finite number >= 0".into());
+                    }
+                    t
+                }
+            };
+            let warm_front = match doc.get("warm_front") {
+                None => Vec::new(),
+                Some(v) => v
+                    .as_arr()
+                    .ok_or("`warm_front` must be an array of point names")?
+                    .iter()
+                    .map(|n| {
+                        n.as_str()
+                            .map(str::to_string)
+                            .ok_or("`warm_front` entries must be strings")
+                    })
+                    .collect::<Result<Vec<_>, _>>()?,
+            };
+            Ok(Command::Refine {
+                spec: parse_spec(doc)?,
+                budget,
+                gap_tol,
+                warm_front,
+            })
+        }
+        "stats" => Ok(Command::Stats),
+        "ping" => Ok(Command::Ping),
+        "shutdown" => Ok(Command::Shutdown),
+        other => Err(format!(
+            "unknown cmd `{other}` (sweep | refine | stats | ping | shutdown)"
+        )),
+    }
+}
+
+fn parse_spec(doc: &Value) -> Result<WorkloadSpec, String> {
+    let workload = doc
+        .get("workload")
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or("`workload` must be a string")
+        })
+        .transpose()?;
+    let dsl = doc
+        .get("dsl")
+        .map(|v| {
+            v.as_str()
+                .map(str::to_string)
+                .ok_or("`dsl` must be a string")
+        })
+        .transpose()?;
+    Ok(WorkloadSpec {
+        workload,
+        dsl,
+        dsl_prefix: None,
+        clocks: num_list(doc, "clocks", "clock periods")?,
+        cycles: num_list(doc, "cycles", "latency budgets")?,
+        pipeline: pipeline_list(doc)?,
+        dim: opt_usize(doc, "dim")?,
+        count: opt_usize(doc, "count")?,
+        seed: match doc.get("seed") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or("`seed` must be a whole number")?),
+        },
+    })
+}
+
+fn opt_usize(doc: &Value, key: &str) -> Result<Option<usize>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("`{key}` must be a whole number"))?;
+            usize::try_from(n)
+                .map(Some)
+                .map_err(|_| format!("`{key}` too large"))
+        }
+    }
+}
+
+fn num_list<T: TryFrom<u64>>(doc: &Value, key: &str, what: &str) -> Result<Option<Vec<T>>, String> {
+    match doc.get(key) {
+        None => Ok(None),
+        Some(v) => v
+            .as_arr()
+            .ok_or_else(|| format!("`{key}` must be an array of numbers"))?
+            .iter()
+            .map(|n| {
+                n.as_u64()
+                    .and_then(|n| T::try_from(n).ok())
+                    .ok_or_else(|| format!("`{key}`: bad value among the {what}"))
+            })
+            .collect::<Result<Vec<T>, String>>()
+            .map(Some),
+    }
+}
+
+fn pipeline_list(doc: &Value) -> Result<Option<Vec<Option<u32>>>, String> {
+    match doc.get("pipeline") {
+        None => Ok(None),
+        Some(v) => v
+            .as_arr()
+            .ok_or("`pipeline` must be an array of IIs or nulls")?
+            .iter()
+            .map(|m| match m {
+                Value::Null => Ok(None),
+                _ => m
+                    .as_u64()
+                    .and_then(|n| u32::try_from(n).ok())
+                    .map(Some)
+                    .ok_or_else(|| "`pipeline`: entries must be null or an II".to_string()),
+            })
+            .collect::<Result<Vec<Option<u32>>, String>>()
+            .map(Some),
+    }
+}
+
+/// Appends the `{"id":...` envelope opening shared by every response.
+fn open_envelope(out: &mut String, id: Option<&Value>) {
+    out.push_str("{\"id\":");
+    match id {
+        Some(v) => v.render_into(out),
+        None => out.push_str("null"),
+    }
+}
+
+/// A terminal error message for `id`.
+#[must_use]
+pub fn render_error(id: Option<&Value>, msg: &str) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    out.push_str(",\"event\":\"result\",\"ok\":false,\"error\":");
+    escape_into(&mut out, msg);
+    out.push('}');
+    out
+}
+
+/// Appends one round trace's fields (no surrounding braces) — the one
+/// definition behind both streamed `round` events and the `refine.rounds`
+/// audit block, so the two can never drift apart.
+fn round_trace_fields_into(out: &mut String, t: &RoundTrace) {
+    let _ = write!(
+        out,
+        "\"round\":{},\"new_points\":{},\"front_size\":{},\"max_gap\":{},\"pruned\":{}",
+        t.round, t.new_points, t.front_size, t.max_gap, t.pruned
+    );
+}
+
+/// A streamed per-round progress event.
+#[must_use]
+pub fn render_round(id: Option<&Value>, t: &RoundTrace) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    out.push_str(",\"event\":\"round\",");
+    round_trace_fields_into(&mut out, t);
+    out.push('}');
+    out
+}
+
+/// Appends `skipped` as an array of `[name, why]` pairs.
+fn skipped_into(out: &mut String, skipped: &[(String, String)]) {
+    out.push('[');
+    for (i, (name, why)) in skipped.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('[');
+        escape_into(out, name);
+        out.push(',');
+        escape_into(out, why);
+        out.push(']');
+    }
+    out.push(']');
+}
+
+/// The terminal message for a `sweep` request.
+#[must_use]
+pub fn render_sweep_result(id: Option<&Value>, result: &SweepResult, front: &[DseRow]) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"sweep\",\"rows\":");
+    out.push_str(&rows_to_json_line(&result.rows));
+    out.push_str(",\"front\":");
+    out.push_str(&rows_to_json_line(front));
+    out.push_str(",\"staircase\":");
+    out.push_str(&rows_to_json_line(&tradeoff_staircase(&result.rows)));
+    out.push_str(",\"summary\":");
+    match summarize(&result.rows) {
+        Some(s) => out.push_str(&s.to_json().render()),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"skipped\":");
+    skipped_into(&mut out, &result.skipped);
+    let _ = write!(
+        out,
+        ",\"cache_hits\":{},\"workers\":{}}}",
+        result.cache_hits, result.workers
+    );
+    out
+}
+
+/// The terminal message for a `refine` request.
+#[must_use]
+pub fn render_refine_result(id: Option<&Value>, r: &RefineResult) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",\"rows\":");
+    out.push_str(&rows_to_json_line(&r.rows));
+    out.push_str(",\"staircase\":");
+    out.push_str(&rows_to_json_line(&tradeoff_staircase(&r.rows)));
+    out.push_str(",\"front\":");
+    out.push_str(&rows_to_json_line(&r.front));
+    out.push_str(",\"skipped\":");
+    skipped_into(&mut out, &r.skipped);
+    let _ = write!(
+        out,
+        ",\"refine\":{{\"grid_cells\":{},\"evaluated\":{},\"pruned\":{},\"rounds\":[",
+        r.grid_cells, r.evaluated, r.pruned
+    );
+    for (i, t) in r.trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('{');
+        round_trace_fields_into(&mut out, t);
+        out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// The terminal message for a `stats` request. `requests` counts requests
+/// accepted by the server since startup; the rest is the pool's cache
+/// metrics and thread count.
+#[must_use]
+pub fn render_stats(id: Option<&Value>, s: &CacheStats, requests: u64, threads: usize) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    let _ = write!(
+        out,
+        ",\"event\":\"result\",\"ok\":true,\"cmd\":\"stats\",\"stats\":{{\
+         \"hits\":{},\"coalesced\":{},\"misses\":{},\"evictions\":{},\
+         \"entries\":{},\"bytes\":{},\"capacity_bytes\":",
+        s.hits, s.coalesced, s.misses, s.evictions, s.entries, s.bytes
+    );
+    match s.capacity_bytes {
+        Some(c) => {
+            let _ = write!(out, "{c}");
+        }
+        None => out.push_str("null"),
+    }
+    let _ = write!(out, ",\"requests\":{requests},\"threads\":{threads}}}}}");
+    out
+}
+
+/// The terminal message for `ping`/`shutdown`.
+#[must_use]
+pub fn render_ok(id: Option<&Value>, cmd: &str) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":");
+    escape_into(&mut out, cmd);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_refine_request() {
+        let (id, cmd) = parse_request(
+            r#"{"id":7,"cmd":"refine","workload":"idct","clocks":[2200,3000],
+                "cycles":[12,16],"pipeline":[null,8],"budget":20,"gap_tol":0.1,
+                "warm_front":["idct-c2200-l12"]}"#,
+        );
+        assert_eq!(id, Some(Value::Num(7.0)));
+        let Command::Refine {
+            spec,
+            budget,
+            gap_tol,
+            warm_front,
+        } = cmd.unwrap()
+        else {
+            panic!("expected refine");
+        };
+        assert_eq!(spec.workload.as_deref(), Some("idct"));
+        assert_eq!(spec.clocks, Some(vec![2200, 3000]));
+        assert_eq!(spec.pipeline, Some(vec![None, Some(8)]));
+        assert_eq!((budget, gap_tol), (20, 0.1));
+        assert_eq!(warm_front, ["idct-c2200-l12"]);
+    }
+
+    #[test]
+    fn malformed_requests_fail_but_keep_their_id() {
+        let (id, cmd) = parse_request(r#"{"id":"a1","cmd":"warp"}"#);
+        assert_eq!(id, Some(Value::Str("a1".into())));
+        assert!(cmd.unwrap_err().contains("unknown cmd"));
+        let (id, cmd) = parse_request("{\"cmd\":");
+        assert!(id.is_none());
+        assert!(cmd.is_err());
+        let (_, cmd) = parse_request(r#"{"cmd":"refine","budget":0}"#);
+        assert!(cmd.unwrap_err().contains(">= 1"));
+        let (_, cmd) = parse_request(r#"{"cmd":"refine","gap_tol":-1}"#);
+        assert!(cmd.unwrap_err().contains("finite"));
+    }
+
+    #[test]
+    fn responses_are_single_line_json() {
+        let id = Some(Value::Num(3.0));
+        let err = render_error(id.as_ref(), "no such \"workload\"");
+        let parsed = Value::parse(&err).unwrap();
+        assert_eq!(parsed.get("ok"), Some(&Value::Bool(false)));
+        assert!(!err.contains('\n'));
+        let round = render_round(
+            id.as_ref(),
+            &RoundTrace {
+                round: 2,
+                new_points: 4,
+                front_size: 9,
+                max_gap: 0.25,
+                pruned: 1,
+            },
+        );
+        let parsed = Value::parse(&round).unwrap();
+        assert_eq!(parsed.get("event").and_then(Value::as_str), Some("round"));
+        assert_eq!(parsed.get("max_gap").and_then(Value::as_f64), Some(0.25));
+    }
+
+    #[test]
+    fn stats_rendering_carries_capacity_and_counters() {
+        let s = CacheStats {
+            hits: 5,
+            coalesced: 2,
+            misses: 9,
+            evictions: 1,
+            entries: 8,
+            bytes: 1024,
+            capacity_bytes: Some(4096),
+        };
+        let line = render_stats(None, &s, 12, 4);
+        let v = Value::parse(&line).unwrap();
+        let stats = v.get("stats").unwrap();
+        assert_eq!(stats.get("hits").and_then(Value::as_u64), Some(5));
+        assert_eq!(
+            stats.get("capacity_bytes").and_then(Value::as_u64),
+            Some(4096)
+        );
+        assert_eq!(stats.get("requests").and_then(Value::as_u64), Some(12));
+        let unbounded = render_stats(
+            None,
+            &CacheStats {
+                capacity_bytes: None,
+                ..s
+            },
+            0,
+            1,
+        );
+        assert!(unbounded.contains("\"capacity_bytes\":null"));
+    }
+}

@@ -1,0 +1,833 @@
+//! Request dispatch and connection handling for the exploration server.
+//!
+//! A [`Server`] wraps one [`EvaluatorPool`]; every connection (TCP socket
+//! or an arbitrary reader/writer pair, which is how tests and `adhls serve
+//! --stdio` drive it) pushes request lines through [`Server::handle_line`].
+//! Concurrent connections each run in their own thread, but all of them
+//! submit to the same pool — so their evaluations share worker threads,
+//! the cross-request cache, and in-flight coalescing, and two clients
+//! refining overlapping grids pay for each cell once.
+//!
+//! The request lifecycle (see `docs/ARCHITECTURE.md` for the diagram):
+//! parse ([`crate::server::protocol`]) → build the workload grid (shared
+//! with the CLI, so axes validate identically everywhere) → evaluate
+//! through the pool, streaming `round` events for adaptive requests → one
+//! terminal `result` line.
+
+use crate::pareto::pareto_front;
+use crate::pool::EvaluatorPool;
+use crate::refine::{refine_with_progress, RefineOptions};
+use crate::server::protocol::{self, Command, WorkloadSpec};
+use crate::sweep::{SweepCell, SweepGrid};
+use adhls_core::dse::DsePoint;
+use adhls_ir::{frontend, Design};
+use adhls_workloads::{idct, interpolation, matmul, sweep};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A per-cell design builder, boxed so grids for different workloads share
+/// one type (and `Send` so refinements can run on pool threads).
+pub type BuildFn = Box<dyn FnMut(&SweepCell) -> Design + Send>;
+
+/// Largest matmul dimension a request may ask for (op count grows as n³;
+/// 64 is already a ~500k-multiply design).
+const MAX_MATMUL_DIM: usize = 64;
+
+/// Largest random fleet a single request may ask for. Bounds what one
+/// remote request can queue on the shared pool — a billion-point fleet
+/// would be built in memory before evaluation even starts, starving every
+/// other connection.
+const MAX_RANDOM_COUNT: usize = 10_000;
+
+fn validate_axes(spec: &WorkloadSpec) -> Result<(), String> {
+    if spec.clocks.as_deref().is_some_and(|c| c.contains(&0)) {
+        return Err("clocks: clock periods must be >= 1 ps".into());
+    }
+    if spec.cycles.as_deref().is_some_and(|c| c.contains(&0)) {
+        return Err("cycles: latency budgets must be >= 1 cycle".into());
+    }
+    if spec
+        .pipeline
+        .as_deref()
+        .is_some_and(|m| m.contains(&Some(0)))
+    {
+        return Err("pipeline: initiation intervals must be >= 1".into());
+    }
+    if spec.dim.is_some_and(|n| n == 0 || n > MAX_MATMUL_DIM) {
+        return Err(format!("dim: must be 1..={MAX_MATMUL_DIM}"));
+    }
+    if spec.count.is_some_and(|n| n > MAX_RANDOM_COUNT) {
+        return Err(format!(
+            "count: at most {MAX_RANDOM_COUNT} random points per request"
+        ));
+    }
+    Ok(())
+}
+
+/// Expands a [`WorkloadSpec`] into the point fleet a `sweep` evaluates —
+/// the same named workloads, default axes, and validation the CLI's
+/// `adhls explore` uses (the CLI delegates here).
+///
+/// # Errors
+///
+/// A message naming the offending field.
+pub fn sweep_points(spec: &WorkloadSpec) -> Result<Vec<DsePoint>, String> {
+    validate_axes(spec)?;
+    if let Some(source) = &spec.dsl {
+        if spec.workload.is_some() {
+            return Err("pass either `workload` or `dsl`, not both".into());
+        }
+        return dsl_points(spec, source);
+    }
+    let Some(workload) = spec.workload.as_deref() else {
+        return Err("a sweep needs `workload` or `dsl`".into());
+    };
+    let clocks = spec.clocks.clone();
+    let cycles = spec.cycles.clone();
+    let modes = spec.pipeline.clone();
+    let pts = match workload {
+        "interpolation" | "interp" => match (clocks, cycles) {
+            (None, None) => sweep::interpolation_default(),
+            (c, l) => sweep::interpolation_sweep(
+                &c.unwrap_or_else(|| vec![1100, 1400, 1800, 2400]),
+                &l.unwrap_or_else(|| vec![3, 4, 6]),
+            ),
+        },
+        "idct" => sweep::idct_sweep(
+            &clocks.unwrap_or_else(|| vec![2200, 3000]),
+            &cycles.unwrap_or_else(|| vec![12, 16, 24, 32]),
+            &modes.unwrap_or_else(|| vec![None]),
+        ),
+        "idct-table4" | "table4" => sweep::idct_table4(),
+        "fir" => sweep::fir_sweep(
+            clocks
+                .as_deref()
+                .and_then(|c| c.first().copied())
+                .unwrap_or(2200),
+            &[2, 4, 8],
+            &cycles.unwrap_or_else(|| vec![2, 3, 4]),
+        ),
+        "matmul" => sweep::matmul_sweep(
+            spec.dim.unwrap_or(3),
+            &clocks.unwrap_or_else(|| vec![2200, 3000]),
+            &cycles.unwrap_or_else(|| vec![4, 6, 8]),
+        ),
+        "random" => sweep::random_fleet(spec.count.unwrap_or(12), spec.seed.unwrap_or(42)),
+        other => {
+            return Err(format!(
+                "unknown workload `{other}` (interpolation | idct | idct-table4 | \
+                 fir | matmul | random)"
+            ))
+        }
+    };
+    Ok(pts)
+}
+
+fn dsl_points(spec: &WorkloadSpec, source: &str) -> Result<Vec<DsePoint>, String> {
+    let design = frontend::compile(source).map_err(|e| format!("dsl: {e}"))?;
+    let cycles = DsePoint::states_per_item(&design);
+    let clocks = spec
+        .clocks
+        .clone()
+        .unwrap_or_else(|| vec![1500, 2000, 2600, 3200]);
+    let stem = spec
+        .dsl_prefix
+        .clone()
+        .unwrap_or_else(|| design.cfg.name().to_string());
+    Ok(clocks
+        .into_iter()
+        .map(|clock_ps| DsePoint {
+            name: format!("{stem}-c{clock_ps}"),
+            design: design.clone(),
+            clock_ps,
+            pipeline_ii: None,
+            cycles_per_item: cycles,
+        })
+        .collect())
+}
+
+/// The grid, point-name prefix, and cell builder a `refine` request (or
+/// `adhls explore --adaptive`, which delegates here) refines.
+///
+/// # Errors
+///
+/// A message naming the offending field; workloads without a grid builder
+/// (random fleets, the fixed Table-4 points, DSL designs with their own
+/// state structure) are rejected.
+pub fn workload_grid(spec: &WorkloadSpec) -> Result<(SweepGrid, String, BuildFn), String> {
+    validate_axes(spec)?;
+    if spec.dsl.is_some() {
+        return Err("adaptive refinement explores workload grids, not DSL designs".into());
+    }
+    let Some(workload) = spec.workload.as_deref() else {
+        return Err("a refine request needs `workload`".into());
+    };
+    let clocks = spec.clocks.clone();
+    let cycles = spec.cycles.clone();
+    let modes = spec.pipeline.clone();
+    match workload {
+        "interpolation" | "interp" => {
+            if modes.is_some() {
+                return Err("pipeline: only the idct workload has a pipelining axis".into());
+            }
+            let grid = SweepGrid::new()
+                .clocks_ps(clocks.unwrap_or_else(|| vec![1100, 1400, 1800, 2400]))
+                .cycles(cycles.unwrap_or_else(|| vec![3, 4, 6]));
+            let build = |cell: &SweepCell| {
+                let cfg = interpolation::InterpolationConfig {
+                    cycles: cell.cycles,
+                    ..Default::default()
+                };
+                interpolation::build(&cfg).0
+            };
+            Ok((grid, "interp".into(), Box::new(build)))
+        }
+        "idct" => {
+            let grid = SweepGrid::new()
+                .clocks_ps(clocks.unwrap_or_else(|| vec![2200, 3000]))
+                .cycles(cycles.unwrap_or_else(|| vec![12, 16, 24, 32]))
+                .pipeline_modes(modes.unwrap_or_else(|| vec![None]));
+            let build = |cell: &SweepCell| {
+                idct::build_2d(&idct::IdctConfig {
+                    cycles: cell.cycles,
+                    pipelined: cell.pipeline_ii,
+                })
+            };
+            Ok((grid, "idct".into(), Box::new(build)))
+        }
+        "matmul" => {
+            if modes.is_some() {
+                return Err("pipeline: only the idct workload has a pipelining axis".into());
+            }
+            let n = spec.dim.unwrap_or(3);
+            let grid = SweepGrid::new()
+                .clocks_ps(clocks.unwrap_or_else(|| vec![2200, 3000]))
+                .cycles(cycles.unwrap_or_else(|| vec![4, 6, 8]));
+            let build = move |cell: &SweepCell| {
+                matmul::build(&matmul::MatmulConfig {
+                    n,
+                    cycles: cell.cycles,
+                    ..Default::default()
+                })
+            };
+            // The prefix must match the non-adaptive sweep's naming so rows
+            // stay cross-referenceable; matmul encodes its dimension there.
+            Ok((grid, format!("mm{n}"), Box::new(build)))
+        }
+        other => Err(format!(
+            "workload `{other}` has no adaptive grid (interpolation | idct | matmul)"
+        )),
+    }
+}
+
+/// A long-lived exploration server multiplexing any number of client
+/// connections onto one [`EvaluatorPool`].
+pub struct Server {
+    pool: EvaluatorPool,
+    requests: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server")
+            .field("pool", &self.pool)
+            .field("requests", &self.requests)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Wraps a pool. The pool's options decide the evaluation policy for
+    /// every request: worker threads, skip-infeasible, cache budget.
+    #[must_use]
+    pub fn new(pool: EvaluatorPool) -> Self {
+        Server {
+            pool,
+            requests: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// The wrapped pool (e.g. to inspect cache metrics out of band).
+    #[must_use]
+    pub fn pool(&self) -> &EvaluatorPool {
+        &self.pool
+    }
+
+    /// Asks the serve loops to wind down: [`Server::serve_tcp`] stops
+    /// accepting, and connection loops exit at their next idle moment.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    /// True once shutdown has been requested.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire)
+    }
+
+    /// Handles one request line, writing response line(s) to `out` (each
+    /// flushed, so `round` events stream while the request runs). Returns
+    /// `false` when the connection should close (a `shutdown` request).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from `out`; request-level problems are
+    /// reported to the client as `ok:false` result lines instead.
+    pub fn handle_line(&self, line: &str, out: &mut dyn Write) -> std::io::Result<bool> {
+        let line = line.trim();
+        if line.is_empty() {
+            return Ok(true);
+        }
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let (id, cmd) = protocol::parse_request(line);
+        let id = id.as_ref();
+        match cmd {
+            Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
+            Ok(Command::Ping) => writeln!(out, "{}", protocol::render_ok(id, "ping"))?,
+            Ok(Command::Shutdown) => {
+                self.request_shutdown();
+                writeln!(out, "{}", protocol::render_ok(id, "shutdown"))?;
+                out.flush()?;
+                return Ok(false);
+            }
+            Ok(Command::Stats) => {
+                let line = protocol::render_stats(
+                    id,
+                    &self.pool.cache_metrics(),
+                    self.requests.load(Ordering::Relaxed),
+                    self.pool.thread_count(),
+                );
+                writeln!(out, "{line}")?;
+            }
+            Ok(Command::Sweep(spec)) => match sweep_points(&spec) {
+                Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
+                Ok(points) if points.is_empty() => writeln!(
+                    out,
+                    "{}",
+                    protocol::render_error(id, "the sweep is empty (check clocks/cycles)")
+                )?,
+                Ok(points) => match self.pool.evaluate(&points) {
+                    Ok(result) => {
+                        let front = pareto_front(&result.rows);
+                        let line = protocol::render_sweep_result(id, &result, &front);
+                        writeln!(out, "{line}")?;
+                    }
+                    Err(e) => {
+                        let msg = format!(
+                            "sweep failed: {e} (run the server with skip-infeasible \
+                             to drop such points)"
+                        );
+                        writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                    }
+                },
+            },
+            Ok(Command::Refine {
+                spec,
+                budget,
+                gap_tol,
+                warm_front,
+            }) => match workload_grid(&spec) {
+                Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
+                Ok((grid, _, _)) if grid.is_empty() => writeln!(
+                    out,
+                    "{}",
+                    protocol::render_error(id, "the grid is empty (check clocks/cycles)")
+                )?,
+                Ok((grid, prefix, build)) => {
+                    let warm_start: Vec<SweepCell> = warm_front
+                        .iter()
+                        .filter_map(|n| DsePoint::parse_grid_name(n))
+                        .map(|(clock_ps, cycles, pipeline_ii)| SweepCell {
+                            clock_ps,
+                            cycles,
+                            pipeline_ii,
+                        })
+                        .collect();
+                    let opts = RefineOptions {
+                        budget,
+                        gap_tol,
+                        warm_start,
+                        ..Default::default()
+                    };
+                    let mut stream_err: Option<std::io::Error> = None;
+                    let result = {
+                        let out = &mut *out;
+                        let stream_err = &mut stream_err;
+                        refine_with_progress(&self.pool, &grid, &prefix, build, &opts, |t| {
+                            if stream_err.is_none() {
+                                let line = protocol::render_round(id, t);
+                                if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
+                                    *stream_err = Some(e);
+                                }
+                            }
+                        })
+                    };
+                    if let Some(e) = stream_err {
+                        return Err(e);
+                    }
+                    match result {
+                        Ok(r) => {
+                            writeln!(out, "{}", protocol::render_refine_result(id, &r))?;
+                        }
+                        Err(e) => {
+                            let msg = format!(
+                                "refinement failed: {e} (run the server with \
+                                 skip-infeasible to drop unschedulable cells)"
+                            );
+                            writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                        }
+                    }
+                }
+            },
+        }
+        out.flush()?;
+        Ok(true)
+    }
+
+    /// Serves one connection from any reader/writer pair until EOF or a
+    /// `shutdown` request — the stdio transport, and what tests drive with
+    /// in-memory buffers. Request lines are capped at
+    /// [`MAX_REQUEST_BYTES`]; an oversized line gets an error response and
+    /// closes the connection (the line boundary is lost, so resyncing the
+    /// protocol is not possible).
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from either side.
+    pub fn serve_connection(
+        &self,
+        mut reader: impl BufRead,
+        mut writer: impl Write,
+    ) -> std::io::Result<()> {
+        let mut buf = Vec::new();
+        loop {
+            match fill_line(&mut reader, &mut buf)? {
+                LineStatus::Eof => return Ok(()),
+                LineStatus::TooLong => return self.refuse_oversized(&mut writer),
+                LineStatus::Complete => {
+                    let keep_going = self.handle_buffered_line(&mut buf, &mut writer)?;
+                    if !keep_going {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Dispatches one complete request line accumulated in `buf`, clearing
+    /// it for the next line.
+    fn handle_buffered_line(
+        &self,
+        buf: &mut Vec<u8>,
+        writer: &mut dyn Write,
+    ) -> std::io::Result<bool> {
+        let keep_going = match std::str::from_utf8(buf) {
+            Ok(line) => self.handle_line(line, writer)?,
+            Err(_) => {
+                self.requests.fetch_add(1, Ordering::Relaxed);
+                writeln!(
+                    writer,
+                    "{}",
+                    protocol::render_error(None, "request line is not valid UTF-8")
+                )?;
+                writer.flush()?;
+                true
+            }
+        };
+        buf.clear();
+        Ok(keep_going)
+    }
+
+    /// Answers an over-long request line and gives up on the connection.
+    fn refuse_oversized(&self, writer: &mut dyn Write) -> std::io::Result<()> {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let msg = format!("request line exceeds {MAX_REQUEST_BYTES} bytes");
+        writeln!(writer, "{}", protocol::render_error(None, &msg))?;
+        writer.flush()
+    }
+
+    /// Accepts and serves TCP connections until a `shutdown` request (from
+    /// any connection) or [`Server::request_shutdown`]. Each connection is
+    /// handled on its own thread; all of them share this server's pool.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-level I/O errors (per-connection errors only
+    /// drop that connection).
+    pub fn serve_tcp(&self, listener: &TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        std::thread::scope(|scope| {
+            loop {
+                if self.is_shutting_down() {
+                    return Ok(());
+                }
+                match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        scope.spawn(move || {
+                            // Per-connection errors (reset, parse-level I/O)
+                            // drop the connection, never the server.
+                            let _ = self.serve_socket(stream);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        })
+    }
+
+    /// One TCP connection: read with a short timeout so the loop can notice
+    /// a server-wide shutdown even while a client holds the socket open.
+    /// Oversized request lines (see [`MAX_REQUEST_BYTES`]) get an error
+    /// response and drop the connection.
+    fn serve_socket(&self, stream: TcpStream) -> std::io::Result<()> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(Duration::from_millis(200)))?;
+        let mut reader = BufReader::new(stream.try_clone()?);
+        let mut writer = stream;
+        let mut buf = Vec::new();
+        loop {
+            if self.is_shutting_down() {
+                return Ok(());
+            }
+            match fill_line(&mut reader, &mut buf) {
+                Ok(LineStatus::Eof) => return Ok(()),
+                Ok(LineStatus::TooLong) => return self.refuse_oversized(&mut writer),
+                Ok(LineStatus::Complete) => {
+                    if !self.handle_buffered_line(&mut buf, &mut writer)? {
+                        return Ok(());
+                    }
+                }
+                // Read timeout: partial data (if any) stays in `buf`; loop
+                // to re-check the shutdown flag, then keep reading.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                    ) => {}
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+/// Largest accepted request line. Inline DSL sources fit comfortably; a
+/// client streaming bytes with no newline must not grow server memory
+/// without bound.
+pub const MAX_REQUEST_BYTES: usize = 4 << 20;
+
+enum LineStatus {
+    /// A full newline-terminated line is in the buffer (newline stripped).
+    Complete,
+    /// End of stream with nothing further buffered.
+    Eof,
+    /// The line outgrew [`MAX_REQUEST_BYTES`] before its newline arrived.
+    TooLong,
+}
+
+/// Appends bytes to `buf` until a newline, EOF, or the size cap — a capped
+/// `read_line` working in raw bytes so no single call can balloon memory.
+/// Returns `Err` (e.g. `WouldBlock` on a read timeout) with any partial
+/// data retained in `buf` for the next call.
+fn fill_line(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<LineStatus> {
+    loop {
+        let (newline_at, available) = {
+            let chunk = reader.fill_buf()?;
+            if chunk.is_empty() {
+                // EOF; any unterminated trailing bytes are not a request.
+                return Ok(if buf.is_empty() {
+                    LineStatus::Eof
+                } else {
+                    LineStatus::Complete
+                });
+            }
+            (chunk.iter().position(|&b| b == b'\n'), chunk.len())
+        };
+        match newline_at {
+            Some(pos) => {
+                let chunk = reader.fill_buf()?;
+                buf.extend_from_slice(&chunk[..pos]);
+                reader.consume(pos + 1);
+                return Ok(if buf.len() > MAX_REQUEST_BYTES {
+                    LineStatus::TooLong
+                } else {
+                    LineStatus::Complete
+                });
+            }
+            None => {
+                let chunk = reader.fill_buf()?;
+                buf.extend_from_slice(chunk);
+                reader.consume(available);
+                if buf.len() > MAX_REQUEST_BYTES {
+                    return Ok(LineStatus::TooLong);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolOptions;
+    use adhls_core::json::Value;
+    use adhls_core::sched::HlsOptions;
+    use adhls_reslib::tsmc90;
+
+    fn server(threads: usize, cache_bytes: Option<usize>) -> Server {
+        Server::new(EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads,
+                skip_infeasible: true,
+                cache_bytes,
+            },
+        ))
+    }
+
+    /// Runs `requests` through a fresh connection and returns the response
+    /// lines.
+    fn roundtrip(srv: &Server, requests: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        srv.serve_connection(requests.as_bytes(), &mut out).unwrap();
+        String::from_utf8(out)
+            .unwrap()
+            .lines()
+            .map(str::to_string)
+            .collect()
+    }
+
+    #[test]
+    fn ping_stats_and_errors_round_trip() {
+        let srv = server(1, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":1,\"cmd\":\"ping\"}\n\nnot json\n{\"id\":2,\"cmd\":\"stats\"}\n",
+        );
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        let ping = Value::parse(&lines[0]).unwrap();
+        assert_eq!(ping.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(ping.get("id").and_then(Value::as_u64), Some(1));
+        let err = Value::parse(&lines[1]).unwrap();
+        assert_eq!(err.get("ok"), Some(&Value::Bool(false)));
+        let stats = Value::parse(&lines[2]).unwrap();
+        let s = stats.get("stats").unwrap();
+        // Blank lines are skipped, malformed lines still count as requests.
+        assert_eq!(s.get("requests").and_then(Value::as_u64), Some(3));
+        assert_eq!(s.get("threads").and_then(Value::as_u64), Some(1));
+    }
+
+    #[test]
+    fn sweep_request_returns_rows_front_and_summary() {
+        let srv = server(2, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":\"s\",\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1400],\"cycles\":[3,4]}\n",
+        );
+        assert_eq!(lines.len(), 1);
+        let v = Value::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("rows").and_then(Value::as_arr).unwrap().len(), 4);
+        assert!(!v.get("front").and_then(Value::as_arr).unwrap().is_empty());
+        // The Table-4 (area, latency) staircase rides along with the
+        // four-objective front, never larger than it.
+        let staircase = v.get("staircase").and_then(Value::as_arr).unwrap();
+        assert!(!staircase.is_empty());
+        assert!(staircase.len() <= v.get("front").and_then(Value::as_arr).unwrap().len());
+        assert!(v.get("summary").unwrap().get("avg_save_pct").is_some());
+    }
+
+    #[test]
+    fn inline_dsl_sweeps_clocks() {
+        let srv = server(1, None);
+        let dsl = std::fs::read_to_string(concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../examples/dsl/resizer.adhls"
+        ))
+        .unwrap();
+        let req = Value::Obj(vec![
+            ("cmd".into(), Value::Str("sweep".into())),
+            ("dsl".into(), Value::Str(dsl)),
+            (
+                "clocks".into(),
+                Value::Arr(vec![Value::Num(2000.0), Value::Num(2600.0)]),
+            ),
+        ])
+        .render();
+        let lines = roundtrip(&srv, &format!("{req}\n"));
+        let v = Value::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{}", lines[0]);
+        let rows = v.get("rows").and_then(Value::as_arr).unwrap();
+        assert_eq!(rows.len(), 2);
+        let name = rows[0].get("name").and_then(Value::as_str).unwrap();
+        assert!(name.starts_with("resizer-c"), "{name}");
+    }
+
+    #[test]
+    fn refine_request_streams_rounds_then_result_matching_direct_run() {
+        use crate::engine::{Engine, EngineOptions};
+        use crate::refine::refine;
+        let srv = server(2, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":9,\"cmd\":\"refine\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1250,1400,1800],\"cycles\":[3,4,6],\"gap_tol\":0.1}\n",
+        );
+        assert!(
+            lines.len() >= 2,
+            "expected round events + result: {lines:?}"
+        );
+        for l in &lines[..lines.len() - 1] {
+            let v = Value::parse(l).unwrap();
+            assert_eq!(v.get("event").and_then(Value::as_str), Some("round"));
+        }
+        let last = Value::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("event").and_then(Value::as_str), Some("result"));
+        assert_eq!(last.get("ok"), Some(&Value::Bool(true)));
+
+        // The front over the wire is byte-identical to a direct engine run.
+        let lib = tsmc90::library();
+        let engine = Engine::with_options(
+            &lib,
+            HlsOptions::default(),
+            EngineOptions {
+                skip_infeasible: true,
+                ..Default::default()
+            },
+        );
+        let (grid, prefix, build) = workload_grid(&WorkloadSpec {
+            workload: Some("interpolation".into()),
+            clocks: Some(vec![1100, 1250, 1400, 1800]),
+            cycles: Some(vec![3, 4, 6]),
+            ..Default::default()
+        })
+        .unwrap();
+        let direct = refine(
+            &engine,
+            &grid,
+            &prefix,
+            build,
+            &RefineOptions {
+                gap_tol: 0.1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let expected = crate::export::rows_to_json_line(&direct.front);
+        assert!(
+            lines
+                .last()
+                .unwrap()
+                .contains(&format!("\"front\":{expected}")),
+            "served front != direct front\nserved: {}\nexpected: {expected}",
+            lines.last().unwrap()
+        );
+    }
+
+    #[test]
+    fn oversized_request_lines_are_refused_not_buffered() {
+        let srv = server(1, None);
+        // A newline-less flood larger than the cap: the server must answer
+        // with one error line and close, not accumulate it.
+        let mut flood = vec![b'x'; MAX_REQUEST_BYTES + 2];
+        flood.push(b'\n');
+        let mut out = Vec::new();
+        srv.serve_connection(flood.as_slice(), &mut out).unwrap();
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 1, "{text}");
+        let v = Value::parse(lines[0]).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(false)));
+        assert!(
+            v.get("error")
+                .and_then(Value::as_str)
+                .unwrap()
+                .contains("exceeds"),
+            "{text}"
+        );
+    }
+
+    #[test]
+    fn absurd_count_and_dim_are_rejected_up_front() {
+        let srv = server(1, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":1,\"cmd\":\"sweep\",\"workload\":\"random\",\"count\":1000000000}\n\
+             {\"id\":2,\"cmd\":\"sweep\",\"workload\":\"matmul\",\"dim\":4096}\n",
+        );
+        assert_eq!(lines.len(), 2);
+        for l in &lines {
+            let v = Value::parse(l).unwrap();
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{l}");
+        }
+        assert!(lines[0].contains("count"), "{}", lines[0]);
+        assert!(lines[1].contains("dim"), "{}", lines[1]);
+    }
+
+    #[test]
+    fn shutdown_request_ends_the_connection_and_flags_the_server() {
+        let srv = server(1, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":1,\"cmd\":\"shutdown\"}\n{\"id\":2,\"cmd\":\"ping\"}\n",
+        );
+        assert_eq!(lines.len(), 1, "nothing after shutdown: {lines:?}");
+        assert!(srv.is_shutting_down());
+    }
+
+    #[test]
+    fn tcp_serves_concurrent_clients_and_stops_on_shutdown() {
+        use std::io::{BufRead as _, Write as _};
+        let srv = server(4, None);
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::scope(|scope| {
+            let serve = scope.spawn(|| srv.serve_tcp(&listener).unwrap());
+            let client = |req: String| {
+                let mut s = TcpStream::connect(addr).unwrap();
+                s.write_all(req.as_bytes()).unwrap();
+                let mut r = BufReader::new(s.try_clone().unwrap());
+                let mut line = String::new();
+                r.read_line(&mut line).unwrap();
+                line
+            };
+            let handles: Vec<_> = (0..2)
+                .map(|i| {
+                    scope.spawn(move || {
+                        client(format!(
+                            "{{\"id\":{i},\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+                             \"clocks\":[1100,1400],\"cycles\":[3,4]}}\n"
+                        ))
+                    })
+                })
+                .collect();
+            let responses: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+            // Shut the server down *before* asserting: a failed assert
+            // inside this scope would otherwise leave the serve thread
+            // alive and the scope (hence the test) hung forever.
+            client("{\"cmd\":\"shutdown\"}\n".into());
+            serve.join().unwrap();
+            for resp in &responses {
+                let v = Value::parse(resp).unwrap();
+                assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{resp}");
+            }
+            // Identical concurrent requests: both fronts bit-identical
+            // (per-request counters like cache_hits legitimately differ).
+            let front = |r: &str| Value::parse(r).unwrap().get("front").unwrap().render();
+            assert_eq!(
+                front(&responses[0]),
+                front(&responses[1]),
+                "concurrent clients saw different fronts"
+            );
+        });
+    }
+}

@@ -103,6 +103,7 @@ fn concurrent_adaptive_refinements_share_one_pool_bit_identically() {
         PoolOptions {
             threads: 4,
             skip_infeasible: true,
+            ..Default::default()
         },
     ));
     std::thread::scope(|scope| {
@@ -137,6 +138,7 @@ fn pool_cache_survives_across_refinements() {
         PoolOptions {
             threads: 2,
             skip_infeasible: true,
+            ..Default::default()
         },
     );
     let opts = RefineOptions::default();

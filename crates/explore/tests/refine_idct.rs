@@ -41,6 +41,7 @@ fn idct_adaptive_front_matches_exhaustive_within_tolerance_with_fewer_evals() {
         PoolOptions {
             threads: 0, // all cores — the sweep and refinement share the cache
             skip_infeasible: true,
+            ..Default::default()
         },
     );
 

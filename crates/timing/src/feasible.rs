@@ -27,7 +27,7 @@ pub struct Feasibility {
 
 /// Runs the check on a slack result (which should come from aligned-mode
 /// analysis with each op at its *fastest* feasible delay — see
-/// [`crate::budget`]).
+/// [`crate::budget`](mod@crate::budget)).
 #[must_use]
 pub fn check(slack: &SlackResult) -> Feasibility {
     let min_slack = slack.min_slack();

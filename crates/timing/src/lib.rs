@@ -12,7 +12,7 @@
 //! * [`aligned`] — the clock-boundary-respecting variant (**aligned
 //!   slack**): an operation may not start so late in a cycle that it would
 //!   straddle the clock edge.
-//! * [`budget`] — **slack budgeting** (paper Fig. 7): fix negative aligned
+//! * [`budget`](mod@budget) — **slack budgeting** (paper Fig. 7): fix negative aligned
 //!   slack by speeding operations up, then spend positive slack by slowing
 //!   them down to cheaper library grades, with slack binning.
 //! * [`bellman`] — the Bellman-Ford constraint-graph formulation of prior

@@ -24,6 +24,7 @@ fn main() {
         PoolOptions {
             threads: 0,
             skip_infeasible: true,
+            ..Default::default()
         },
     );
 

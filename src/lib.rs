@@ -20,8 +20,11 @@
 //! * [`workloads`] — interpolation, resizer, IDCT, FIR, matmul, random
 //!   fleets, and per-workload sweep constructors ([`adhls_workloads`]).
 //! * [`explore`] — the parallel Pareto design-space exploration engine:
-//!   sweep grids, work-stealing evaluation with a memo cache, dominance
-//!   pruning, JSON/CSV export ([`adhls_explore`]).
+//!   sweep grids, work-stealing evaluation with a memo cache, a
+//!   persistent evaluator pool, adaptive refinement with warm starts,
+//!   dominance pruning, JSON/CSV export, and the `adhls serve` daemon
+//!   (line-delimited JSON protocol, budgeted cache eviction)
+//!   ([`adhls_explore`]).
 //!
 //! # Quickstart
 //!

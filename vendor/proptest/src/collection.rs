@@ -4,7 +4,7 @@ use crate::strategy::Strategy;
 use crate::test_runner::TestRng;
 use std::ops::Range;
 
-/// Length specification for [`vec`]: an exact `usize` or a `Range<usize>`.
+/// Length specification for [`vec()`]: an exact `usize` or a `Range<usize>`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SizeRange {
     lo: usize,
@@ -28,7 +28,7 @@ impl From<Range<usize>> for SizeRange {
     }
 }
 
-/// Strategy producing `Vec`s of `element` values (see [`vec`]).
+/// Strategy producing `Vec`s of `element` values (see [`vec()`]).
 #[derive(Debug, Clone)]
 pub struct VecStrategy<S> {
     element: S,
