@@ -4,7 +4,7 @@
 //! `Save %` and the sweep summary (power/throughput/area ranges), then
 //! benchmarks one representative point per regime.
 
-use adhls_core::dse::{explore, summarize, table4, DsePoint};
+use adhls_core::dse::{explore, summarize, table4, DsePoint, DseSummary};
 use adhls_core::sched::{run_hls, Flow, HlsOptions};
 use adhls_reslib::tsmc90;
 use adhls_workloads::idct;
@@ -31,8 +31,12 @@ fn bench(c: &mut Criterion) {
     println!("{}", table4(&rows));
     let s = summarize(&rows).expect("non-empty sweep");
     println!(
-        "summary: avg {:.1}% save, {} regressions; ranges {:.1}x power / {:.1}x throughput / {:.2}x area",
-        s.avg_save_pct, s.regressions, s.power_range, s.throughput_range, s.area_range
+        "summary: avg {:.1}% save, {} regressions; ranges {} power / {} throughput / {} area",
+        s.avg_save_pct,
+        s.regressions,
+        DseSummary::fmt_range(s.power_range, 1),
+        DseSummary::fmt_range(s.throughput_range, 1),
+        DseSummary::fmt_range(s.area_range, 2)
     );
     println!("(paper §VII text: 20x power / 7x throughput / 1.5x area)\n");
 

@@ -7,14 +7,14 @@
 //! request over the wire accept exactly the same inputs.
 
 use crate::opts::{write_out, Opts};
-use adhls_core::dse::{summarize, DsePoint, DseRow};
+use adhls_core::dse::{summarize, DsePoint, DseRow, DseSummary};
 use adhls_core::report::Table;
 use adhls_core::sched::HlsOptions;
-use adhls_explore::export::{front_to_json, refine_to_json, rows_to_csv};
+use adhls_explore::export::{front_to_json_in, refine_to_json, rows_to_csv};
 use adhls_explore::pool::{EvaluatorPool, PoolOptions};
-use adhls_explore::refine::{refine, warm_start_cells, RefineOptions};
-use adhls_explore::server::{sweep_points, workload_grid, WorkloadSpec};
-use adhls_explore::{pareto_front, Engine, EngineOptions};
+use adhls_explore::refine::{refine, RefineOptions, WarmStart};
+use adhls_explore::server::{refine_space, sweep_points, sweep_space, workload_grid, WorkloadSpec};
+use adhls_explore::{pareto_front_in, Engine, EngineOptions, ObjectiveSpace};
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
@@ -33,6 +33,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--budget",
             "--gap-tol",
             "--warm-start",
+            "--objectives",
         ],
         &[
             "--serial",
@@ -49,10 +50,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
             return Err(format!("{flag} only makes sense with --adaptive"));
         }
     }
-    let points = build_points(&o)?;
+    let (points, spec) = build_points(&o)?;
     if points.is_empty() {
         return Err("the sweep is empty (check --clocks/--cycles)".into());
     }
+    // The space fronts are reported in: --objectives, else every axis (the
+    // same default a `sweep` request gets over the wire).
+    let space = sweep_space(&spec);
 
     let lib = adhls_reslib::tsmc90::library();
     let engine = Engine::with_options(
@@ -72,7 +76,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     .map_err(|e| format!("exploration failed: {e} (use --skip-infeasible to drop such points)"))?;
     let elapsed = t0.elapsed();
 
-    let front = pareto_front(&result.rows);
+    let front = pareto_front_in(&space, &result.rows);
     // Exporting to stdout? Keep it machine-readable: the human table would
     // corrupt the JSON/CSV stream a consumer is piping away.
     let exporting_to_stdout = o.get("--json") == Some("-") || o.get("--csv") == Some("-");
@@ -83,7 +87,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         eprintln!("skipped {name}: {why}");
     }
     eprintln!(
-        "{} points ({} skipped), {} on the front; {} workers, {} cache hits, {:.2?}",
+        "{} points ({} skipped), {} on the ({space}) front; {} workers, {} cache hits, {:.2?}",
         points.len(),
         result.skipped.len(),
         front.len(),
@@ -93,7 +97,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     );
 
     if let Some(path) = o.get("--json") {
-        write_out(path, &front_to_json(&result.rows, &front), "sweep JSON")?;
+        write_out(
+            path,
+            &front_to_json_in(&result.rows, &front, &space),
+            "sweep JSON",
+        )?;
     }
     if let Some(path) = o.get("--csv") {
         write_out(path, &rows_to_csv(&result.rows), "sweep CSV")?;
@@ -133,21 +141,34 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
             t
         }
     };
+    if o.get("--workload").is_none() {
+        return Err("explore --adaptive needs --workload <name>".into());
+    }
+    let spec = spec_from_opts(o)?;
+    // The plane refinement steers through: --objectives, else the paper's
+    // (area, latency) tradeoff (the same defaulting and validation a
+    // `refine` request gets over the wire).
+    let objectives = refine_space(&spec).map_err(with_cli_flags)?;
     let warm_start = match o.get("--warm-start") {
         None => Vec::new(),
         Some(path) => {
             let json = std::fs::read_to_string(path)
                 .map_err(|e| format!("--warm-start: reading {path}: {e}"))?;
-            let cells =
-                warm_start_cells(&json).map_err(|e| format!("--warm-start: {path}: {e}"))?;
-            eprintln!("warm start: {} grid cells from {path}", cells.len());
-            cells
+            let warm = WarmStart::parse(&json).map_err(|e| format!("--warm-start: {path}: {e}"))?;
+            // Cells are grid coordinates, so a front exported under any
+            // space seeds any refinement — but say so when they differ.
+            match &warm.objectives {
+                Some(exported) if *exported != objectives => eprintln!(
+                    "warm start: {} grid cells from {path} (exported under ({exported}), \
+                     refining ({objectives}))",
+                    warm.cells.len()
+                ),
+                _ => eprintln!("warm start: {} grid cells from {path}", warm.cells.len()),
+            }
+            warm.cells
         }
     };
-    if o.get("--workload").is_none() {
-        return Err("explore --adaptive needs --workload <name>".into());
-    }
-    let (grid, prefix, build) = workload_grid(&spec_from_opts(o)?).map_err(with_cli_flags)?;
+    let (grid, prefix, build) = workload_grid(&spec).map_err(with_cli_flags)?;
     if grid.is_empty() {
         return Err("the sweep is empty (check --clocks/--cycles)".into());
     }
@@ -155,6 +176,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
         budget,
         gap_tol,
         warm_start,
+        objectives: objectives.clone(),
         ..Default::default()
     };
     let skip = o.flag("--skip-infeasible");
@@ -199,7 +221,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
     }
     eprintln!(
         "adaptive: {} of {} grid cells evaluated ({} pruned), {} on the front, \
-         {} rounds, gap tol {}, {:.2?}",
+         {} rounds, gap tol {} in ({objectives}), {:.2?}",
         result.evaluated,
         result.grid_cells,
         result.pruned,
@@ -223,7 +245,15 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
 /// point at something fixable on this surface.
 fn with_cli_flags(e: String) -> String {
     for field in [
-        "workload", "clocks", "cycles", "pipeline", "dim", "count", "seed", "dsl",
+        "workload",
+        "clocks",
+        "cycles",
+        "pipeline",
+        "dim",
+        "count",
+        "seed",
+        "dsl",
+        "objectives",
     ] {
         if let Some(rest) = e.strip_prefix(&format!("{field}:")) {
             return format!("--{field}:{rest}");
@@ -258,14 +288,22 @@ fn spec_from_opts(o: &Opts) -> Result<WorkloadSpec, String> {
         dim: opt_num(o, "--dim")?,
         count: opt_num(o, "--count")?,
         seed: opt_num(o, "--seed")?,
+        // The one shared axis-list grammar (`area,power`): the same parse
+        // a wire request's `objectives` field goes through.
+        objectives: o
+            .get("--objectives")
+            .map(ObjectiveSpace::parse)
+            .transpose()
+            .map_err(|e| format!("--objectives: {e}"))?,
     })
 }
 
 /// Builds the point fleet from `--workload` (grid axes optional) or from a
-/// positional DSL file (clock sweep only).
-fn build_points(o: &Opts) -> Result<Vec<DsePoint>, String> {
+/// positional DSL file (clock sweep only), returning the spec alongside so
+/// callers can reuse its objective-space selection.
+fn build_points(o: &Opts) -> Result<(Vec<DsePoint>, WorkloadSpec), String> {
     let mut spec = spec_from_opts(o)?;
-    match (spec.workload.is_some(), o.positional.as_slice()) {
+    let points = match (spec.workload.is_some(), o.positional.as_slice()) {
         (true, []) => sweep_points(&spec).map_err(with_cli_flags),
         (false, [path]) => {
             spec.dsl =
@@ -281,7 +319,8 @@ fn build_points(o: &Opts) -> Result<Vec<DsePoint>, String> {
         (true, [_, ..]) => Err("pass either --workload or a DSL file, not both".into()),
         (false, []) => Err("explore needs --workload <name> or a <file.dsl>".into()),
         (false, _) => Err("explore takes at most one DSL file".into()),
-    }
+    }?;
+    Ok((points, spec))
 }
 
 fn print_human(o: &Opts, rows: &[DseRow], front: &[DseRow]) {
@@ -309,8 +348,12 @@ fn print_human(o: &Opts, rows: &[DseRow], front: &[DseRow]) {
     print!("{t}");
     if let Some(s) = summarize(rows) {
         println!(
-            "avg save {:.1}% | {} regressions | ranges: {:.1}x power, {:.1}x throughput, {:.2}x area",
-            s.avg_save_pct, s.regressions, s.power_range, s.throughput_range, s.area_range
+            "avg save {:.1}% | {} regressions | ranges: {} power, {} throughput, {} area",
+            s.avg_save_pct,
+            s.regressions,
+            DseSummary::fmt_range(s.power_range, 1),
+            DseSummary::fmt_range(s.throughput_range, 1),
+            DseSummary::fmt_range(s.area_range, 2),
         );
     }
 }

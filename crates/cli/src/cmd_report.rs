@@ -1,6 +1,6 @@
 //! `adhls report` — reproduce the paper's headline tables.
 
-use adhls_core::dse::{summarize, table4};
+use adhls_core::dse::{summarize, table4, DseSummary};
 use adhls_core::sched::{run_hls, Flow, HlsOptions};
 use adhls_explore::Engine;
 use adhls_workloads::{interpolation, sweep};
@@ -26,9 +26,13 @@ fn report_table4() -> Result<(), String> {
     print!("{}", table4(&result.rows));
     if let Some(s) = summarize(&result.rows) {
         println!(
-            "summary: avg {:.1}% save, {} regressions; ranges {:.1}x power / \
-             {:.1}x throughput / {:.2}x area",
-            s.avg_save_pct, s.regressions, s.power_range, s.throughput_range, s.area_range
+            "summary: avg {:.1}% save, {} regressions; ranges {} power / \
+             {} throughput / {} area",
+            s.avg_save_pct,
+            s.regressions,
+            DseSummary::fmt_range(s.power_range, 1),
+            DseSummary::fmt_range(s.throughput_range, 1),
+            DseSummary::fmt_range(s.area_range, 2),
         );
     }
     println!("(paper §VII text: 20x power / 7x throughput / 1.5x area)");

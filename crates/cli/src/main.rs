@@ -44,22 +44,30 @@ EXPLORE OPTIONS:
     --cycles <LIST>       comma-separated latency budgets (cycles)
     --pipeline <LIST>     comma-separated IIs; `none` for sequential
                           (idct only; default: none)
+    --objectives <LIST>   comma-separated tradeoff axes the Pareto front
+                          is extracted in: area | latency | power |
+                          throughput    [default: all four]
     --threads <N>         worker threads (0 = all cores)  [default: 0]
     --serial              force the serial reference evaluator
     --skip-infeasible     drop unschedulable points instead of failing
     --front-only          print only the Pareto front
-    --json <PATH>         write sweep + front JSON (`-` for stdout)
+    --json <PATH>         write sweep + front JSON with its objective
+                          space recorded (`-` for stdout)
     --csv <PATH>          write sweep CSV (`-` for stdout)
 
 ADAPTIVE EXPLORE OPTIONS (interpolation | idct | matmul):
     --adaptive            refine the front instead of sweeping the grid:
                           seed the axis corners/midpoints, bisect the
                           widest Pareto gaps, prune dominated cells
+    --objectives <LIST>   the two-axis tradeoff plane refinement steers
+                          through, e.g. `area,power` for power-aware
+                          refinement          [default: area,latency]
     --budget <N>          stop after evaluating N grid cells    [default: none]
     --gap-tol <T>         stop when no normalized front gap
                           exceeds T                             [default: 0.05]
     --warm-start <PATH>   seed refinement from a previously exported
-                          front/sweep JSON (grid-named rows only)
+                          front/sweep JSON (grid-named rows only; works
+                          across objective spaces)
 
 SERVE OPTIONS (line-delimited JSON protocol; see docs/PROTOCOL.md):
     --addr <HOST:PORT>    TCP listen address  [default: 127.0.0.1:7130;
@@ -72,6 +80,9 @@ SERVE OPTIONS (line-delimited JSON protocol; see docs/PROTOCOL.md):
                           skipping them
 
 Exploring a DSL file sweeps --clocks only (the file fixes its own states).
+`schedule` evaluates one point; `report` prints the paper's tables over the
+full (area, latency, power, throughput) objective set — use
+`explore --objectives` to project onto any tradeoff plane.
 ";
 
 fn main() -> ExitCode {

@@ -153,6 +153,85 @@ fn explore_adaptive_emits_refinement_json() {
 }
 
 #[test]
+fn explore_objectives_select_the_front_space_and_are_recorded() {
+    // Default: the full four-axis space, recorded in the export.
+    let out = adhls(&["explore", "--workload", "interpolation", "--json", "-"]);
+    assert!(out.status.success());
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"objectives\": [\"area\",\"latency\",\"power\",\"throughput\"]"),
+        "{json}"
+    );
+
+    // A selected space is recorded instead, and the front shrinks to the
+    // plane's non-dominated set.
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--objectives",
+        "area,power",
+        "--json",
+        "-",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"objectives\": [\"area\",\"power\"]"),
+        "{json}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("(area,power) front"), "stderr: {stderr}");
+
+    // Unknown axes fail loudly, pointing at the flag.
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--objectives",
+        "area,warp",
+    ]);
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("--objectives"), "stderr: {stderr}");
+    assert!(stderr.contains("warp"), "stderr: {stderr}");
+}
+
+#[test]
+fn explore_adaptive_steers_through_the_requested_plane() {
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--adaptive",
+        "--objectives",
+        "area,power",
+        "--gap-tol",
+        "0.2",
+        "--skip-infeasible",
+        "--json",
+        "-",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"objectives\": [\"area\",\"power\"]"),
+        "{json}"
+    );
+    assert!(json.contains("\"refine\":"), "{json}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("in (area,power)"), "stderr: {stderr}");
+}
+
+#[test]
 fn explore_adaptive_warm_starts_from_an_exported_front() {
     let path = std::env::temp_dir().join("adhls_warm_front_test.json");
     let path_str = path.to_str().expect("utf-8 temp path");

@@ -119,11 +119,21 @@ pub struct DseRow {
     pub power: PowerReport,
     /// Throughput in items per microsecond.
     pub throughput: f64,
+    /// Exact time between successive data items in picoseconds
+    /// ([`grid_item_time_ps`]) — stored once at evaluation instead of
+    /// being re-derived as `1e6 / throughput` downstream, so exporters
+    /// and objective projections agree to the last bit and a
+    /// `throughput == 0` row carries no hidden `inf`.
+    pub latency_ps: f64,
     /// Clock period used.
     pub clock_ps: u64,
 }
 
 /// Aggregate statistics across a sweep (the §VII text claims).
+///
+/// The three ranges are `None` when the ratio is meaningless — a minimum
+/// of zero (a zero-power wire design would otherwise report an `inf`
+/// range) or any non-finite extreme.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DseSummary {
     /// Mean of per-point `save_pct` (paper: 8.9%).
@@ -131,11 +141,11 @@ pub struct DseSummary {
     /// Points where the slack flow lost area (paper: D5–D7).
     pub regressions: usize,
     /// max/min total power across points (paper: ~20×).
-    pub power_range: f64,
+    pub power_range: Option<f64>,
     /// max/min throughput across points (paper: ~7×).
-    pub throughput_range: f64,
+    pub throughput_range: Option<f64>,
     /// max/min slack-flow area across points (paper: ~1.5×).
-    pub area_range: f64,
+    pub area_range: Option<f64>,
 }
 
 /// Exact item time of a grid cell `(clock_ps, cycles_per_item)` in
@@ -191,6 +201,7 @@ pub fn evaluate_point(p: &DsePoint, lib: &Library, base: &HlsOptions) -> Result<
         save_pct,
         power,
         throughput: 1.0e6 / item_time_ps,
+        latency_ps: item_time_ps,
         clock_ps: p.clock_ps,
     })
 }
@@ -228,26 +239,38 @@ pub fn summarize(rows: &[DseRow]) -> Option<DseSummary> {
     let (plo, phi) = minmax(&mut rows.iter().map(|r| r.power.total));
     let (tlo, thi) = minmax(&mut rows.iter().map(|r| r.throughput));
     let (alo, ahi) = minmax(&mut rows.iter().map(|r| r.a_slack));
+    // A zero or non-finite minimum makes the max/min ratio meaningless
+    // (a zero-power point would report an `inf` power range).
+    let ratio = |lo: f64, hi: f64| (lo > 0.0 && hi.is_finite()).then_some(hi / lo);
     Some(DseSummary {
         avg_save_pct,
         regressions,
-        power_range: phi / plo,
-        throughput_range: thi / tlo,
-        area_range: ahi / alo,
+        power_range: ratio(plo, phi),
+        throughput_range: ratio(tlo, thi),
+        area_range: ratio(alo, ahi),
     })
 }
 
 impl DseSummary {
+    /// Formats one of the range ratios for human reports — `"4.8x"`, or
+    /// `"n/a"` for a degenerate range (`None`, see the field docs). One
+    /// definition so every surface renders the degenerate case alike.
+    #[must_use]
+    pub fn fmt_range(range: Option<f64>, decimals: usize) -> String {
+        range.map_or_else(|| "n/a".to_string(), |v| format!("{v:.decimals$}x"))
+    }
+
     /// The summary as a JSON object, for protocol responses and exports.
     #[must_use]
     pub fn to_json(&self) -> crate::json::Value {
         use crate::json::Value;
+        let ratio = |r: Option<f64>| r.map_or(Value::Null, Value::Num);
         Value::Obj(vec![
             ("avg_save_pct".into(), Value::Num(self.avg_save_pct)),
             ("regressions".into(), Value::Num(self.regressions as f64)),
-            ("power_range".into(), Value::Num(self.power_range)),
-            ("throughput_range".into(), Value::Num(self.throughput_range)),
-            ("area_range".into(), Value::Num(self.area_range)),
+            ("power_range".into(), ratio(self.power_range)),
+            ("throughput_range".into(), ratio(self.throughput_range)),
+            ("area_range".into(), ratio(self.area_range)),
         ])
     }
 }
@@ -311,8 +334,8 @@ mod tests {
         let rows = explore(&points, &lib, &HlsOptions::default()).unwrap();
         assert_eq!(rows.len(), 3);
         let s = summarize(&rows).expect("non-empty sweep summarizes");
-        assert!(s.throughput_range >= 1.0);
-        assert!(s.power_range >= 1.0);
+        assert!(s.throughput_range.expect("positive throughputs") >= 1.0);
+        assert!(s.power_range.expect("positive powers") >= 1.0);
         let rendered = table4(&rows);
         assert!(rendered.contains("A_conv"));
         assert!(rendered.contains("Average"));
@@ -374,7 +397,45 @@ mod tests {
         let p = point("T", 2, 1300);
         let row = evaluate_point(&p, &lib, &HlsOptions::default()).unwrap();
         assert_eq!(row.throughput, 1.0e6 / p.item_time_ps());
+        assert_eq!(
+            row.latency_ps,
+            p.item_time_ps(),
+            "latency is stored once, straight from the closed form"
+        );
         assert_eq!(grid_item_time_ps(1300, 0), grid_item_time_ps(1300, 1));
+    }
+
+    #[test]
+    fn degenerate_extremes_yield_no_range_not_inf() {
+        let row = |name: &str, power: f64, throughput: f64, area: f64| DseRow {
+            name: name.into(),
+            a_conv: area * 1.1,
+            a_slack: area,
+            save_pct: 9.0,
+            power: PowerReport {
+                dynamic: power,
+                leakage: 0.0,
+                total: power,
+            },
+            throughput,
+            latency_ps: if throughput > 0.0 {
+                1.0e6 / throughput
+            } else {
+                f64::INFINITY
+            },
+            clock_ps: 1000,
+        };
+        // A zero-power wire point used to make power_range == inf.
+        let s = summarize(&[row("wire", 0.0, 500.0, 0.0), row("real", 8.0, 250.0, 900.0)])
+            .expect("non-empty sweep");
+        assert_eq!(s.power_range, None, "0-power minimum has no ratio");
+        assert_eq!(s.area_range, None, "0-area minimum has no ratio");
+        assert_eq!(s.throughput_range, Some(2.0));
+        // Non-finite extremes are degenerate too, and render as null.
+        let s = summarize(&[row("stalled", 5.0, 0.0, 100.0)]).expect("non-empty sweep");
+        assert_eq!(s.throughput_range, None);
+        let json = s.to_json().render();
+        assert!(json.contains("\"throughput_range\":null"), "{json}");
     }
 
     #[test]

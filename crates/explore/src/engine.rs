@@ -129,6 +129,23 @@ pub struct SweepResult {
     pub workers: usize,
 }
 
+impl SweepResult {
+    /// The result's Pareto front projected through `space` — the rows
+    /// non-dominated under exactly the space's axes, deterministically
+    /// ordered (see [`crate::pareto::pareto_front_in`]).
+    #[must_use]
+    pub fn front_in(&self, space: &crate::pareto::ObjectiveSpace) -> Vec<DseRow> {
+        crate::pareto::pareto_front_in(space, &self.rows)
+    }
+
+    /// The result's tradeoff staircase in `space`'s plane (see
+    /// [`crate::pareto::tradeoff_staircase_in`]).
+    #[must_use]
+    pub fn staircase_in(&self, space: &crate::pareto::ObjectiveSpace) -> Vec<DseRow> {
+        crate::pareto::tradeoff_staircase_in(space, &self.rows)
+    }
+}
+
 /// The parallel, cache-aware sweep evaluator.
 ///
 /// The cache lives for the engine's lifetime, so successive sweeps sharing

@@ -4,8 +4,13 @@
 //! numbers use Rust's shortest-roundtrip `Display` for `f64`, strings are
 //! JSON-escaped, and field order is fixed, so exports are byte-stable for
 //! identical rows — diffs of exploration artifacts stay meaningful.
+//!
+//! Front documents record the [`ObjectiveSpace`] that produced them in an
+//! `objectives` field, and [`crate::refine::WarmStart`] reads it back — so
+//! a front exported under one space can safely warm-start a refinement in
+//! another, with the provenance visible.
 
-use crate::pareto::objectives;
+use crate::pareto::ObjectiveSpace;
 use crate::refine::RefineResult;
 use adhls_core::dse::DseRow;
 use std::fmt::Write as _;
@@ -31,7 +36,6 @@ fn json_string(out: &mut String, s: &str) {
 
 /// Writes one row as a JSON object.
 fn json_row(out: &mut String, row: &DseRow) {
-    let o = objectives(row);
     out.push_str("{\"name\":");
     json_string(out, &row.name);
     let _ = write!(
@@ -47,8 +51,26 @@ fn json_row(out: &mut String, row: &DseRow) {
         row.power.leakage,
         row.power.total,
         row.throughput,
-        o.latency_ps,
+        row.latency_ps,
     );
+}
+
+/// Renders an objective space as the JSON axis-name array every exporting
+/// surface (file documents, protocol responses) embeds — one definition so
+/// [`crate::refine::WarmStart`] can rely on the shape.
+#[must_use]
+pub fn objectives_to_json(space: &ObjectiveSpace) -> String {
+    let mut out = String::from("[");
+    for (i, name) in space.names().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        out.push_str(name);
+        out.push('"');
+    }
+    out.push(']');
+    out
 }
 
 /// Renders rows as a *single-line* JSON array (input order preserved) —
@@ -90,21 +112,38 @@ pub fn rows_to_json(rows: &[DseRow]) -> String {
 }
 
 /// Renders a sweep and its Pareto front as one JSON document:
-/// `{"sweep": [...], "front": [...]}` where `front` is the deterministic
-/// non-dominated subset.
+/// `{"objectives": [...], "sweep": [...], "front": [...]}` where `front`
+/// is the deterministic non-dominated subset *in `space`* and
+/// `objectives` records which axes produced it, so the document is
+/// self-describing (and warm starts can surface the provenance).
 #[must_use]
-pub fn front_to_json(rows: &[DseRow], front: &[DseRow]) -> String {
+pub fn front_to_json_in(rows: &[DseRow], front: &[DseRow], space: &ObjectiveSpace) -> String {
     format!(
-        "{{\n\"sweep\": {},\n\"front\": {}\n}}",
+        "{{\n\"objectives\": {},\n\"sweep\": {},\n\"front\": {}\n}}",
+        objectives_to_json(space),
         rows_to_json(rows),
         rows_to_json(front)
     )
 }
 
-/// Renders an adaptive refinement as one JSON document: the evaluated
-/// sweep, its front, and a `refine` block with the per-round trace so runs
-/// are auditable (how many cells each round added, how the front grew, how
+/// [`front_to_json_in`] for a front extracted in [`ObjectiveSpace::full`]
+/// — the pre-redesign four-objective document.
+#[must_use]
+pub fn front_to_json(rows: &[DseRow], front: &[DseRow]) -> String {
+    front_to_json_in(rows, front, &ObjectiveSpace::full())
+}
+
+/// Renders an adaptive refinement as one JSON document: the steering
+/// plane, the evaluated sweep, the converged `staircase` *in that plane*,
+/// the front, and a `refine` block with the per-round trace so runs are
+/// auditable (how many cells each round added, how the front grew, how
 /// wide the worst gap was, what the prune discarded).
+///
+/// Field semantics match the wire's refine result: `objectives` is the
+/// plane that steered the run (what a warm start records as provenance),
+/// `staircase` is the plane's tradeoff curve, and `front` is **always**
+/// the full four-objective front over the evaluated rows — project
+/// through [`crate::pareto::pareto_front_in`] for any other view.
 #[must_use]
 pub fn refine_to_json(result: &RefineResult) -> String {
     let mut rounds = String::from("[");
@@ -125,9 +164,15 @@ pub fn refine_to_json(result: &RefineResult) -> String {
         "\n  ]"
     });
     format!(
-        "{{\n\"sweep\": {},\n\"front\": {},\n\"refine\": {{\n  \
+        "{{\n\"objectives\": {},\n\"sweep\": {},\n\"staircase\": {},\n\"front\": {},\n\
+         \"refine\": {{\n  \
          \"grid_cells\":{},\"evaluated\":{},\"pruned\":{},\n  \"rounds\": {}\n}}\n}}",
+        objectives_to_json(&result.objectives),
         rows_to_json(&result.rows),
+        rows_to_json(&crate::pareto::tradeoff_staircase_in(
+            &result.objectives,
+            &result.rows
+        )),
         rows_to_json(&result.front),
         result.grid_cells,
         result.evaluated,
@@ -144,7 +189,6 @@ pub fn rows_to_csv(rows: &[DseRow]) -> String {
          power_total,throughput_per_us,latency_ps\n",
     );
     for row in rows {
-        let o = objectives(row);
         let name = if row.name.contains([',', '"', '\n']) {
             format!("\"{}\"", row.name.replace('"', "\"\""))
         } else {
@@ -161,7 +205,7 @@ pub fn rows_to_csv(rows: &[DseRow]) -> String {
             row.power.leakage,
             row.power.total,
             row.throughput,
-            o.latency_ps,
+            row.latency_ps,
         );
     }
     out
@@ -184,6 +228,7 @@ mod tests {
                 total: 10.0,
             },
             throughput: 250.0,
+            latency_ps: 4000.0,
             clock_ps: 1100,
         }
     }
@@ -239,10 +284,33 @@ mod tests {
     }
 
     #[test]
-    fn combined_document_nests_both_arrays() {
+    fn combined_document_nests_both_arrays_and_records_its_space() {
         let rows = [row("d1")];
         let s = front_to_json(&rows, &rows);
         assert!(s.contains("\"sweep\":"));
         assert!(s.contains("\"front\":"));
+        assert!(
+            s.contains("\"objectives\": [\"area\",\"latency\",\"power\",\"throughput\"]"),
+            "{s}"
+        );
+        let power = front_to_json_in(&rows, &rows, &ObjectiveSpace::parse("area,power").unwrap());
+        assert!(
+            power.contains("\"objectives\": [\"area\",\"power\"]"),
+            "{power}"
+        );
+        // The provenance round-trips through the warm-start parser.
+        let ws = crate::refine::WarmStart::parse(&power).unwrap();
+        assert_eq!(
+            ws.objectives,
+            Some(ObjectiveSpace::parse("area,power").unwrap())
+        );
+    }
+
+    #[test]
+    fn objectives_render_as_a_name_array() {
+        assert_eq!(
+            objectives_to_json(&ObjectiveSpace::default()),
+            "[\"area\",\"latency\"]"
+        );
     }
 }

@@ -9,9 +9,10 @@
 //! * [`engine`] — a work-stealing parallel evaluator fanning
 //!   `run_hls` calls across cores, with a memoizing result cache keyed by
 //!   (design fingerprint, options fingerprint) so repeated points are free,
-//! * [`pareto`] — Pareto-front extraction over
-//!   (area, latency, power, throughput) with dominance pruning and
-//!   deterministic ordering regardless of thread interleaving,
+//! * [`pareto`] — Pareto-front extraction through pluggable
+//!   [`ObjectiveSpace`]s (ordered selections of the area / latency /
+//!   power / throughput axes) with dominance pruning and deterministic
+//!   ordering regardless of thread interleaving,
 //! * [`export`] — JSON/CSV renderers for sweeps and fronts,
 //! * [`fingerprint`] — stable structural hashing of designs and options,
 //! * [`pool`] — a persistent evaluator pool sharing worker threads and a
@@ -67,13 +68,14 @@ pub mod sweep;
 
 pub use engine::{Engine, EngineOptions, SweepResult};
 pub use pareto::{
-    dominates, objectives, pareto_front, pareto_indices, staircase_indices, tradeoff_staircase,
-    Objectives,
+    dominates, objectives, pareto_front, pareto_front_in, pareto_indices, pareto_indices_in,
+    staircase_indices, staircase_indices_in, tradeoff_staircase, tradeoff_staircase_in, Objective,
+    ObjectiveSpace, Objectives, Sense,
 };
 pub use pool::{EvaluatorPool, PoolOptions};
 pub use refine::{
     refine, refine_with_progress, warm_start_cells, Evaluator, RefineOptions, RefineResult,
-    RoundTrace,
+    RoundTrace, WarmStart,
 };
 pub use server::{CacheStats, Server};
 pub use sweep::{SweepCell, SweepGrid};
@@ -85,12 +87,17 @@ pub use adhls_core::dse::{DsePoint, DseRow};
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::engine::{Engine, EngineOptions, SweepResult};
-    pub use crate::export::{front_to_json, refine_to_json, rows_to_csv, rows_to_json};
-    pub use crate::pareto::{dominates, objectives, pareto_front, tradeoff_staircase, Objectives};
+    pub use crate::export::{
+        front_to_json, front_to_json_in, refine_to_json, rows_to_csv, rows_to_json,
+    };
+    pub use crate::pareto::{
+        dominates, objectives, pareto_front, pareto_front_in, tradeoff_staircase,
+        tradeoff_staircase_in, Objective, ObjectiveSpace, Objectives, Sense,
+    };
     pub use crate::pool::{EvaluatorPool, PoolOptions};
     pub use crate::refine::{
         refine, refine_with_progress, warm_start_cells, Evaluator, RefineOptions, RefineResult,
-        RoundTrace,
+        RoundTrace, WarmStart,
     };
     pub use crate::server::{CacheStats, Server, WorkloadSpec};
     pub use crate::sweep::{SweepCell, SweepGrid};

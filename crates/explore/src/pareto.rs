@@ -1,14 +1,39 @@
-//! Pareto-front extraction over (area, latency, power, throughput).
+//! Pareto extraction over pluggable *objective spaces*.
 //!
-//! A design point is on the front iff no other point *dominates* it —
-//! i.e. is no worse on every objective and strictly better on at least
-//! one. Area, latency, and power are minimized; throughput is maximized.
-//! Extraction is a pure function of the row set, and the returned front is
-//! sorted by (area, latency, name), so the result is deterministic
-//! regardless of how the rows were produced (serial, parallel, cached).
+//! The paper's §VII exploration spans a ~20× power range, a ~7× throughput
+//! range and a ~1.5× area range — which tradeoff plane matters depends on
+//! the question being asked. An [`ObjectiveSpace`] is an ordered selection
+//! of [`Objective`] axes (each with a fixed min/max [`Sense`]); every
+//! extraction in this module projects the rows through a chosen space:
+//!
+//! * [`pareto_indices_in`] / [`pareto_front_in`] — the non-dominated set
+//!   under exactly the space's axes,
+//! * [`staircase_indices_in`] / [`tradeoff_staircase_in`] — the monotone
+//!   two-axis tradeoff curve in the space's *plane* (its first two axes),
+//!   the generalization of the paper's Table-4 area/delay staircase,
+//! * [`ObjectiveSpace::plane_gap`] — the normalized gap adaptive
+//!   refinement bisects, measured in the same plane.
+//!
+//! A design point is on a front iff no other point *dominates* it in the
+//! space — is no worse on every selected axis and strictly better on at
+//! least one. Extraction is a pure function of (row set, space), and
+//! fronts are sorted by the space's axes then name, so the result is
+//! deterministic regardless of how the rows were produced (serial,
+//! parallel, cached).
+//!
+//! The historical free functions remain as thin wrappers: [`pareto_front`]
+//! is the front in [`ObjectiveSpace::full`] (all four axes — what the
+//! pre-redesign API computed) and [`tradeoff_staircase`] is the staircase
+//! in [`ObjectiveSpace::tradeoff`] (area, latency — the default space).
+//!
+//! Rows with *any* non-finite objective are excluded from every space,
+//! even axes the space does not select: such a row carries a broken
+//! evaluation (NaN compares false against everything, so it would never
+//! be dominated), and keeping the filter space-independent means a row's
+//! eligibility cannot change when the space does.
 
 use adhls_core::dse::DseRow;
-use std::cmp::Ordering;
+use std::fmt;
 
 /// The four objectives of one design point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -28,7 +53,7 @@ pub struct Objectives {
 pub fn objectives(row: &DseRow) -> Objectives {
     Objectives {
         area: row.a_slack,
-        latency_ps: 1.0e6 / row.throughput,
+        latency_ps: row.latency_ps,
         power: row.power.total,
         throughput: row.throughput,
     }
@@ -36,7 +61,7 @@ pub fn objectives(row: &DseRow) -> Objectives {
 
 impl Objectives {
     /// True when every objective is a finite number. Rows that fail this
-    /// (e.g. `throughput == 0` ⇒ `latency_ps == inf`, or a NaN power
+    /// (e.g. a stalled point with `latency_ps == inf`, or a NaN power
     /// estimate) carry no usable tradeoff information: NaN compares false
     /// against everything, so such a row would never be dominated and would
     /// pollute every front it touched.
@@ -49,32 +74,331 @@ impl Objectives {
     }
 }
 
-/// True iff `a` dominates `b`: no worse everywhere, strictly better
-/// somewhere.
-///
-/// Non-finite objectives make dominance vacuously false in both directions
-/// (NaN comparisons are false); [`pareto_indices`] therefore rejects
-/// non-finite rows up front rather than letting them survive by default.
-#[must_use]
-pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
-    let no_worse = a.area <= b.area
-        && a.latency_ps <= b.latency_ps
-        && a.power <= b.power
-        && a.throughput >= b.throughput;
-    let strictly_better = a.area < b.area
-        || a.latency_ps < b.latency_ps
-        || a.power < b.power
-        || a.throughput > b.throughput;
-    no_worse && strictly_better
+/// Whether an objective axis improves downward or upward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Sense {
+    /// Smaller is better (area, latency, power).
+    Minimize,
+    /// Larger is better (throughput).
+    Maximize,
 }
 
-/// Indices of the non-dominated rows, sorted by (area, latency, name).
+/// One selectable tradeoff axis, with a fixed optimization sense.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Objective {
+    /// Slack-flow area (minimize).
+    Area,
+    /// Time per data item in picoseconds (minimize).
+    LatencyPs,
+    /// Total power of the slack implementation (minimize).
+    PowerTotal,
+    /// Items per microsecond (maximize).
+    Throughput,
+}
+
+impl Objective {
+    /// Every axis, in the canonical (area, latency, power, throughput)
+    /// order — the order [`ObjectiveSpace::full`] selects.
+    pub const ALL: [Objective; 4] = [
+        Objective::Area,
+        Objective::LatencyPs,
+        Objective::PowerTotal,
+        Objective::Throughput,
+    ];
+
+    /// The axis's optimization sense.
+    #[must_use]
+    pub fn sense(self) -> Sense {
+        match self {
+            Objective::Throughput => Sense::Maximize,
+            _ => Sense::Minimize,
+        }
+    }
+
+    /// The axis's raw value in an objective vector.
+    #[must_use]
+    pub fn value(self, o: &Objectives) -> f64 {
+        match self {
+            Objective::Area => o.area,
+            Objective::LatencyPs => o.latency_ps,
+            Objective::PowerTotal => o.power,
+            Objective::Throughput => o.throughput,
+        }
+    }
+
+    /// The axis's value mapped so that *smaller is always better* —
+    /// maximized axes are negated. Dominance, staircase walks, and sort
+    /// keys all compare keys, which keeps the sense logic in one place.
+    #[must_use]
+    pub fn key(self, o: &Objectives) -> f64 {
+        match self.sense() {
+            Sense::Minimize => self.value(o),
+            Sense::Maximize => -self.value(o),
+        }
+    }
+
+    /// The wire/CLI name of the axis (`area | latency | power |
+    /// throughput`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Objective::Area => "area",
+            Objective::LatencyPs => "latency",
+            Objective::PowerTotal => "power",
+            Objective::Throughput => "throughput",
+        }
+    }
+
+    /// Parses an axis name as accepted on every surface (CLI
+    /// `--objectives`, the serve protocol's `objectives` field, exported
+    /// documents). The exporters' field names are accepted as aliases so a
+    /// column name can be pasted back in.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<Objective> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "area" | "a_slack" => Some(Objective::Area),
+            "latency" | "latency_ps" | "delay" => Some(Objective::LatencyPs),
+            "power" | "power_total" => Some(Objective::PowerTotal),
+            "throughput" | "throughput_per_us" => Some(Objective::Throughput),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Objective {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// An ordered, duplicate-free selection of objective axes — *the* value
+/// every exploration surface (Pareto extraction, adaptive refinement, the
+/// exporters, the serve protocol, the CLI) is parameterized by.
+///
+/// The first two axes are the space's **plane**: the projection staircase
+/// gaps are measured in and adaptive refinement steers through. The
+/// default space is the paper's Table-4 tradeoff plane,
+/// `[Area, LatencyPs]`; [`ObjectiveSpace::full`] selects all four axes
+/// (what sweep front extraction historically used).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ObjectiveSpace {
+    axes: Vec<Objective>,
+}
+
+impl Default for ObjectiveSpace {
+    fn default() -> Self {
+        ObjectiveSpace::tradeoff()
+    }
+}
+
+impl fmt::Display for ObjectiveSpace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, a) in self.axes.iter().enumerate() {
+            if i > 0 {
+                f.write_str(",")?;
+            }
+            f.write_str(a.name())?;
+        }
+        Ok(())
+    }
+}
+
+impl ObjectiveSpace {
+    /// A space over `axes`, in the given order.
+    ///
+    /// # Errors
+    ///
+    /// A message when `axes` is empty or repeats an axis.
+    pub fn new(axes: impl IntoIterator<Item = Objective>) -> Result<ObjectiveSpace, String> {
+        let axes: Vec<Objective> = axes.into_iter().collect();
+        if axes.is_empty() {
+            return Err("an objective space needs at least one axis".into());
+        }
+        for (i, a) in axes.iter().enumerate() {
+            if axes[..i].contains(a) {
+                return Err(format!("objective `{}` is selected twice", a.name()));
+            }
+        }
+        Ok(ObjectiveSpace { axes })
+    }
+
+    /// The default space: the paper's (area, latency) tradeoff plane.
+    #[must_use]
+    pub fn tradeoff() -> ObjectiveSpace {
+        ObjectiveSpace {
+            axes: vec![Objective::Area, Objective::LatencyPs],
+        }
+    }
+
+    /// All four axes in canonical order — the space sweep fronts are
+    /// extracted in when no space is requested (the pre-redesign
+    /// behavior of [`pareto_front`]).
+    #[must_use]
+    pub fn full() -> ObjectiveSpace {
+        ObjectiveSpace {
+            axes: Objective::ALL.to_vec(),
+        }
+    }
+
+    /// Parses a comma-separated axis list (`"area,power"`) — the one
+    /// definition behind CLI `--objectives` values and the serve
+    /// protocol's `objectives` strings.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the unknown axis, an empty list, or a duplicate.
+    pub fn parse(s: &str) -> Result<ObjectiveSpace, String> {
+        ObjectiveSpace::parse_names(&s.split(',').collect::<Vec<_>>())
+    }
+
+    /// Parses an `objectives` JSON value as it appears on every JSON
+    /// surface (the serve protocol's request field, exported front
+    /// documents): an array of axis names or one comma-separated string;
+    /// absent (`None`) and `null` mean "no selection". One definition, so
+    /// the wire and warm-start parsers cannot drift apart.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the bad shape or axis (callers prefix the field
+    /// context).
+    pub fn from_json(
+        value: Option<&adhls_core::json::Value>,
+    ) -> Result<Option<ObjectiveSpace>, String> {
+        use adhls_core::json::Value;
+        match value {
+            None | Some(Value::Null) => Ok(None),
+            Some(Value::Str(s)) => ObjectiveSpace::parse(s).map(Some),
+            Some(Value::Arr(names)) => {
+                let names = names
+                    .iter()
+                    .map(|n| n.as_str().ok_or("entries must be axis-name strings"))
+                    .collect::<Result<Vec<&str>, &str>>()?;
+                ObjectiveSpace::parse_names(&names).map(Some)
+            }
+            Some(_) => Err("must be an array of axis names".into()),
+        }
+    }
+
+    /// Parses a list of axis names (the serve protocol's `objectives`
+    /// array form).
+    ///
+    /// # Errors
+    ///
+    /// As [`ObjectiveSpace::parse`].
+    pub fn parse_names<S: AsRef<str>>(names: &[S]) -> Result<ObjectiveSpace, String> {
+        let axes = names
+            .iter()
+            .map(|n| {
+                Objective::parse(n.as_ref()).ok_or_else(|| {
+                    format!(
+                        "unknown objective `{}` (area | latency | power | throughput)",
+                        n.as_ref().trim()
+                    )
+                })
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        ObjectiveSpace::new(axes)
+    }
+
+    /// The selected axes, in order.
+    #[must_use]
+    pub fn axes(&self) -> &[Objective] {
+        &self.axes
+    }
+
+    /// The axes' wire names, in order (what exports and protocol responses
+    /// record).
+    #[must_use]
+    pub fn names(&self) -> Vec<&'static str> {
+        self.axes.iter().map(|a| a.name()).collect()
+    }
+
+    /// The space's tradeoff plane: its first two axes. A single-axis space
+    /// degenerates to (axis, axis) — its "staircase" is just the best row
+    /// on that axis.
+    #[must_use]
+    pub fn plane(&self) -> (Objective, Objective) {
+        (self.axes[0], *self.axes.get(1).unwrap_or(&self.axes[0]))
+    }
+
+    /// True iff `a` dominates `b` *in this space*: no worse on every
+    /// selected axis and strictly better on at least one. Axes outside the
+    /// space carry no weight.
+    ///
+    /// Non-finite values make dominance vacuously false in both directions
+    /// (NaN comparisons are false); [`pareto_indices_in`] therefore rejects
+    /// non-finite rows up front rather than letting them survive by
+    /// default.
+    #[must_use]
+    pub fn dominates(&self, a: &Objectives, b: &Objectives) -> bool {
+        dominates_on(&self.axes, a, b)
+    }
+
+    /// Normalization ranges over the plane's bounding box of `objs`,
+    /// guarded so a degenerate (single-point or axis-collapsed) box cannot
+    /// divide a gap by zero.
+    #[must_use]
+    pub fn plane_ranges<'a>(&self, objs: impl IntoIterator<Item = &'a Objectives>) -> (f64, f64) {
+        let (p, s) = self.plane();
+        let mut pmin = f64::INFINITY;
+        let mut pmax = f64::NEG_INFINITY;
+        let mut smin = f64::INFINITY;
+        let mut smax = f64::NEG_INFINITY;
+        for o in objs {
+            pmin = pmin.min(p.value(o));
+            pmax = pmax.max(p.value(o));
+            smin = smin.min(s.value(o));
+            smax = smax.max(s.value(o));
+        }
+        let guard = |r: f64| if r > 0.0 && r.is_finite() { r } else { 1.0 };
+        (guard(pmax - pmin), guard(smax - smin))
+    }
+
+    /// The normalized gap between two points in the space's plane: the
+    /// Chebyshev distance of their plane projections, each axis normalized
+    /// by the corresponding range (see [`ObjectiveSpace::plane_ranges`]).
+    /// This is the quantity adaptive refinement drives below its
+    /// tolerance.
+    #[must_use]
+    pub fn plane_gap(&self, a: &Objectives, b: &Objectives, ranges: (f64, f64)) -> f64 {
+        let (p, s) = self.plane();
+        ((p.value(a) - p.value(b)).abs() / ranges.0).max((s.value(a) - s.value(b)).abs() / ranges.1)
+    }
+}
+
+/// The axis-slice dominance kernel behind [`ObjectiveSpace::dominates`]
+/// and the allocation-free full-space [`dominates`] wrapper (which sits in
+/// refinement's hot pruning loop).
+fn dominates_on(axes: &[Objective], a: &Objectives, b: &Objectives) -> bool {
+    let mut strictly_better = false;
+    for axis in axes {
+        match axis.key(a).partial_cmp(&axis.key(b)) {
+            Some(std::cmp::Ordering::Less) => strictly_better = true,
+            Some(std::cmp::Ordering::Equal) => {}
+            // Worse on this axis — or incomparable (NaN), which makes
+            // dominance vacuously false.
+            Some(std::cmp::Ordering::Greater) | None => return false,
+        }
+    }
+    strictly_better
+}
+
+/// True iff `a` dominates `b` in the full four-objective space —
+/// equivalent to the pre-redesign dominance. Canonical form:
+/// [`ObjectiveSpace::dominates`].
+#[must_use]
+pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
+    dominates_on(&Objective::ALL, a, b)
+}
+
+/// Indices of the rows non-dominated in `space`, sorted by the space's
+/// axes (in order) then name.
 ///
 /// Rows with any non-finite objective are deterministically excluded: they
 /// can neither dominate nor appear on the front (a NaN/inf row would
 /// otherwise always survive, since nothing compares as better than it).
 #[must_use]
-pub fn pareto_indices(rows: &[DseRow]) -> Vec<usize> {
+pub fn pareto_indices_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<usize> {
     let objs: Vec<Objectives> = rows.iter().map(objectives).collect();
     let mut front: Vec<usize> = (0..rows.len())
         .filter(|&i| {
@@ -82,69 +406,102 @@ pub fn pareto_indices(rows: &[DseRow]) -> Vec<usize> {
                 && !objs
                     .iter()
                     .enumerate()
-                    .any(|(j, oj)| j != i && oj.is_finite() && dominates(oj, &objs[i]))
+                    .any(|(j, oj)| j != i && oj.is_finite() && space.dominates(oj, &objs[i]))
         })
         .collect();
-    front.sort_by(|&i, &j| order_key(&rows[i], &objs[i], &rows[j], &objs[j]));
+    front.sort_by(|&i, &j| {
+        space
+            .axes
+            .iter()
+            .map(|a| a.key(&objs[i]).total_cmp(&a.key(&objs[j])))
+            .fold(std::cmp::Ordering::Equal, std::cmp::Ordering::then)
+            .then_with(|| rows[i].name.cmp(&rows[j].name))
+    });
     front
 }
 
-/// The non-dominated rows themselves, deterministically ordered.
+/// The rows non-dominated in `space`, deterministically ordered.
 #[must_use]
-pub fn pareto_front(rows: &[DseRow]) -> Vec<DseRow> {
-    pareto_indices(rows)
+pub fn pareto_front_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<DseRow> {
+    pareto_indices_in(space, rows)
         .into_iter()
         .map(|i| rows[i].clone())
         .collect()
 }
 
-/// Indices of the rows non-dominated in the (area, latency) plane alone —
-/// the paper's Table-4 area/delay tradeoff staircase — sorted by area
-/// ascending (and therefore latency strictly descending). Rows with
-/// non-finite objectives are excluded, like in [`pareto_indices`].
-///
-/// This is the curve adaptive refinement resolves: with power and
-/// throughput in play most grid cells are mutually incomparable and the
-/// full front approaches the whole grid, but the two-axis projection stays
-/// small and monotone.
+/// Indices of the non-dominated rows in [`ObjectiveSpace::full`], sorted
+/// by (area, latency, power, throughput, name) — the pre-redesign
+/// four-objective front. Canonical form: [`pareto_indices_in`].
 #[must_use]
-pub fn staircase_indices(rows: &[DseRow]) -> Vec<usize> {
+pub fn pareto_indices(rows: &[DseRow]) -> Vec<usize> {
+    pareto_indices_in(&ObjectiveSpace::full(), rows)
+}
+
+/// The four-objective non-dominated rows themselves, deterministically
+/// ordered. Canonical form: [`pareto_front_in`].
+#[must_use]
+pub fn pareto_front(rows: &[DseRow]) -> Vec<DseRow> {
+    pareto_front_in(&ObjectiveSpace::full(), rows)
+}
+
+/// Indices of the rows non-dominated in `space`'s plane alone — the
+/// generalization of the paper's Table-4 area/delay tradeoff staircase —
+/// sorted by the plane's primary axis, worst-to-best on the secondary.
+/// For the default space this is the (area, latency) curve: area
+/// ascending, latency strictly descending. Rows with non-finite
+/// objectives are excluded, like in [`pareto_indices_in`].
+///
+/// This is the curve adaptive refinement resolves: with every axis in
+/// play most grid cells are mutually incomparable and the full front
+/// approaches the whole grid, but a two-axis projection stays small and
+/// monotone.
+#[must_use]
+pub fn staircase_indices_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<usize> {
+    let (primary, secondary) = space.plane();
     let objs: Vec<Objectives> = rows.iter().map(objectives).collect();
     let mut idx: Vec<usize> = (0..rows.len()).filter(|&i| objs[i].is_finite()).collect();
     idx.sort_by(|&i, &j| {
-        objs[i]
-            .area
-            .total_cmp(&objs[j].area)
-            .then(objs[i].latency_ps.total_cmp(&objs[j].latency_ps))
+        primary
+            .key(&objs[i])
+            .total_cmp(&primary.key(&objs[j]))
+            .then(secondary.key(&objs[i]).total_cmp(&secondary.key(&objs[j])))
             .then(rows[i].name.cmp(&rows[j].name))
             .then(i.cmp(&j))
     });
     let mut out = Vec::new();
-    let mut best_lat = f64::INFINITY;
+    let mut best = f64::INFINITY;
     for i in idx {
-        if objs[i].latency_ps < best_lat {
-            best_lat = objs[i].latency_ps;
+        let k = secondary.key(&objs[i]);
+        if k < best {
+            best = k;
             out.push(i);
         }
     }
     out
 }
 
-/// The (area, latency) staircase rows themselves, area ascending.
+/// The staircase rows of `space`'s plane, primary axis improving first.
 #[must_use]
-pub fn tradeoff_staircase(rows: &[DseRow]) -> Vec<DseRow> {
-    staircase_indices(rows)
+pub fn tradeoff_staircase_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<DseRow> {
+    staircase_indices_in(space, rows)
         .into_iter()
         .map(|i| rows[i].clone())
         .collect()
 }
 
-fn order_key(ra: &DseRow, oa: &Objectives, rb: &DseRow, ob: &Objectives) -> Ordering {
-    oa.area
-        .total_cmp(&ob.area)
-        .then(oa.latency_ps.total_cmp(&ob.latency_ps))
-        .then(oa.power.total_cmp(&ob.power))
-        .then(ra.name.cmp(&rb.name))
+/// Indices of the (area, latency) staircase — the default
+/// [`ObjectiveSpace::tradeoff`] plane. Canonical form:
+/// [`staircase_indices_in`].
+#[must_use]
+pub fn staircase_indices(rows: &[DseRow]) -> Vec<usize> {
+    staircase_indices_in(&ObjectiveSpace::tradeoff(), rows)
+}
+
+/// The (area, latency) staircase rows themselves, area ascending.
+/// Canonical form: [`tradeoff_staircase_in`].
+#[must_use]
+pub fn tradeoff_staircase(rows: &[DseRow]) -> Vec<DseRow> {
+    tradeoff_staircase_in(&ObjectiveSpace::tradeoff(), rows)
 }
 
 #[cfg(test)]
@@ -166,6 +523,7 @@ mod tests {
                 total: power,
             },
             throughput: 1.0e6 / latency_ps,
+            latency_ps,
             clock_ps: 1000,
         }
     }
@@ -221,11 +579,12 @@ mod tests {
     }
 
     #[test]
-    fn zero_throughput_row_is_excluded_not_immortal() {
-        // throughput == 0 ⇒ latency_ps == inf; NaN-blind dominance used to
-        // keep such a row on every front.
+    fn stalled_row_is_excluded_not_immortal() {
+        // A stalled point (no items) carries latency_ps == inf; NaN-blind
+        // dominance used to keep such a row on every front.
         let mut stalled = row("stalled", 50.0, 1000.0, 5.0);
         stalled.throughput = 0.0;
+        stalled.latency_ps = f64::INFINITY;
         let rows = vec![stalled, row("good", 100.0, 1000.0, 10.0)];
         let names: Vec<String> = pareto_front(&rows).into_iter().map(|r| r.name).collect();
         assert_eq!(names, ["good"]);
@@ -244,9 +603,22 @@ mod tests {
     }
 
     #[test]
+    fn nonfinite_rows_are_excluded_even_on_unselected_axes() {
+        // The finiteness filter is space-independent: a NaN power row is
+        // broken evidence even when the space ignores power.
+        let mut bad_power = row("nan_power", 50.0, 500.0, 5.0);
+        bad_power.power.total = f64::NAN;
+        let rows = vec![bad_power, row("good", 100.0, 1000.0, 10.0)];
+        let front = pareto_front_in(&ObjectiveSpace::tradeoff(), &rows);
+        assert_eq!(front.len(), 1);
+        assert_eq!(front[0].name, "good");
+    }
+
+    #[test]
     fn all_nonfinite_input_yields_empty_front() {
         let mut a = row("a", 1.0, 1.0, 1.0);
         a.throughput = 0.0;
+        a.latency_ps = f64::INFINITY;
         let mut b = row("b", 1.0, 1.0, 1.0);
         b.power.total = f64::NAN;
         assert!(pareto_front(&[a, b]).is_empty());
@@ -278,6 +650,7 @@ mod tests {
     fn staircase_excludes_nonfinite_and_is_latency_descending() {
         let mut stalled = row("stalled", 50.0, 1000.0, 5.0);
         stalled.throughput = 0.0;
+        stalled.latency_ps = f64::INFINITY;
         let rows = vec![
             stalled,
             row("a", 100.0, 3000.0, 5.0),
@@ -301,5 +674,138 @@ mod tests {
         let rows = vec![warp, row("good", 100.0, 1000.0, 10.0)];
         let names: Vec<String> = pareto_front(&rows).into_iter().map(|r| r.name).collect();
         assert_eq!(names, ["good"]);
+    }
+
+    #[test]
+    fn space_construction_rejects_empty_and_duplicates() {
+        assert!(ObjectiveSpace::new([]).is_err());
+        let err = ObjectiveSpace::new([Objective::Area, Objective::Area]).unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+        assert_eq!(
+            ObjectiveSpace::default(),
+            ObjectiveSpace::new([Objective::Area, Objective::LatencyPs]).unwrap()
+        );
+    }
+
+    #[test]
+    fn space_parsing_round_trips_and_names_errors() {
+        let s = ObjectiveSpace::parse("area, power").unwrap();
+        assert_eq!(s.axes(), [Objective::Area, Objective::PowerTotal]);
+        assert_eq!(s.to_string(), "area,power");
+        assert_eq!(ObjectiveSpace::parse(&s.to_string()).unwrap(), s);
+        assert_eq!(s.names(), ["area", "power"]);
+        // Exporter column names are accepted as aliases.
+        let aliased = ObjectiveSpace::parse("a_slack,latency_ps,throughput_per_us").unwrap();
+        assert_eq!(
+            aliased.axes(),
+            [Objective::Area, Objective::LatencyPs, Objective::Throughput]
+        );
+        let err = ObjectiveSpace::parse("area,warp").unwrap_err();
+        assert!(err.contains("warp"), "{err}");
+        assert!(ObjectiveSpace::parse("").is_err());
+        assert!(ObjectiveSpace::parse("area,area").is_err());
+    }
+
+    #[test]
+    fn dominance_respects_the_selected_axes_only() {
+        // b beats a on power alone.
+        let a = objectives(&row("a", 100.0, 1000.0, 10.0));
+        let b = objectives(&row("b", 100.0, 1000.0, 5.0));
+        assert!(dominates(&b, &a), "full space sees the power win");
+        let plane = ObjectiveSpace::tradeoff();
+        assert!(
+            !plane.dominates(&b, &a) && !plane.dominates(&a, &b),
+            "the (area, latency) plane is blind to power"
+        );
+        let power_plane = ObjectiveSpace::parse("area,power").unwrap();
+        assert!(power_plane.dominates(&b, &a));
+    }
+
+    #[test]
+    fn maximized_axes_dominate_upward() {
+        let slow = objectives(&row("slow", 100.0, 2000.0, 10.0));
+        let fast = objectives(&row("fast", 100.0, 1000.0, 10.0));
+        let tput = ObjectiveSpace::new([Objective::Area, Objective::Throughput]).unwrap();
+        assert!(tput.dominates(&fast, &slow), "higher throughput wins");
+        assert!(!tput.dominates(&slow, &fast));
+    }
+
+    #[test]
+    fn power_plane_front_and_staircase_select_power_winners() {
+        let rows = vec![
+            row("cheap_hot", 100.0, 4000.0, 30.0),
+            row("mid", 200.0, 2000.0, 10.0),
+            row("big_cool", 400.0, 1000.0, 2.0),
+            // 2D-dominated in (area, power) by mid, but the best latency.
+            row("fast_hot", 300.0, 500.0, 20.0),
+        ];
+        let space = ObjectiveSpace::parse("area,power").unwrap();
+        let names: Vec<String> = tradeoff_staircase_in(&space, &rows)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(names, ["cheap_hot", "mid", "big_cool"]);
+        let front: Vec<String> = pareto_front_in(&space, &rows)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(front, ["cheap_hot", "mid", "big_cool"]);
+        assert!(
+            pareto_front(&rows).iter().any(|r| r.name == "fast_hot"),
+            "fast_hot stays on the full front via latency"
+        );
+    }
+
+    #[test]
+    fn single_axis_space_degenerates_to_the_best_row() {
+        let rows = vec![
+            row("a", 100.0, 3000.0, 5.0),
+            row("b", 200.0, 2000.0, 10.0),
+            row("best", 50.0, 4000.0, 20.0),
+        ];
+        let area_only = ObjectiveSpace::new([Objective::Area]).unwrap();
+        let front: Vec<String> = pareto_front_in(&area_only, &rows)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(front, ["best"]);
+        let st: Vec<String> = tradeoff_staircase_in(&area_only, &rows)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(st, ["best"]);
+    }
+
+    #[test]
+    fn plane_gap_is_normalized_chebyshev() {
+        let space = ObjectiveSpace::tradeoff();
+        let a = objectives(&row("a", 100.0, 4000.0, 1.0));
+        let b = objectives(&row("b", 300.0, 1000.0, 1.0));
+        let ranges = space.plane_ranges([&a, &b]);
+        assert_eq!(ranges, (200.0, 3000.0));
+        let gap = space.plane_gap(&a, &b, ranges);
+        assert!((gap - 1.0).abs() < 1e-12, "endpoints span the box: {gap}");
+        // Degenerate boxes guard to 1.0 instead of dividing by zero.
+        let same = space.plane_ranges([&a, &a]);
+        assert_eq!(same, (1.0, 1.0));
+        assert_eq!(space.plane_gap(&a, &a, same), 0.0);
+    }
+
+    #[test]
+    fn wrappers_match_the_canonical_space_parameterized_calls() {
+        let rows = vec![
+            row("a", 100.0, 3000.0, 5.0),
+            row("b", 200.0, 2000.0, 10.0),
+            row("c", 300.0, 1000.0, 20.0),
+            row("d", 120.0, 2900.0, 4.0),
+        ];
+        assert_eq!(
+            pareto_indices(&rows),
+            pareto_indices_in(&ObjectiveSpace::full(), &rows)
+        );
+        assert_eq!(
+            staircase_indices(&rows),
+            staircase_indices_in(&ObjectiveSpace::tradeoff(), &rows)
+        );
     }
 }

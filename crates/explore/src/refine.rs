@@ -1,5 +1,6 @@
 //! Adaptive front refinement: approximate the exhaustive grid's Pareto
-//! front while evaluating only a fraction of its cells.
+//! front while evaluating only a fraction of its cells, steering through a
+//! selectable tradeoff plane ([`RefineOptions::objectives`]).
 //!
 //! The paper's Table-4 exploration evaluates a full clock × latency × II
 //! grid. That is exact but scales as the product of the axes; the searches
@@ -8,19 +9,21 @@
 //!
 //! 1. evaluate a coarse **seed** (the corner and midpoint of each axis, all
 //!    pipeline modes),
-//! 2. extract the (area, latency) **tradeoff staircase**
-//!    ([`crate::pareto::staircase_indices`]) — the Table-4 curve — and
-//!    measure the normalized gap between each pair of adjacent staircase
-//!    points (the full four-objective front approaches the whole grid on
-//!    realistic workloads, so it cannot drive convergence; the staircase
-//!    can),
+//! 2. extract the **tradeoff staircase** in the selected objective space's
+//!    plane ([`crate::pareto::staircase_indices_in`]) — the Table-4
+//!    area/delay curve under the default space, the area/power curve under
+//!    `--objectives area,power` — and measure the normalized gap between
+//!    each pair of adjacent staircase points (the full four-objective
+//!    front approaches the whole grid on realistic workloads, so it cannot
+//!    drive convergence; a two-axis staircase can),
 //! 3. **bisect** the wide gaps — in axis-index space, so every refined
 //!    cell is a cell of the exhaustive grid and the memo cache dedupes
 //!    re-derived neighborhoods — escalating per gap from index midpoints
 //!    to rectangle corners to the endpoints' axis neighbors, and skipping
-//!    candidates whose exact, closed-form latency
-//!    ([`adhls_core::dse::grid_item_time_ps`]) lies outside the gap's
-//!    latency window,
+//!    candidates whose exact, closed-form value on an *exact* plane axis
+//!    (latency/throughput, via [`adhls_core::dse::grid_item_time_ps`])
+//!    lies outside the gap's window on that axis — planes without an
+//!    exact axis (e.g. area/power) simply keep every candidate,
 //! 4. **prune** interior candidates that provably cannot matter: latency
 //!    and throughput of a grid cell are exact without evaluation, and its
 //!    area/power are bounded below by the better of the two bracketing
@@ -30,6 +33,16 @@
 //! 5. stop when every gap is within tolerance, the point budget is spent,
 //!    or a round produces nothing new.
 //!
+//! One plane-specific wrinkle: a staircase needs two points before any gap
+//! exists. A plane whose axes are both evaluated quantities — area/power,
+//! say — can seed to a *single* non-dominated corner cell even though the
+//! true plane front holds more; refinement then densifies that point's
+//! axis neighborhood until the staircase grows or the neighborhood is
+//! exhausted, instead of declaring premature convergence. Planes with a
+//! closed-form axis (latency/throughput) skip this: their seed corners
+//! already span the exact axis, so a one-point staircase is treated as
+//! converged — exactly the pre-redesign behavior of the default plane.
+//!
 //! The driver is deterministic: candidate generation iterates the front in
 //! its deterministic order, candidate batches are sorted by cell index, and
 //! evaluation goes through an [`Evaluator`] whose rows are bit-identical to
@@ -38,7 +51,10 @@
 //! rows, front, and trace.
 
 use crate::engine::{Engine, SweepResult};
-use crate::pareto::{dominates, objectives, pareto_indices, staircase_indices, Objectives};
+use crate::pareto::{
+    dominates, objectives, pareto_indices, staircase_indices_in, Objective, ObjectiveSpace,
+    Objectives,
+};
 use crate::pool::EvaluatorPool;
 use crate::sweep::{SweepCell, SweepGrid};
 use adhls_core::dse::{grid_item_time_ps, DsePoint, DseRow};
@@ -93,6 +109,13 @@ pub struct RefineOptions {
     /// [`EvaluatorPool`] the warm cells are usually cache hits, making a
     /// warm re-refinement nearly free.
     pub warm_start: Vec<SweepCell>,
+    /// The objective space whose plane (its first two axes) steers the
+    /// refinement: staircase extraction, gap measurement, and candidate
+    /// windowing all happen in this plane. Defaults to the paper's
+    /// (area, latency) tradeoff; `area,power` gives power-aware
+    /// refinement. The reported [`RefineResult::front`] stays the full
+    /// four-objective front in every space (see [`RefineResult`]).
+    pub objectives: ObjectiveSpace,
 }
 
 impl Default for RefineOptions {
@@ -102,50 +125,83 @@ impl Default for RefineOptions {
             gap_tol: 0.05,
             max_rounds: 32,
             warm_start: Vec::new(),
+            objectives: ObjectiveSpace::default(),
         }
     }
 }
 
-/// Extracts warm-start cells from a previously exported sweep/front/refine
-/// JSON document (any of `export::front_to_json`, `export::refine_to_json`,
-/// or a bare row array). Rows are matched by their grid names
-/// (`prefix-c<clock>-l<cycles>[-ii<n>]`); rows whose names encode no grid
-/// cell (e.g. the paper's hand-named D1–D15 points) are skipped, because
-/// they cannot be mapped back onto any grid.
+/// A parsed warm-start document: the grid cells a previously exported
+/// front/sweep names, plus the objective space the export records having
+/// produced it (absent in pre-redesign exports and bare row arrays).
+///
+/// The cells are space-independent — they are grid coordinates, and a
+/// warm seed only ever *adds* evaluations — so a front exported under one
+/// space safely warm-starts a refinement in any other; the recorded space
+/// is surfaced so callers can say so (the CLI logs it).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WarmStart {
+    /// Deduplicated grid cells named by the document's front (or sweep).
+    pub cells: Vec<SweepCell>,
+    /// The objective space the document was exported under, when recorded.
+    pub objectives: Option<ObjectiveSpace>,
+}
+
+impl WarmStart {
+    /// Parses a previously exported sweep/front/refine JSON document (any
+    /// of `export::front_to_json_in`, `export::refine_to_json`, or a bare
+    /// row array). Rows are matched by their grid names
+    /// (`prefix-c<clock>-l<cycles>[-ii<n>]`); rows whose names encode no
+    /// grid cell (e.g. the paper's hand-named D1–D15 points) are skipped,
+    /// because they cannot be mapped back onto any grid.
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Interp`] when `json` is not parseable JSON, has none of
+    /// the recognized shapes, or records an invalid `objectives` list.
+    pub fn parse(json: &str) -> Result<WarmStart> {
+        use adhls_core::json::Value;
+        let doc = Value::parse(json)
+            .map_err(|e| Error::Interp(format!("warm-start JSON did not parse: {e}")))?;
+        // The one shared `objectives` grammar — identical to the wire's
+        // request field, so exported documents and requests cannot drift.
+        let objectives = ObjectiveSpace::from_json(doc.get("objectives"))
+            .map_err(|e| Error::Interp(format!("warm-start `objectives`: {e}")))?;
+        // Prefer the front (the useful part of an exported document); fall
+        // back to the sweep, then to a bare array.
+        let rows = doc
+            .get("front")
+            .and_then(Value::as_arr)
+            .or_else(|| doc.get("sweep").and_then(Value::as_arr))
+            .or_else(|| doc.as_arr())
+            .ok_or_else(|| Error::Interp("warm-start JSON has no `front`/`sweep` array".into()))?;
+        let mut cells = Vec::new();
+        for row in rows {
+            let Some(name) = row.get("name").and_then(Value::as_str) else {
+                continue;
+            };
+            if let Some((clock_ps, cycles, pipeline_ii)) = DsePoint::parse_grid_name(name) {
+                let cell = SweepCell {
+                    clock_ps,
+                    cycles,
+                    pipeline_ii,
+                };
+                if !cells.contains(&cell) {
+                    cells.push(cell);
+                }
+            }
+        }
+        Ok(WarmStart { cells, objectives })
+    }
+}
+
+/// Extracts just the warm-start cells of an exported document — see
+/// [`WarmStart::parse`], which also surfaces the recorded objective space.
 ///
 /// # Errors
 ///
-/// [`Error::Interp`] when `json` is not parseable JSON or has none of the
-/// recognized shapes.
+/// As [`WarmStart::parse`].
 pub fn warm_start_cells(json: &str) -> Result<Vec<SweepCell>> {
-    use adhls_core::json::Value;
-    let doc = Value::parse(json)
-        .map_err(|e| Error::Interp(format!("warm-start JSON did not parse: {e}")))?;
-    // Prefer the front (the useful part of an exported document); fall
-    // back to the sweep, then to a bare array.
-    let rows = doc
-        .get("front")
-        .and_then(Value::as_arr)
-        .or_else(|| doc.get("sweep").and_then(Value::as_arr))
-        .or_else(|| doc.as_arr())
-        .ok_or_else(|| Error::Interp("warm-start JSON has no `front`/`sweep` array".into()))?;
-    let mut cells = Vec::new();
-    for row in rows {
-        let Some(name) = row.get("name").and_then(Value::as_str) else {
-            continue;
-        };
-        if let Some((clock_ps, cycles, pipeline_ii)) = DsePoint::parse_grid_name(name) {
-            let cell = SweepCell {
-                clock_ps,
-                cycles,
-                pipeline_ii,
-            };
-            if !cells.contains(&cell) {
-                cells.push(cell);
-            }
-        }
-    }
-    Ok(cells)
+    Ok(WarmStart::parse(json)?.cells)
 }
 
 /// One refinement round's bookkeeping, exported with the sweep so runs are
@@ -159,9 +215,10 @@ pub struct RoundTrace {
     /// Front size after integrating the round's rows.
     pub front_size: usize,
     /// The widest normalized staircase gap that triggered this round
-    /// (`0.0` for the seed round). Gaps the grid has no cells for (real
-    /// discontinuities in the design space) keep this above the tolerance
-    /// even at convergence.
+    /// (`0.0` for the seed round and for single-point-staircase
+    /// densification rounds, where no gap exists yet). Gaps the grid has
+    /// no cells for (real discontinuities in the design space) keep this
+    /// above the tolerance even at convergence.
     pub max_gap: f64,
     /// Candidate cells pruned by the optimistic-bound test this round.
     pub pruned: usize,
@@ -174,8 +231,17 @@ pub struct RefineResult {
     pub rows: Vec<DseRow>,
     /// Infeasible cells as (name, error), if the evaluator skips them.
     pub skipped: Vec<(String, String)>,
-    /// The Pareto front over `rows`.
+    /// The full four-objective Pareto front over `rows` — in every
+    /// objective space, so the reported front never discards information
+    /// the steering plane happens to ignore. Project it through
+    /// [`crate::pareto::pareto_front_in`] /
+    /// [`crate::pareto::tradeoff_staircase_in`] with
+    /// [`RefineResult::objectives`] for the plane the run converged in.
     pub front: Vec<DseRow>,
+    /// The objective space that steered this refinement
+    /// ([`RefineOptions::objectives`]) — recorded so exports can say which
+    /// plane produced the result.
+    pub objectives: ObjectiveSpace,
     /// Per-round refinement metadata, seed first.
     pub trace: Vec<RoundTrace>,
     /// Cells submitted for evaluation (`rows.len() + skipped.len()`).
@@ -198,6 +264,9 @@ struct Driver<'a, F> {
     modes: Vec<Option<u32>>,
     prefix: &'a str,
     build: F,
+    /// The objective space whose plane steers staircase extraction, gap
+    /// measurement, and candidate windowing.
+    space: ObjectiveSpace,
     /// Cells already settled — evaluated, skipped as infeasible, or pruned
     /// — and therefore never to be submitted again.
     known: HashSet<Cell>,
@@ -265,23 +334,36 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
             .collect()
     }
 
-    /// The (area, latency) staircase: rows non-dominated when only the
-    /// paper's two tradeoff axes count, sorted by area ascending (latency
-    /// therefore strictly descending).
+    /// The tradeoff staircase in the selected space's plane: rows
+    /// non-dominated when only the plane's two axes count, sorted by the
+    /// primary axis improving (area ascending, latency strictly descending
+    /// under the default space).
     ///
     /// Gap measurement runs on this projection, not the full
-    /// four-objective front: with power and throughput in play most grid
-    /// cells are incomparable, the "front" approaches the whole grid, and
-    /// area-adjacent front points can sit anywhere in the latency range —
-    /// gaps would never converge and refinement would degenerate into an
-    /// exhaustive sweep. The staircase is the Table-4 tradeoff curve the
-    /// refinement is promised to resolve; the reported front stays the
-    /// full four-objective one.
+    /// four-objective front: with every axis in play most grid cells are
+    /// incomparable, the "front" approaches the whole grid, and
+    /// primary-adjacent front points can sit anywhere along the secondary
+    /// axis — gaps would never converge and refinement would degenerate
+    /// into an exhaustive sweep. The staircase is the two-axis tradeoff
+    /// curve the refinement is promised to resolve; the reported front
+    /// stays the full four-objective one.
     fn staircase(&self) -> Vec<(usize, Cell, Objectives)> {
-        staircase_indices(&self.rows)
+        staircase_indices_in(&self.space, &self.rows)
             .into_iter()
             .map(|i| (i, self.row_cells[i], objectives(&self.rows[i])))
             .collect()
+    }
+
+    /// The exact, closed-form value of a (possibly unevaluated) grid cell
+    /// on `axis`, when the axis has one: latency and throughput are pure
+    /// functions of the cell's coordinates; area and power need an HLS
+    /// run.
+    fn exact_cell_value(&self, cell: Cell, axis: Objective) -> Option<f64> {
+        match axis {
+            Objective::LatencyPs => Some(self.cell_item_time_ps(cell)),
+            Objective::Throughput => Some(1.0e6 / self.cell_item_time_ps(cell)),
+            Objective::Area | Objective::PowerTotal => None,
+        }
     }
 
     /// Plans one refinement round: the widest normalized gap, the
@@ -312,11 +394,22 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
         stairs: &[(usize, Cell, Objectives)],
         gap_tol: f64,
     ) -> (f64, Vec<Cell>, usize) {
-        let (area_range, lat_range) = front_ranges(stairs);
+        let ranges = self.space.plane_ranges(stairs.iter().map(|(_, _, o)| o));
+        let (primary, secondary) = self.space.plane();
+        // The plane axes with closed-form cell values (latency/throughput),
+        // paired with their normalization range: these are the axes gap
+        // windows can be checked on without evaluation. An area/power
+        // plane has none, and windowing simply admits every candidate.
+        // (The two plane axes are distinct by construction: spaces reject
+        // duplicates and refinement rejects single-axis spaces.)
+        let exact_axes: Vec<(Objective, f64)> = [(primary, ranges.0), (secondary, ranges.1)]
+            .into_iter()
+            .filter(|(a, _)| matches!(a, Objective::LatencyPs | Objective::Throughput))
+            .collect();
         // Dominators for the optimistic-bound prune: the full
         // four-objective front (staircase neighbors can never dominate an
-        // interior cell's optimistic corner, but a power-better front
-        // point can).
+        // interior cell's optimistic corner, but a front point better on
+        // an axis outside the plane can).
         let full_front = self.front();
         let mut max_gap = 0.0f64;
         let mut candidates: Vec<Cell> = Vec::new();
@@ -325,8 +418,7 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
         for pair in stairs.windows(2) {
             let (_, ca, oa) = pair[0];
             let (_, cb, ob) = pair[1];
-            let gap = ((oa.area - ob.area).abs() / area_range)
-                .max((oa.latency_ps - ob.latency_ps).abs() / lat_range);
+            let gap = self.space.plane_gap(&oa, &ob, ranges);
             max_gap = max_gap.max(gap);
             if gap <= gap_tol {
                 continue;
@@ -374,14 +466,18 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
                 })
                 .collect();
             // A candidate can only resolve *this* gap if its exact,
-            // closed-form latency lands inside the gap's latency interval
-            // (± the tolerance): anything outside belongs to another
-            // pair's territory and would be proposed there if useful.
-            let ltol = gap_tol.max(0.05) * lat_range;
-            let (lat_lo, lat_hi) = (
-                oa.latency_ps.min(ob.latency_ps) - ltol,
-                oa.latency_ps.max(ob.latency_ps) + ltol,
-            );
+            // closed-form value on each exact plane axis lands inside the
+            // gap's interval on that axis (± the tolerance): anything
+            // outside belongs to another pair's territory and would be
+            // proposed there if useful.
+            let windows: Vec<(Objective, f64, f64)> = exact_axes
+                .iter()
+                .map(|&(axis, range)| {
+                    let (va, vb) = (axis.value(&oa), axis.value(&ob));
+                    let tol = gap_tol.max(0.05) * range;
+                    (axis, va.min(vb) - tol, va.max(vb) + tol)
+                })
+                .collect();
             for family in [mids, corners, neighbors] {
                 let mut contributed = false;
                 for (cell, prunable) in family {
@@ -401,8 +497,13 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
                         contributed = true;
                         continue;
                     }
-                    let lat = self.cell_item_time_ps(cell);
-                    if lat < lat_lo || lat > lat_hi {
+                    let outside = windows.iter().any(|&(axis, lo, hi)| {
+                        let v = self
+                            .exact_cell_value(cell, axis)
+                            .expect("windowed axes are closed-form");
+                        v < lo || v > hi
+                    });
+                    if outside {
                         continue;
                     }
                     if prunable && self.provably_dominated(cell, &oa, &ob, &full_front) {
@@ -424,12 +525,63 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
         (max_gap, candidates, pruned_now)
     }
 
+    /// Proposes the axis neighborhood (±1 per numeric axis, every pipeline
+    /// mode, including the cell's own coordinates under other modes) of
+    /// each staircase point.
+    ///
+    /// This is the escape hatch for planes whose staircase collapses to a
+    /// single point: when both plane axes are evaluated quantities
+    /// (area/power) and strongly correlated, the seed's non-dominated set
+    /// can be one corner cell even though the true plane front holds
+    /// more — and with no gap to bisect, the only signal left is local
+    /// densification around that argmin corner. Known cells are never
+    /// re-proposed, so the walk terminates once the neighborhood (or the
+    /// grid) is exhausted. The caller only takes this path for planes
+    /// without a closed-form axis: a latency-bearing plane's seed corners
+    /// already span the exact axis, and its one-point staircase keeps the
+    /// pre-redesign early stop instead (default-space bit-identity).
+    fn plan_densify(&self, stairs: &[(usize, Cell, Objectives)]) -> Vec<Cell> {
+        let mut out: Vec<Cell> = Vec::new();
+        for &(_, (c, l, _), _) in stairs {
+            for mi in 0..self.modes.len() {
+                let neighborhood = [
+                    (c.wrapping_sub(1), l),
+                    (c + 1, l),
+                    (c, l.wrapping_sub(1)),
+                    (c, l + 1),
+                    (c, l),
+                ];
+                for (nc, nl) in neighborhood {
+                    let cell = (nc, nl, mi);
+                    if nc < self.clocks.len()
+                        && nl < self.cycles.len()
+                        && !self.known.contains(&cell)
+                        && !out.contains(&cell)
+                    {
+                        out.push(cell);
+                    }
+                }
+            }
+        }
+        out.sort_unstable();
+        out
+    }
+
     /// The optimistic-bound prune: latency/throughput of a grid cell are
     /// exact without evaluation, and area/power are bounded below by the
     /// better of the two bracketing front points (monotone-interpolation
     /// bound — scheduling with a budget between two evaluated budgets does
     /// not beat both on area/power). If even that corner is dominated by a
     /// front point, evaluating the cell cannot change the front.
+    ///
+    /// The check deliberately runs in the **full** four-objective space
+    /// whatever plane steers the run: full-space dominance implies the
+    /// dominator is no worse on *every* axis, so a pruned cell can neither
+    /// join the reported four-objective front nor strictly improve any
+    /// plane's staircase — sound in every [`ObjectiveSpace`]. (Pruning
+    /// in-plane would discard cells that win on an unselected axis, and
+    /// would make the default space diverge from the pre-redesign
+    /// behavior.)
     fn provably_dominated(
         &self,
         cell: Cell,
@@ -449,23 +601,6 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
         }
         front.iter().any(|(_, _, of)| dominates(of, &optimistic))
     }
-}
-
-/// Normalization ranges over the front's bounding box, guarded so a
-/// degenerate (single-point or axis-collapsed) box cannot divide by zero.
-fn front_ranges(front: &[(usize, Cell, Objectives)]) -> (f64, f64) {
-    let mut amin = f64::INFINITY;
-    let mut amax = f64::NEG_INFINITY;
-    let mut lmin = f64::INFINITY;
-    let mut lmax = f64::NEG_INFINITY;
-    for (_, _, o) in front {
-        amin = amin.min(o.area);
-        amax = amax.max(o.area);
-        lmin = lmin.min(o.latency_ps);
-        lmax = lmax.max(o.latency_ps);
-    }
-    let guard = |r: f64| if r > 0.0 && r.is_finite() { r } else { 1.0 };
-    (guard(amax - amin), guard(lmax - lmin))
 }
 
 /// Overflow-free index midpoint, rounding down.
@@ -530,6 +665,18 @@ pub fn refine_with_progress<F>(
 where
     F: FnMut(&SweepCell) -> Design,
 {
+    // Refinement steers a two-axis plane: with fewer axes there is no
+    // staircase and no gap, so every round would take the densification
+    // path with `gap_tol` never consulted — an unbounded hill walk dressed
+    // up as convergence. Reject up front, on every surface (library, CLI,
+    // wire all arrive here).
+    if opts.objectives.axes().len() < 2 {
+        return Err(Error::Interp(format!(
+            "adaptive refinement steers a two-axis objective plane; `{}` has only one axis \
+             (pick two, e.g. `area,power`)",
+            opts.objectives
+        )));
+    }
     let gap_tol = if opts.gap_tol.is_finite() && opts.gap_tol >= 0.0 {
         opts.gap_tol
     } else {
@@ -570,6 +717,7 @@ where
         modes,
         prefix,
         build,
+        space: opts.objectives.clone(),
         known: HashSet::new(),
         rows: Vec::new(),
         row_cells: Vec::new(),
@@ -581,6 +729,7 @@ where
             rows: Vec::new(),
             skipped: Vec::new(),
             front: Vec::new(),
+            objectives: opts.objectives.clone(),
             trace: Vec::new(),
             evaluated: 0,
             pruned: 0,
@@ -628,13 +777,39 @@ where
 
     for round in 1..=opts.max_rounds {
         let stairs = driver.staircase();
-        if stairs.len() < 2 {
+        if stairs.is_empty() {
             break;
         }
-        let (max_gap, mut candidates, pruned_now) = driver.plan(&stairs, gap_tol);
-        if max_gap <= gap_tol || candidates.is_empty() {
-            break;
-        }
+        let (max_gap, mut candidates, pruned_now) = if stairs.len() < 2 {
+            // A single-point staircase has no gap to bisect. For planes
+            // with a closed-form axis (latency/throughput) the seed's
+            // corner cells already span that axis, so a one-point
+            // staircase is a genuinely converged corner — stop, exactly
+            // as the pre-redesign driver did (this keeps the default
+            // (area, latency) plane bit-identical to it). Planes whose
+            // axes are both evaluated quantities get no such guarantee;
+            // densify the lone point's axis neighborhood instead (see
+            // `plan_densify`). The gap is reported as 0.0, like the seed
+            // round: there is none yet.
+            let (p, s) = driver.space.plane();
+            let plane_has_exact_axis = [p, s]
+                .iter()
+                .any(|a| matches!(a, Objective::LatencyPs | Objective::Throughput));
+            if plane_has_exact_axis {
+                break;
+            }
+            let candidates = driver.plan_densify(&stairs);
+            if candidates.is_empty() {
+                break;
+            }
+            (0.0, candidates, 0)
+        } else {
+            let planned = driver.plan(&stairs, gap_tol);
+            if planned.0 <= gap_tol || planned.1.is_empty() {
+                break;
+            }
+            planned
+        };
         if opts.budget > 0 {
             let spent = driver.rows.len() + driver.skipped.len();
             let remaining = opts.budget.saturating_sub(spent);
@@ -664,6 +839,7 @@ where
         rows: driver.rows,
         skipped: driver.skipped,
         front,
+        objectives: opts.objectives.clone(),
         trace,
         evaluated,
         pruned: driver.pruned,
@@ -931,6 +1107,94 @@ mod tests {
         )
         .unwrap();
         assert_eq!(stray.trace[0].new_points, cold.trace[0].new_points);
+    }
+
+    #[test]
+    fn single_axis_spaces_are_rejected_not_hill_walked() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1400, 1800], &[2, 4, 6]);
+        let err = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                objectives: ObjectiveSpace::new([Objective::PowerTotal]).unwrap(),
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("two-axis"), "{err}");
+    }
+
+    #[test]
+    fn warm_start_round_trips_the_exported_objective_space() {
+        let json = r#"{"objectives":["area","power"],"sweep":[],
+            "front":[{"name":"syn-c1100-l2","a_slack":10}]}"#;
+        let ws = WarmStart::parse(json).unwrap();
+        assert_eq!(
+            ws.objectives,
+            Some(ObjectiveSpace::parse("area,power").unwrap())
+        );
+        assert_eq!(ws.cells.len(), 1);
+        // Pre-redesign exports carry no objectives field: None, not an
+        // error — and the cells still load.
+        let legacy = WarmStart::parse(r#"{"front":[{"name":"syn-c1100-l2"}]}"#).unwrap();
+        assert_eq!(legacy.objectives, None);
+        assert_eq!(legacy.cells, ws.cells);
+        // A recorded-but-bogus space is an error, not a silent default.
+        assert!(WarmStart::parse(r#"{"objectives":["warp"],"front":[]}"#).is_err());
+        assert!(WarmStart::parse(r#"{"objectives":7,"front":[]}"#).is_err());
+    }
+
+    #[test]
+    fn power_plane_refinement_converges_and_records_its_space() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1250, 1400, 1600, 1800, 2100], &[2, 3, 4, 5, 6]);
+        let space = ObjectiveSpace::parse("area,power").unwrap();
+        let r = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                gap_tol: 0.2,
+                objectives: space.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.objectives, space);
+        assert!(!r.front.is_empty());
+        assert!(r.evaluated <= r.grid_cells, "never beyond exhaustive");
+        assert!(
+            !crate::pareto::tradeoff_staircase_in(&space, &r.rows).is_empty(),
+            "the steering plane has a staircase to converge on"
+        );
+        // Every evaluated cell is still a cell of the exhaustive grid.
+        let exhaustive = g.expand("syn", build_cell).unwrap();
+        let ex_rows = engine(&lib).evaluate_points(&exhaustive).unwrap().rows;
+        for row in &r.rows {
+            assert!(
+                ex_rows.iter().any(|e| e == row),
+                "{} diverged from the exhaustive sweep",
+                row.name
+            );
+        }
+        // The default-space result is a different run (different steering
+        // plane), but both report full-objective fronts over their rows.
+        let default_run = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                gap_tol: 0.2,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(default_run.objectives, ObjectiveSpace::default());
     }
 
     #[test]

@@ -29,4 +29,4 @@ pub mod session;
 
 pub use eviction::{CacheStats, EvictingCache, Outcome};
 pub use protocol::{Command, WorkloadSpec};
-pub use session::{sweep_points, workload_grid, BuildFn, Server};
+pub use session::{refine_space, sweep_points, sweep_space, workload_grid, BuildFn, Server};

@@ -358,6 +358,7 @@ mod tests {
                 total: 2.0,
             },
             throughput: 100.0,
+            latency_ps: 10_000.0,
             clock_ps: 1000,
         }
     }

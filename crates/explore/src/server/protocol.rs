@@ -17,8 +17,8 @@
 //! with worked examples.
 
 use crate::engine::SweepResult;
-use crate::export::rows_to_json_line;
-use crate::pareto::tradeoff_staircase;
+use crate::export::{objectives_to_json, rows_to_json_line};
+use crate::pareto::{tradeoff_staircase_in, ObjectiveSpace};
 use crate::refine::{RefineResult, RoundTrace};
 use crate::server::eviction::CacheStats;
 use adhls_core::dse::{summarize, DseRow};
@@ -50,6 +50,13 @@ pub struct WorkloadSpec {
     pub count: Option<usize>,
     /// Seed for the random workload.
     pub seed: Option<u64>,
+    /// The objective space the request selects (`objectives` field: an
+    /// array of axis names, or one comma-separated string — the same
+    /// grammar as CLI `--objectives`). `None` applies the surface default:
+    /// all four axes for sweep fronts, the (area, latency) plane for
+    /// refinement (see [`crate::server::session::sweep_space`] /
+    /// [`crate::server::session::refine_space`]).
+    pub objectives: Option<ObjectiveSpace>,
 }
 
 /// One parsed request.
@@ -180,7 +187,16 @@ fn parse_spec(doc: &Value) -> Result<WorkloadSpec, String> {
             None => None,
             Some(v) => Some(v.as_u64().ok_or("`seed` must be a whole number")?),
         },
+        objectives: parse_objectives(doc)?,
     })
+}
+
+/// Parses the `objectives` request field through the one shared
+/// definition ([`ObjectiveSpace::from_json`], whose string grammar the
+/// CLI's `--objectives` also uses), accepting both the array form
+/// (`["area","power"]`) and the comma string (`"area,power"`).
+fn parse_objectives(doc: &Value) -> Result<Option<ObjectiveSpace>, String> {
+    ObjectiveSpace::from_json(doc.get("objectives")).map_err(|e| format!("`objectives`: {e}"))
 }
 
 fn opt_usize(doc: &Value, key: &str) -> Result<Option<usize>, String> {
@@ -292,17 +308,29 @@ fn skipped_into(out: &mut String, skipped: &[(String, String)]) {
     out.push(']');
 }
 
-/// The terminal message for a `sweep` request.
+/// The terminal message for a `sweep` request. `space` is the objective
+/// space the front was extracted in; the response records it, and the
+/// `staircase` is the plane projection of the same space.
 #[must_use]
-pub fn render_sweep_result(id: Option<&Value>, result: &SweepResult, front: &[DseRow]) -> String {
+pub fn render_sweep_result(
+    id: Option<&Value>,
+    result: &SweepResult,
+    front: &[DseRow],
+    space: &ObjectiveSpace,
+) -> String {
     let mut out = String::new();
     open_envelope(&mut out, id);
-    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"sweep\",\"rows\":");
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"sweep\",\"objectives\":");
+    out.push_str(&objectives_to_json(space));
+    out.push_str(",\"rows\":");
     out.push_str(&rows_to_json_line(&result.rows));
     out.push_str(",\"front\":");
     out.push_str(&rows_to_json_line(front));
     out.push_str(",\"staircase\":");
-    out.push_str(&rows_to_json_line(&tradeoff_staircase(&result.rows)));
+    out.push_str(&rows_to_json_line(&tradeoff_staircase_in(
+        space,
+        &result.rows,
+    )));
     out.push_str(",\"summary\":");
     match summarize(&result.rows) {
         Some(s) => out.push_str(&s.to_json().render()),
@@ -318,15 +346,22 @@ pub fn render_sweep_result(id: Option<&Value>, result: &SweepResult, front: &[Ds
     out
 }
 
-/// The terminal message for a `refine` request.
+/// The terminal message for a `refine` request. The `staircase` is the
+/// plane projection of the space that steered the run
+/// ([`RefineResult::objectives`]), which the response records.
 #[must_use]
 pub fn render_refine_result(id: Option<&Value>, r: &RefineResult) -> String {
     let mut out = String::new();
     open_envelope(&mut out, id);
-    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",\"rows\":");
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",\"objectives\":");
+    out.push_str(&objectives_to_json(&r.objectives));
+    out.push_str(",\"rows\":");
     out.push_str(&rows_to_json_line(&r.rows));
     out.push_str(",\"staircase\":");
-    out.push_str(&rows_to_json_line(&tradeoff_staircase(&r.rows)));
+    out.push_str(&rows_to_json_line(&tradeoff_staircase_in(
+        &r.objectives,
+        &r.rows,
+    )));
     out.push_str(",\"front\":");
     out.push_str(&rows_to_json_line(&r.front));
     out.push_str(",\"skipped\":");
@@ -409,6 +444,45 @@ mod tests {
         assert_eq!(spec.pipeline, Some(vec![None, Some(8)]));
         assert_eq!((budget, gap_tol), (20, 0.1));
         assert_eq!(warm_front, ["idct-c2200-l12"]);
+    }
+
+    #[test]
+    fn objectives_parse_as_array_or_comma_string() {
+        let (_, cmd) =
+            parse_request(r#"{"cmd":"sweep","workload":"idct","objectives":["area","power"]}"#);
+        let Command::Sweep(spec) = cmd.unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(
+            spec.objectives,
+            Some(ObjectiveSpace::parse("area,power").unwrap())
+        );
+        let (_, cmd) =
+            parse_request(r#"{"cmd":"refine","workload":"idct","objectives":"area,throughput"}"#);
+        let Command::Refine { spec, .. } = cmd.unwrap() else {
+            panic!("expected refine");
+        };
+        assert_eq!(
+            spec.objectives,
+            Some(ObjectiveSpace::parse("area,throughput").unwrap())
+        );
+        // Absent and null both mean "surface default".
+        let (_, cmd) = parse_request(r#"{"cmd":"sweep","workload":"idct","objectives":null}"#);
+        let Command::Sweep(spec) = cmd.unwrap() else {
+            panic!("expected sweep");
+        };
+        assert_eq!(spec.objectives, None);
+        // Bad shapes and bad names are request errors naming the field.
+        for bad in [
+            r#"{"cmd":"sweep","workload":"idct","objectives":7}"#,
+            r#"{"cmd":"sweep","workload":"idct","objectives":["area",3]}"#,
+            r#"{"cmd":"sweep","workload":"idct","objectives":["warp"]}"#,
+            r#"{"cmd":"sweep","workload":"idct","objectives":"area,area"}"#,
+        ] {
+            let (_, cmd) = parse_request(bad);
+            let err = cmd.unwrap_err();
+            assert!(err.contains("objectives"), "{bad}: {err}");
+        }
     }
 
     #[test]

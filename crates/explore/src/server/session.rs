@@ -14,7 +14,7 @@
 //! through the pool, streaming `round` events for adaptive requests → one
 //! terminal `result` line.
 
-use crate::pareto::pareto_front;
+use crate::pareto::{pareto_front_in, ObjectiveSpace};
 use crate::pool::EvaluatorPool;
 use crate::refine::{refine_with_progress, RefineOptions};
 use crate::server::protocol::{self, Command, WorkloadSpec};
@@ -40,6 +40,36 @@ const MAX_MATMUL_DIM: usize = 64;
 /// would be built in memory before evaluation even starts, starving every
 /// other connection.
 const MAX_RANDOM_COUNT: usize = 10_000;
+
+/// The objective space a `sweep` request's front is extracted in: the
+/// requested one, defaulting to every axis ([`ObjectiveSpace::full`] —
+/// what sweep fronts were before spaces were selectable). One definition
+/// for the wire and `adhls explore`, so both surfaces default alike.
+#[must_use]
+pub fn sweep_space(spec: &WorkloadSpec) -> ObjectiveSpace {
+    spec.objectives.clone().unwrap_or_else(ObjectiveSpace::full)
+}
+
+/// The objective space a `refine` request steers through: the requested
+/// one, defaulting to the paper's (area, latency) tradeoff plane
+/// ([`ObjectiveSpace::tradeoff`]). One definition for the wire and
+/// `adhls explore --adaptive`, including the validation.
+///
+/// # Errors
+///
+/// A message naming the `objectives` field when the space has fewer than
+/// the two axes a steering plane needs (the library-level
+/// [`crate::refine::refine`] enforces the same bound as a backstop).
+pub fn refine_space(spec: &WorkloadSpec) -> Result<ObjectiveSpace, String> {
+    let space = spec.objectives.clone().unwrap_or_default();
+    if space.axes().len() < 2 {
+        return Err(format!(
+            "objectives: adaptive refinement steers a two-axis plane; `{space}` has only \
+             one axis (pick two, e.g. `area,power`)"
+        ));
+    }
+    Ok(space)
+}
 
 fn validate_axes(spec: &WorkloadSpec) -> Result<(), String> {
     if spec.clocks.as_deref().is_some_and(|c| c.contains(&0)) {
@@ -312,8 +342,9 @@ impl Server {
                 )?,
                 Ok(points) => match self.pool.evaluate(&points) {
                     Ok(result) => {
-                        let front = pareto_front(&result.rows);
-                        let line = protocol::render_sweep_result(id, &result, &front);
+                        let space = sweep_space(&spec);
+                        let front = pareto_front_in(&space, &result.rows);
+                        let line = protocol::render_sweep_result(id, &result, &front, &space);
                         writeln!(out, "{line}")?;
                     }
                     Err(e) => {
@@ -330,14 +361,14 @@ impl Server {
                 budget,
                 gap_tol,
                 warm_front,
-            }) => match workload_grid(&spec) {
+            }) => match workload_grid(&spec).and_then(|g| refine_space(&spec).map(|s| (g, s))) {
                 Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
-                Ok((grid, _, _)) if grid.is_empty() => writeln!(
+                Ok(((grid, _, _), _)) if grid.is_empty() => writeln!(
                     out,
                     "{}",
                     protocol::render_error(id, "the grid is empty (check clocks/cycles)")
                 )?,
-                Ok((grid, prefix, build)) => {
+                Ok(((grid, prefix, build), objectives)) => {
                     let warm_start: Vec<SweepCell> = warm_front
                         .iter()
                         .filter_map(|n| DsePoint::parse_grid_name(n))
@@ -351,6 +382,7 @@ impl Server {
                         budget,
                         gap_tol,
                         warm_start,
+                        objectives,
                         ..Default::default()
                     };
                     let mut stream_err: Option<std::io::Error> = None;
@@ -644,6 +676,79 @@ mod tests {
         assert!(!staircase.is_empty());
         assert!(staircase.len() <= v.get("front").and_then(Value::as_arr).unwrap().len());
         assert!(v.get("summary").unwrap().get("avg_save_pct").is_some());
+    }
+
+    #[test]
+    fn sweep_requests_honor_and_echo_the_objectives_field() {
+        use crate::pareto::ObjectiveSpace;
+        let srv = server(2, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":1,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1400],\"cycles\":[3,4]}\n\
+             {\"id\":2,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1400],\"cycles\":[3,4],\"objectives\":[\"area\",\"power\"]}\n\
+             {\"id\":3,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"objectives\":[\"area\",\"warp\"]}\n",
+        );
+        assert_eq!(lines.len(), 3, "{lines:?}");
+        // No objectives requested: the full four-axis default, recorded.
+        assert!(
+            lines[0].contains("\"objectives\":[\"area\",\"latency\",\"power\",\"throughput\"]"),
+            "{}",
+            lines[0]
+        );
+        // A selected space is echoed, and the front is extracted in it —
+        // byte-identical to projecting the same rows directly.
+        assert!(
+            lines[1].contains("\"objectives\":[\"area\",\"power\"]"),
+            "{}",
+            lines[1]
+        );
+        let spec = WorkloadSpec {
+            workload: Some("interpolation".into()),
+            clocks: Some(vec![1100, 1400]),
+            cycles: Some(vec![3, 4]),
+            ..Default::default()
+        };
+        let rows = srv
+            .pool()
+            .evaluate(&sweep_points(&spec).unwrap())
+            .unwrap()
+            .rows;
+        let space = ObjectiveSpace::parse("area,power").unwrap();
+        let expected = crate::export::rows_to_json_line(&pareto_front_in(&space, &rows));
+        assert!(
+            lines[1].contains(&format!("\"front\":{expected}")),
+            "served (area,power) front != direct projection\nserved: {}",
+            lines[1]
+        );
+        // An unknown axis is a request-level error naming the field.
+        let err = Value::parse(&lines[2]).unwrap();
+        assert_eq!(err.get("ok"), Some(&Value::Bool(false)), "{}", lines[2]);
+        assert!(lines[2].contains("objectives"), "{}", lines[2]);
+        assert!(lines[2].contains("warp"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn refine_requests_accept_objective_strings_and_echo_the_plane() {
+        let srv = server(2, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":9,\"cmd\":\"refine\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1250,1400,1800],\"cycles\":[3,4,6],\"gap_tol\":0.2,\
+             \"objectives\":\"area,power\"}\n",
+        );
+        let last = Value::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("ok"), Some(&Value::Bool(true)), "{lines:?}");
+        assert!(
+            lines
+                .last()
+                .unwrap()
+                .contains("\"objectives\":[\"area\",\"power\"]"),
+            "{}",
+            lines.last().unwrap()
+        );
     }
 
     #[test]

@@ -25,6 +25,7 @@ fn row(i: usize, area_s: u16, lat_s: u16, pow_s: u16) -> DseRow {
             total: power,
         },
         throughput: 1.0e6 / latency_ps,
+        latency_ps,
         clock_ps: 1000,
     }
 }

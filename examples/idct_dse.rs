@@ -6,7 +6,7 @@
 //!
 //! Run: `cargo run --release --example idct_dse`
 
-use adhls::core::dse::{explore, summarize, table4, DsePoint};
+use adhls::core::dse::{explore, summarize, table4, DsePoint, DseSummary};
 use adhls::prelude::*;
 use adhls::workloads::idct;
 
@@ -38,8 +38,10 @@ fn main() {
     );
     println!(
         "\nsweep ranges (paper §VII: 20x power, 7x throughput, 1.5x area):\n\
-         measured     : {:.1}x power, {:.1}x throughput, {:.2}x area",
-        s.power_range, s.throughput_range, s.area_range
+         measured     : {} power, {} throughput, {} area",
+        DseSummary::fmt_range(s.power_range, 1),
+        DseSummary::fmt_range(s.throughput_range, 1),
+        DseSummary::fmt_range(s.area_range, 2)
     );
     println!(
         "\ntotal exploration time: {:.2?} (30 HLS runs)",

@@ -21,10 +21,11 @@
 //!   fleets, and per-workload sweep constructors ([`adhls_workloads`]).
 //! * [`explore`] — the parallel Pareto design-space exploration engine:
 //!   sweep grids, work-stealing evaluation with a memo cache, a
-//!   persistent evaluator pool, adaptive refinement with warm starts,
-//!   dominance pruning, JSON/CSV export, and the `adhls serve` daemon
-//!   (line-delimited JSON protocol, budgeted cache eviction)
-//!   ([`adhls_explore`]).
+//!   persistent evaluator pool, pluggable objective spaces
+//!   (area/latency/power/throughput tradeoff planes), adaptive
+//!   refinement with warm starts, dominance pruning, JSON/CSV export,
+//!   and the `adhls serve` daemon (line-delimited JSON protocol,
+//!   budgeted cache eviction) ([`adhls_explore`]).
 //!
 //! # Quickstart
 //!
@@ -51,7 +52,9 @@ pub mod prelude {
     pub use adhls_core::dse::{DsePoint, DseRow};
     pub use adhls_core::sched::{run_hls, Flow, HlsOptions, HlsResult};
     pub use adhls_core::{AreaReport, Schedule};
-    pub use adhls_explore::{pareto_front, Engine, EngineOptions, SweepGrid};
+    pub use adhls_explore::{
+        pareto_front, pareto_front_in, Engine, EngineOptions, Objective, ObjectiveSpace, SweepGrid,
+    };
     pub use adhls_ir::builder::DesignBuilder;
     pub use adhls_ir::interp::{run, run_placed, Stimulus};
     pub use adhls_ir::{Design, OpKind};

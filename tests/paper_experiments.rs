@@ -104,7 +104,7 @@ fn table4_mini_sweep_shape() {
         "loosest point should save double digits: {:.1}%",
         rows[0].save_pct
     );
-    assert!(s.throughput_range > 2.0);
+    assert!(s.throughput_range.expect("positive throughputs") > 2.0);
 }
 
 /// The resizer (control flow with a fork/join and a division) synthesizes
