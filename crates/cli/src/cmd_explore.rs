@@ -10,11 +10,18 @@ use crate::opts::{write_out, Opts};
 use adhls_core::dse::{summarize, DsePoint, DseRow, DseSummary};
 use adhls_core::report::Table;
 use adhls_core::sched::HlsOptions;
-use adhls_explore::export::{front_to_json_in, refine_to_json, rows_to_csv};
+use adhls_explore::constraint::parse_constraints;
+use adhls_explore::export::{
+    front_to_json_constrained, fronts_to_json_multi, refine_multi_to_json, refine_to_json,
+    rows_to_csv,
+};
 use adhls_explore::pool::{EvaluatorPool, PoolOptions};
-use adhls_explore::refine::{refine, RefineOptions, WarmStart};
-use adhls_explore::server::{refine_space, sweep_points, sweep_space, workload_grid, WorkloadSpec};
-use adhls_explore::{pareto_front_in, Engine, EngineOptions, ObjectiveSpace};
+use adhls_explore::refine::{refine, refine_multi, RefineOptions, WarmStart};
+use adhls_explore::server::{
+    refine_spaces, sweep_points, sweep_spaces, validate_spec_constraints, workload_grid,
+    WorkloadSpec,
+};
+use adhls_explore::{pareto_front_in_constrained, Engine, EngineOptions, ObjectiveSpace};
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
@@ -34,6 +41,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--gap-tol",
             "--warm-start",
             "--objectives",
+            "--constraint",
         ],
         &[
             "--serial",
@@ -54,9 +62,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if points.is_empty() {
         return Err("the sweep is empty (check --clocks/--cycles)".into());
     }
-    // The space fronts are reported in: --objectives, else every axis (the
-    // same default a `sweep` request gets over the wire).
-    let space = sweep_space(&spec);
+    // The space(s) fronts are reported in: --objectives, else every axis
+    // (the same defaulting and constraint validation a `sweep` request
+    // gets over the wire).
+    let spaces = sweep_spaces(&spec);
+    validate_spec_constraints(&spec, &spaces).map_err(with_cli_flags)?;
 
     let lib = adhls_reslib::tsmc90::library();
     let engine = Engine::with_options(
@@ -76,32 +86,54 @@ pub fn run(args: &[String]) -> Result<(), String> {
     .map_err(|e| format!("exploration failed: {e} (use --skip-infeasible to drop such points)"))?;
     let elapsed = t0.elapsed();
 
-    let front = pareto_front_in(&space, &result.rows);
+    // One constrained front per requested plane; the first plane is the
+    // primary view (the human table's `front` column, the top-level JSON
+    // `front`), exactly as over the wire.
+    let planes: Vec<(ObjectiveSpace, Vec<DseRow>)> = spaces
+        .iter()
+        .map(|s| {
+            (
+                s.clone(),
+                pareto_front_in_constrained(s, &spec.constraints, &result.rows),
+            )
+        })
+        .collect();
+    let front = &planes[0].1;
     // Exporting to stdout? Keep it machine-readable: the human table would
     // corrupt the JSON/CSV stream a consumer is piping away.
     let exporting_to_stdout = o.get("--json") == Some("-") || o.get("--csv") == Some("-");
     if !exporting_to_stdout {
-        print_human(&o, &result.rows, &front);
+        print_human(&o, &result.rows, front);
     }
     for (name, why) in &result.skipped {
         eprintln!("skipped {name}: {why}");
     }
-    eprintln!(
-        "{} points ({} skipped), {} on the ({space}) front; {} workers, {} cache hits, {:.2?}",
-        points.len(),
-        result.skipped.len(),
-        front.len(),
-        result.workers,
-        result.cache_hits,
-        elapsed
-    );
+    let constrained = if spec.constraints.is_empty() {
+        String::new()
+    } else {
+        let list: Vec<String> = spec.constraints.iter().map(ToString::to_string).collect();
+        format!(" [{}]", list.join(", "))
+    };
+    for (space, front) in &planes {
+        eprintln!(
+            "{} points ({} skipped), {} on the ({space}){constrained} front; \
+             {} workers, {} cache hits, {:.2?}",
+            points.len(),
+            result.skipped.len(),
+            front.len(),
+            result.workers,
+            result.cache_hits,
+            elapsed
+        );
+    }
 
     if let Some(path) = o.get("--json") {
-        write_out(
-            path,
-            &front_to_json_in(&result.rows, &front, &space),
-            "sweep JSON",
-        )?;
+        let json = if planes.len() == 1 {
+            front_to_json_constrained(&result.rows, front, &planes[0].0, &spec.constraints)
+        } else {
+            fronts_to_json_multi(&result.rows, &planes, &spec.constraints)
+        };
+        write_out(path, &json, "sweep JSON")?;
     }
     if let Some(path) = o.get("--csv") {
         write_out(path, &rows_to_csv(&result.rows), "sweep CSV")?;
@@ -145,10 +177,13 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
         return Err("explore --adaptive needs --workload <name>".into());
     }
     let spec = spec_from_opts(o)?;
-    // The plane refinement steers through: --objectives, else the paper's
-    // (area, latency) tradeoff (the same defaulting and validation a
-    // `refine` request gets over the wire).
-    let objectives = refine_space(&spec).map_err(with_cli_flags)?;
+    // The plane(s) refinement steers through: --objectives, else the
+    // paper's (area, latency) tradeoff (the same defaulting and validation
+    // a `refine` request gets over the wire); several `;`-separated planes
+    // select the one-pass multi-plane driver.
+    let spaces = refine_spaces(&spec).map_err(with_cli_flags)?;
+    validate_spec_constraints(&spec, &spaces).map_err(with_cli_flags)?;
+    let objectives = spaces[0].clone();
     let warm_start = match o.get("--warm-start") {
         None => Vec::new(),
         Some(path) => {
@@ -177,12 +212,22 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
         gap_tol,
         warm_start,
         objectives: objectives.clone(),
+        constraints: spec.constraints.clone(),
         ..Default::default()
     };
     let skip = o.flag("--skip-infeasible");
     let threads = o.num("--threads", 0usize)?;
     let t0 = std::time::Instant::now();
-    let result = if o.flag("--serial") {
+    // One plane uses the dedicated driver; several share one pass over
+    // one evaluator (the same dispatch a `refine` request gets).
+    let run = |eval: &dyn adhls_explore::refine::Evaluator| {
+        if spaces.len() == 1 {
+            refine(eval, &grid, &prefix, build, &opts).map(RefineOutcome::Single)
+        } else {
+            refine_multi(eval, &grid, &prefix, build, &opts, &spaces).map(RefineOutcome::Multi)
+        }
+    };
+    let outcome = if o.flag("--serial") {
         let lib = adhls_reslib::tsmc90::library();
         let engine = Engine::with_options(
             &lib,
@@ -192,7 +237,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
                 skip_infeasible: skip,
             },
         );
-        refine(&engine, &grid, &prefix, build, &opts)
+        run(&engine)
     } else {
         let pool = EvaluatorPool::new(
             adhls_reslib::tsmc90::library(),
@@ -203,7 +248,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
                 ..Default::default()
             },
         );
-        refine(&pool, &grid, &prefix, build, &opts)
+        run(&pool)
     }
     .map_err(|e| {
         format!(
@@ -212,38 +257,77 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
     })?;
     let elapsed = t0.elapsed();
 
+    let (rows, front, skipped, evaluated, grid_cells, pruned, rounds) = match &outcome {
+        RefineOutcome::Single(r) => (
+            &r.rows,
+            &r.front,
+            &r.skipped,
+            r.evaluated,
+            r.grid_cells,
+            r.pruned,
+            r.trace.len().saturating_sub(1),
+        ),
+        RefineOutcome::Multi(m) => (
+            &m.rows,
+            &m.front,
+            &m.skipped,
+            m.evaluated,
+            m.grid_cells,
+            m.pruned,
+            m.trace.len().saturating_sub(1),
+        ),
+    };
     let exporting_to_stdout = o.get("--json") == Some("-") || o.get("--csv") == Some("-");
     if !exporting_to_stdout {
-        print_human(o, &result.rows, &result.front);
+        print_human(o, rows, front);
     }
-    for (name, why) in &result.skipped {
+    for (name, why) in skipped {
         eprintln!("skipped {name}: {why}");
     }
+    let plane_list: Vec<String> = spaces.iter().map(|s| format!("({s})")).collect();
+    let constrained = if spec.constraints.is_empty() {
+        String::new()
+    } else {
+        let list: Vec<String> = spec.constraints.iter().map(ToString::to_string).collect();
+        format!(" under [{}]", list.join(", "))
+    };
     eprintln!(
-        "adaptive: {} of {} grid cells evaluated ({} pruned), {} on the front, \
-         {} rounds, gap tol {} in ({objectives}), {:.2?}",
-        result.evaluated,
-        result.grid_cells,
-        result.pruned,
-        result.front.len(),
-        result.trace.len().saturating_sub(1),
-        gap_tol,
+        "adaptive: {evaluated} of {grid_cells} grid cells evaluated ({pruned} pruned), \
+         {} on the front, {rounds} rounds, gap tol {gap_tol} in {}{constrained}, {:.2?}",
+        front.len(),
+        plane_list.join("+"),
         elapsed
     );
 
     if let Some(path) = o.get("--json") {
-        write_out(path, &refine_to_json(&result), "refinement JSON")?;
+        let json = match &outcome {
+            RefineOutcome::Single(r) => refine_to_json(r),
+            RefineOutcome::Multi(m) => refine_multi_to_json(m),
+        };
+        write_out(path, &json, "refinement JSON")?;
     }
     if let Some(path) = o.get("--csv") {
-        write_out(path, &rows_to_csv(&result.rows), "sweep CSV")?;
+        write_out(path, &rows_to_csv(rows), "sweep CSV")?;
     }
     Ok(())
+}
+
+/// The two shapes `--adaptive` can produce: one steering plane
+/// ([`refine`]) or several sharing one pass ([`refine_multi`]).
+enum RefineOutcome {
+    Single(adhls_explore::refine::RefineResult),
+    Multi(adhls_explore::refine::MultiRefineResult),
 }
 
 /// Re-spells the shared validation's wire-field names as the CLI flags the
 /// user actually typed (`clocks: …` → `--clocks: …`), so error messages
 /// point at something fixable on this surface.
 fn with_cli_flags(e: String) -> String {
+    // The wire's `constraints` field is the CLI's repeatable singular
+    // `--constraint` flag.
+    if let Some(rest) = e.strip_prefix("constraints:") {
+        return format!("--constraint:{rest}");
+    }
     for field in [
         "workload",
         "clocks",
@@ -288,13 +372,18 @@ fn spec_from_opts(o: &Opts) -> Result<WorkloadSpec, String> {
         dim: opt_num(o, "--dim")?,
         count: opt_num(o, "--count")?,
         seed: opt_num(o, "--seed")?,
-        // The one shared axis-list grammar (`area,power`): the same parse
-        // a wire request's `objectives` field goes through.
+        // The one shared axis-list grammar (`area,power`, multi-plane
+        // `area,latency;area,power`): the same parse a wire request's
+        // `objectives` field goes through.
         objectives: o
             .get("--objectives")
-            .map(ObjectiveSpace::parse)
+            .map(ObjectiveSpace::parse_multi)
             .transpose()
             .map_err(|e| format!("--objectives: {e}"))?,
+        // Repeatable `--constraint area<=1500` flags, through the one
+        // shared constraint grammar (a wire request's `constraints`).
+        constraints: parse_constraints(&o.values("--constraint"))
+            .map_err(|e| format!("--constraint: {e}"))?,
     })
 }
 

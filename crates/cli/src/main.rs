@@ -11,6 +11,8 @@
 //!
 //! Run `adhls help` for the full option list.
 
+#![warn(missing_docs)]
+
 mod cmd_explore;
 mod cmd_report;
 mod cmd_schedule;
@@ -46,7 +48,11 @@ EXPLORE OPTIONS:
                           (idct only; default: none)
     --objectives <LIST>   comma-separated tradeoff axes the Pareto front
                           is extracted in: area | latency | power |
-                          throughput    [default: all four]
+                          throughput; `;` separates several planes,
+                          each reported separately   [default: all four]
+    --constraint <C>      objective bound (`area<=1500`, `power<=40`,
+                          `throughput>=250`); repeatable — fronts and
+                          staircases only show the feasible region
     --threads <N>         worker threads (0 = all cores)  [default: 0]
     --serial              force the serial reference evaluator
     --skip-infeasible     drop unschedulable points instead of failing
@@ -61,7 +67,12 @@ ADAPTIVE EXPLORE OPTIONS (interpolation | idct | matmul):
                           widest Pareto gaps, prune dominated cells
     --objectives <LIST>   the two-axis tradeoff plane refinement steers
                           through, e.g. `area,power` for power-aware
-                          refinement          [default: area,latency]
+                          refinement; `area,latency;area,power` refines
+                          both planes in ONE pass over one evaluator
+                          (every evaluation shared)  [default: area,latency]
+    --constraint <C>      objective bound (repeatable); refinement clips
+                          its search to the feasible region and skips
+                          provably-infeasible cells without evaluating
     --budget <N>          stop after evaluating N grid cells    [default: none]
     --gap-tol <T>         stop when no normalized front gap
                           exceeds T                             [default: 0.05]

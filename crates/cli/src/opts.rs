@@ -46,6 +46,16 @@ impl Opts {
             .map(|(_, v)| v.as_str())
     }
 
+    /// Every value of a repeatable `--key value` option, in the order
+    /// given (e.g. `--constraint area<=1500 --constraint power<=40`).
+    pub fn values(&self, key: &str) -> Vec<&str> {
+        self.pairs
+            .iter()
+            .filter(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+            .collect()
+    }
+
     /// Whether a boolean `--flag` was passed.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
@@ -192,6 +202,18 @@ mod tests {
         assert_eq!(parse_flow("slow").unwrap(), Flow::SlowestUpgrade);
         assert_eq!(parse_flow("slack-based").unwrap(), Flow::SlackBased);
         assert!(parse_flow("warp").is_err());
+    }
+
+    #[test]
+    fn repeatable_options_collect_every_value_in_order() {
+        let o = Opts::parse(
+            &args(&["--constraint", "area<=1500", "--constraint", "power<=40"]),
+            &["--constraint"],
+            &[],
+        )
+        .unwrap();
+        assert_eq!(o.values("--constraint"), ["area<=1500", "power<=40"]);
+        assert!(o.values("--missing").is_empty());
     }
 
     #[test]

@@ -202,6 +202,157 @@ fn explore_objectives_select_the_front_space_and_are_recorded() {
 }
 
 #[test]
+fn explore_constraints_filter_fronts_and_are_recorded() {
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--constraint",
+        "power<=1400",
+        "--constraint",
+        "area<=3000",
+        "--json",
+        "-",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"constraints\": [\"power<=1400\",\"area<=3000\"]"),
+        "{json}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("[power<=1400, area<=3000]"),
+        "stderr: {stderr}"
+    );
+    // The exported front only holds feasible rows (sweep rows unfiltered).
+    let front = json.split("\"front\":").nth(1).expect("front present");
+    for chunk in front.split("\"total\":").skip(1) {
+        let total: f64 = chunk
+            .split([',', '}'])
+            .next()
+            .unwrap()
+            .trim()
+            .parse()
+            .expect("power total parses");
+        assert!(total <= 1400.0, "infeasible row on the front: {front}");
+    }
+}
+
+#[test]
+fn explore_constraint_errors_mirror_the_protocol_cases() {
+    // The same malformed constraints the serve protocol rejects must fail
+    // the CLI with a nonzero exit code and a message naming the flag.
+    for (bad, needle) in [
+        ("warp<=1", "warp"),
+        ("area=1", "<="),
+        ("area<=NaN", "finite"),
+        ("area<=fast", "fast"),
+    ] {
+        let out = adhls(&[
+            "explore",
+            "--workload",
+            "interpolation",
+            "--constraint",
+            bad,
+        ]);
+        assert!(!out.status.success(), "`{bad}` must fail");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--constraint"), "`{bad}`: {stderr}");
+        assert!(stderr.contains(needle), "`{bad}`: {stderr}");
+    }
+    // An axis outside the selected space is rejected too — on the sweep
+    // and the adaptive surface alike.
+    for extra in [&[][..], &["--adaptive", "--skip-infeasible"][..]] {
+        let mut args = vec![
+            "explore",
+            "--workload",
+            "interpolation",
+            "--objectives",
+            "area,latency",
+            "--constraint",
+            "power<=10",
+        ];
+        args.extend_from_slice(extra);
+        let out = adhls(&args);
+        assert!(!out.status.success(), "{extra:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("--constraint"), "{extra:?}: {stderr}");
+        assert!(stderr.contains("power"), "{extra:?}: {stderr}");
+    }
+}
+
+#[test]
+fn explore_adaptive_constrained_exports_the_feasible_refinement() {
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--adaptive",
+        "--objectives",
+        "area,power",
+        "--constraint",
+        "power<=1400",
+        "--gap-tol",
+        "0.2",
+        "--skip-infeasible",
+        "--json",
+        "-",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        json.contains("\"constraints\": [\"power<=1400\"]"),
+        "{json}"
+    );
+    assert!(json.contains("\"refine\":"), "{json}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("under [power<=1400]"), "stderr: {stderr}");
+}
+
+#[test]
+fn explore_adaptive_multi_plane_runs_one_pass() {
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--adaptive",
+        "--objectives",
+        "area,latency;area,power",
+        "--gap-tol",
+        "0.2",
+        "--skip-infeasible",
+        "--json",
+        "-",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let json = String::from_utf8_lossy(&out.stdout);
+    assert!(json.contains("\"planes\":"), "{json}");
+    assert!(json.contains("\"plane_gaps\":"), "{json}");
+    assert!(
+        json.contains("\"objectives\": [\"area\",\"latency\"]"),
+        "top level mirrors the first plane: {json}"
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("in (area,latency)+(area,power)"),
+        "stderr: {stderr}"
+    );
+}
+
+#[test]
 fn explore_adaptive_steers_through_the_requested_plane() {
     let out = adhls(&[
         "explore",

@@ -10,8 +10,9 @@
 //! a front exported under one space can safely warm-start a refinement in
 //! another, with the provenance visible.
 
+use crate::constraint::{constraints_to_json, Constraint};
 use crate::pareto::ObjectiveSpace;
-use crate::refine::RefineResult;
+use crate::refine::{MultiRefineResult, RefineResult};
 use adhls_core::dse::DseRow;
 use std::fmt::Write as _;
 
@@ -112,17 +113,80 @@ pub fn rows_to_json(rows: &[DseRow]) -> String {
 }
 
 /// Renders a sweep and its Pareto front as one JSON document:
-/// `{"objectives": [...], "sweep": [...], "front": [...]}` where `front`
-/// is the deterministic non-dominated subset *in `space`* and
-/// `objectives` records which axes produced it, so the document is
-/// self-describing (and warm starts can surface the provenance).
+/// `{"objectives": [...], "constraints": [...], "sweep": [...],
+/// "front": [...]}` where `front` is the deterministic non-dominated
+/// subset *in `space`* and `objectives`/`constraints` record which axes
+/// and bounds produced it, so the document is self-describing (and warm
+/// starts can surface the provenance).
 #[must_use]
 pub fn front_to_json_in(rows: &[DseRow], front: &[DseRow], space: &ObjectiveSpace) -> String {
+    front_to_json_constrained(rows, front, space, &[])
+}
+
+/// [`front_to_json_in`] with the constraints that produced `front`
+/// recorded next to the space (`front` is expected to be the constrained
+/// extraction — see [`crate::pareto::pareto_front_in_constrained`]).
+#[must_use]
+pub fn front_to_json_constrained(
+    rows: &[DseRow],
+    front: &[DseRow],
+    space: &ObjectiveSpace,
+    constraints: &[Constraint],
+) -> String {
     format!(
-        "{{\n\"objectives\": {},\n\"sweep\": {},\n\"front\": {}\n}}",
+        "{{\n\"objectives\": {},\n\"constraints\": {},\n\"sweep\": {},\n\"front\": {}\n}}",
         objectives_to_json(space),
+        constraints_to_json(constraints),
         rows_to_json(rows),
         rows_to_json(front)
+    )
+}
+
+/// Renders a **multi-plane** sweep as one JSON document: the shared
+/// `sweep` rows plus a `planes` array with each plane's `objectives` and
+/// constrained `front`/`staircase`. The top-level `objectives` and
+/// `front` mirror the *first* plane, so single-plane consumers (including
+/// [`crate::refine::WarmStart::parse`]) read multi-plane documents
+/// unchanged.
+#[must_use]
+pub fn fronts_to_json_multi(
+    rows: &[DseRow],
+    planes: &[(ObjectiveSpace, Vec<DseRow>)],
+    constraints: &[Constraint],
+) -> String {
+    let mut plane_docs = String::from("[");
+    for (i, (space, front)) in planes.iter().enumerate() {
+        if i > 0 {
+            plane_docs.push(',');
+        }
+        let _ = write!(
+            plane_docs,
+            "\n  {{\"objectives\": {},\n   \"staircase\": {},\n   \"front\": {}}}",
+            objectives_to_json(space),
+            rows_to_json_line(&crate::pareto::tradeoff_staircase_in_constrained(
+                space,
+                constraints,
+                rows
+            )),
+            rows_to_json_line(front),
+        );
+    }
+    plane_docs.push_str(if planes.is_empty() { "]" } else { "\n]" });
+    let (first_objs, first_front) = match planes.first() {
+        Some((s, f)) => (objectives_to_json(s), rows_to_json(f)),
+        None => (
+            objectives_to_json(&ObjectiveSpace::full()),
+            String::from("[]"),
+        ),
+    };
+    format!(
+        "{{\n\"objectives\": {},\n\"constraints\": {},\n\"planes\": {},\n\
+         \"sweep\": {},\n\"front\": {}\n}}",
+        first_objs,
+        constraints_to_json(constraints),
+        plane_docs,
+        rows_to_json(rows),
+        first_front
     )
 }
 
@@ -164,15 +228,106 @@ pub fn refine_to_json(result: &RefineResult) -> String {
         "\n  ]"
     });
     format!(
-        "{{\n\"objectives\": {},\n\"sweep\": {},\n\"staircase\": {},\n\"front\": {},\n\
+        "{{\n\"objectives\": {},\n\"constraints\": {},\n\"sweep\": {},\n\"staircase\": {},\n\
+         \"front\": {},\n\
          \"refine\": {{\n  \
          \"grid_cells\":{},\"evaluated\":{},\"pruned\":{},\n  \"rounds\": {}\n}}\n}}",
         objectives_to_json(&result.objectives),
+        constraints_to_json(&result.constraints),
         rows_to_json(&result.rows),
-        rows_to_json(&crate::pareto::tradeoff_staircase_in(
+        rows_to_json(&crate::pareto::tradeoff_staircase_in_constrained(
             &result.objectives,
+            &result.constraints,
             &result.rows
         )),
+        rows_to_json(&result.front),
+        result.grid_cells,
+        result.evaluated,
+        result.pruned,
+        rounds,
+    )
+}
+
+/// Renders a multi-plane refinement ([`crate::refine::refine_multi`]) as
+/// one JSON document: the shared `sweep`/`front`, a `planes` array with
+/// each plane's `objectives`, converged constrained `staircase`, and
+/// per-plane `rounds` (that plane's gaps and proposal counts), and a
+/// `refine` audit block whose merged `rounds` carry per-plane
+/// `plane_gaps`. The top-level `objectives` mirrors the first plane so
+/// [`crate::refine::WarmStart::parse`] reads the document unchanged.
+#[must_use]
+pub fn refine_multi_to_json(result: &MultiRefineResult) -> String {
+    let plane_rounds = |r: &RefineResult| {
+        let mut out = String::from("[");
+        for (i, t) in r.trace.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"round\":{},\"new_points\":{},\"front_size\":{},\"max_gap\":{},\"pruned\":{}}}",
+                t.round, t.new_points, t.front_size, t.max_gap, t.pruned,
+            );
+        }
+        out.push(']');
+        out
+    };
+    let mut planes = String::from("[");
+    for (i, p) in result.planes.iter().enumerate() {
+        if i > 0 {
+            planes.push(',');
+        }
+        let _ = write!(
+            planes,
+            "\n  {{\"objectives\": {},\n   \"staircase\": {},\n   \"rounds\": {}}}",
+            objectives_to_json(&p.objectives),
+            rows_to_json_line(&crate::pareto::tradeoff_staircase_in_constrained(
+                &p.objectives,
+                &result.constraints,
+                &result.rows
+            )),
+            plane_rounds(p),
+        );
+    }
+    planes.push_str(if result.planes.is_empty() { "]" } else { "\n]" });
+    let mut rounds = String::from("[");
+    for (i, t) in result.trace.iter().enumerate() {
+        if i > 0 {
+            rounds.push(',');
+        }
+        let mut gaps = String::from("[");
+        for (j, g) in t.plane_gaps.iter().enumerate() {
+            if j > 0 {
+                gaps.push(',');
+            }
+            let _ = write!(gaps, "{g}");
+        }
+        gaps.push(']');
+        let _ = write!(
+            rounds,
+            "\n    {{\"round\":{},\"new_points\":{},\"front_size\":{},\
+             \"plane_gaps\":{gaps},\"pruned\":{}}}",
+            t.round, t.new_points, t.front_size, t.pruned,
+        );
+    }
+    rounds.push_str(if result.trace.is_empty() {
+        "]"
+    } else {
+        "\n  ]"
+    });
+    let first_objs = result.planes.first().map_or_else(
+        || objectives_to_json(&ObjectiveSpace::default()),
+        |p| objectives_to_json(&p.objectives),
+    );
+    format!(
+        "{{\n\"objectives\": {},\n\"constraints\": {},\n\"planes\": {},\n\"sweep\": {},\n\
+         \"front\": {},\n\
+         \"refine\": {{\n  \
+         \"grid_cells\":{},\"evaluated\":{},\"pruned\":{},\n  \"rounds\": {}\n}}\n}}",
+        first_objs,
+        constraints_to_json(&result.constraints),
+        planes,
+        rows_to_json(&result.rows),
         rows_to_json(&result.front),
         result.grid_cells,
         result.evaluated,
@@ -303,6 +458,62 @@ mod tests {
         assert_eq!(
             ws.objectives,
             Some(ObjectiveSpace::parse("area,power").unwrap())
+        );
+    }
+
+    #[test]
+    fn constrained_documents_record_and_round_trip_their_bounds() {
+        use crate::constraint::parse_constraints;
+        let rows = [row("d1")];
+        let cs = parse_constraints(&["area<=1500", "power<=40"]).unwrap();
+        let doc = front_to_json_constrained(
+            &rows,
+            &rows,
+            &ObjectiveSpace::parse("area,power").unwrap(),
+            &cs,
+        );
+        assert!(
+            doc.contains("\"constraints\": [\"area<=1500\",\"power<=40\"]"),
+            "{doc}"
+        );
+        let ws = crate::refine::WarmStart::parse(&doc).unwrap();
+        assert_eq!(ws.constraints, cs);
+        // Unconstrained documents record an empty list, which reads back
+        // as unconstrained.
+        let plain = front_to_json_in(&rows, &rows, &ObjectiveSpace::full());
+        assert!(plain.contains("\"constraints\": []"), "{plain}");
+        assert!(crate::refine::WarmStart::parse(&plain)
+            .unwrap()
+            .constraints
+            .is_empty());
+    }
+
+    #[test]
+    fn multi_plane_documents_nest_per_plane_views() {
+        let rows = [row("d1"), row("d2")];
+        let planes = vec![
+            (
+                ObjectiveSpace::parse("area,latency").unwrap(),
+                rows.to_vec(),
+            ),
+            (ObjectiveSpace::parse("area,power").unwrap(), rows.to_vec()),
+        ];
+        let doc = fronts_to_json_multi(&rows, &planes, &[]);
+        assert!(doc.contains("\"planes\":"), "{doc}");
+        assert!(
+            doc.contains("\"objectives\": [\"area\",\"latency\"]"),
+            "{doc}"
+        );
+        assert!(
+            doc.contains("\"objectives\": [\"area\",\"power\"]"),
+            "{doc}"
+        );
+        // The top level mirrors the first plane, so warm starts read the
+        // document like any single-plane export.
+        let ws = crate::refine::WarmStart::parse(&doc).unwrap();
+        assert_eq!(
+            ws.objectives,
+            Some(ObjectiveSpace::parse("area,latency").unwrap())
         );
     }
 

@@ -13,6 +13,8 @@
 //!   [`ObjectiveSpace`]s (ordered selections of the area / latency /
 //!   power / throughput axes) with dominance pruning and deterministic
 //!   ordering regardless of thread interleaving,
+//! * [`constraint`] — objective bounds (`area<=1500`, `power<=40`) that
+//!   slice every extraction and refinement down to the feasible region,
 //! * [`export`] — JSON/CSV renderers for sweeps and fronts,
 //! * [`fingerprint`] — stable structural hashing of designs and options,
 //! * [`pool`] — a persistent evaluator pool sharing worker threads and a
@@ -57,6 +59,7 @@
 
 #![warn(missing_docs)]
 
+pub mod constraint;
 pub mod engine;
 pub mod export;
 pub mod fingerprint;
@@ -66,16 +69,20 @@ pub mod refine;
 pub mod server;
 pub mod sweep;
 
+pub use constraint::{Constraint, ConstraintOp};
 pub use engine::{Engine, EngineOptions, SweepResult};
 pub use pareto::{
-    dominates, objectives, pareto_front, pareto_front_in, pareto_indices, pareto_indices_in,
-    staircase_indices, staircase_indices_in, tradeoff_staircase, tradeoff_staircase_in, Objective,
-    ObjectiveSpace, Objectives, Sense,
+    dominates, objectives, pareto_front, pareto_front_in, pareto_front_in_constrained,
+    pareto_indices, pareto_indices_in, pareto_indices_in_constrained, staircase_indices,
+    staircase_indices_in, staircase_indices_in_constrained, tradeoff_staircase,
+    tradeoff_staircase_in, tradeoff_staircase_in_constrained, Objective, ObjectiveSpace,
+    Objectives, Sense,
 };
 pub use pool::{EvaluatorPool, PoolOptions};
 pub use refine::{
-    refine, refine_with_progress, warm_start_cells, Evaluator, RefineOptions, RefineResult,
-    RoundTrace, WarmStart,
+    refine, refine_multi, refine_multi_with_progress, refine_with_progress, warm_start_cells,
+    Evaluator, MultiRefineResult, MultiRoundTrace, RefineOptions, RefineResult, RoundTrace,
+    WarmStart,
 };
 pub use server::{CacheStats, Server};
 pub use sweep::{SweepCell, SweepGrid};
@@ -86,18 +93,22 @@ pub use adhls_core::dse::{DsePoint, DseRow};
 
 /// The most common imports in one place.
 pub mod prelude {
+    pub use crate::constraint::{Constraint, ConstraintOp};
     pub use crate::engine::{Engine, EngineOptions, SweepResult};
     pub use crate::export::{
-        front_to_json, front_to_json_in, refine_to_json, rows_to_csv, rows_to_json,
+        front_to_json, front_to_json_constrained, front_to_json_in, fronts_to_json_multi,
+        refine_multi_to_json, refine_to_json, rows_to_csv, rows_to_json,
     };
     pub use crate::pareto::{
-        dominates, objectives, pareto_front, pareto_front_in, tradeoff_staircase,
-        tradeoff_staircase_in, Objective, ObjectiveSpace, Objectives, Sense,
+        dominates, objectives, pareto_front, pareto_front_in, pareto_front_in_constrained,
+        tradeoff_staircase, tradeoff_staircase_in, tradeoff_staircase_in_constrained, Objective,
+        ObjectiveSpace, Objectives, Sense,
     };
     pub use crate::pool::{EvaluatorPool, PoolOptions};
     pub use crate::refine::{
-        refine, refine_with_progress, warm_start_cells, Evaluator, RefineOptions, RefineResult,
-        RoundTrace, WarmStart,
+        refine, refine_multi, refine_multi_with_progress, refine_with_progress, warm_start_cells,
+        Evaluator, MultiRefineResult, MultiRoundTrace, RefineOptions, RefineResult, RoundTrace,
+        WarmStart,
     };
     pub use crate::server::{CacheStats, Server, WorkloadSpec};
     pub use crate::sweep::{SweepCell, SweepGrid};

@@ -32,6 +32,7 @@
 //! be dominated), and keeping the filter space-independent means a row's
 //! eligibility cannot change when the space does.
 
+use crate::constraint::{feasible, Constraint};
 use adhls_core::dse::DseRow;
 use std::fmt;
 
@@ -244,11 +245,56 @@ impl ObjectiveSpace {
     /// definition behind CLI `--objectives` values and the serve
     /// protocol's `objectives` strings.
     ///
+    /// ```
+    /// use adhls_explore::pareto::{Objective, ObjectiveSpace};
+    ///
+    /// let space = ObjectiveSpace::parse("area, power").unwrap();
+    /// assert_eq!(space.axes(), [Objective::Area, Objective::PowerTotal]);
+    /// // Display round-trips through the same grammar.
+    /// assert_eq!(space.to_string(), "area,power");
+    /// assert_eq!(ObjectiveSpace::parse(&space.to_string()).unwrap(), space);
+    /// // Exporter column names are accepted as aliases, so a column
+    /// // header can be pasted straight back in.
+    /// let aliased = ObjectiveSpace::parse("a_slack,latency_ps").unwrap();
+    /// assert_eq!(aliased.axes(), [Objective::Area, Objective::LatencyPs]);
+    /// // Unknown axes, duplicates, and empty lists are errors.
+    /// assert!(ObjectiveSpace::parse("area,warp").is_err());
+    /// assert!(ObjectiveSpace::parse("area,area").is_err());
+    /// assert!(ObjectiveSpace::parse("").is_err());
+    /// ```
+    ///
     /// # Errors
     ///
     /// A message naming the unknown axis, an empty list, or a duplicate.
     pub fn parse(s: &str) -> Result<ObjectiveSpace, String> {
         ObjectiveSpace::parse_names(&s.split(',').collect::<Vec<_>>())
+    }
+
+    /// Parses a `;`-separated list of spaces (`"area,latency;area,power"`)
+    /// — the multi-plane grammar behind CLI `--objectives` and the serve
+    /// protocol's `objectives` strings. A string with no `;` is one plane.
+    ///
+    /// ```
+    /// use adhls_explore::pareto::ObjectiveSpace;
+    ///
+    /// let planes = ObjectiveSpace::parse_multi("area,latency;area,power").unwrap();
+    /// assert_eq!(planes.len(), 2);
+    /// assert_eq!(planes[0], ObjectiveSpace::parse("area,latency").unwrap());
+    /// assert_eq!(planes[1], ObjectiveSpace::parse("area,power").unwrap());
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// As [`ObjectiveSpace::parse`] for the first offending plane, plus a
+    /// message when the same plane appears twice (refining one plane twice
+    /// in one pass is never intended).
+    pub fn parse_multi(s: &str) -> Result<Vec<ObjectiveSpace>, String> {
+        let planes = s
+            .split(';')
+            .map(ObjectiveSpace::parse)
+            .collect::<Result<Vec<_>, String>>()?;
+        reject_duplicate_planes(&planes)?;
+        Ok(planes)
     }
 
     /// Parses an `objectives` JSON value as it appears on every JSON
@@ -276,6 +322,60 @@ impl ObjectiveSpace {
                 ObjectiveSpace::parse_names(&names).map(Some)
             }
             Some(_) => Err("must be an array of axis names".into()),
+        }
+    }
+
+    /// Parses an `objectives` JSON value that may select **several
+    /// planes** — the grammar of the serve protocol's `sweep`/`refine`
+    /// request field. Accepted shapes:
+    ///
+    /// * absent / `null` — no selection (`None`),
+    /// * `"area,power"` — one plane (the [`ObjectiveSpace::from_json`]
+    ///   string form),
+    /// * `"area,latency;area,power"` — several planes, `;`-separated,
+    /// * `["area","power"]` — one plane as an array of axis names,
+    /// * `[["area","latency"],["area","power"]]` or
+    ///   `["area,latency","area,power"]` — several planes: an array whose
+    ///   entries are themselves planes (axis-name arrays or comma
+    ///   strings). An array of bare axis names stays a *single* space, so
+    ///   every pre-multi-plane request keeps its meaning.
+    ///
+    /// # Errors
+    ///
+    /// A message naming the bad shape, axis, or duplicate plane (callers
+    /// prefix the field context).
+    pub fn multi_from_json(
+        value: Option<&adhls_core::json::Value>,
+    ) -> Result<Option<Vec<ObjectiveSpace>>, String> {
+        use adhls_core::json::Value;
+        match value {
+            None | Some(Value::Null) => Ok(None),
+            Some(Value::Str(s)) => ObjectiveSpace::parse_multi(s).map(Some),
+            Some(Value::Arr(entries)) => {
+                let is_plane_list = entries.iter().any(|e| {
+                    matches!(e, Value::Arr(_)) || e.as_str().is_some_and(|s| s.contains([',', ';']))
+                });
+                if !is_plane_list {
+                    return ObjectiveSpace::from_json(value).map(|s| s.map(|s| vec![s]));
+                }
+                let mut planes: Vec<ObjectiveSpace> = Vec::new();
+                for e in entries {
+                    match e {
+                        // String entries go through the full multi-plane
+                        // grammar: a stray `;` inside one entry means
+                        // several planes, not an axis named "latency;area".
+                        Value::Str(s) => planes.extend(ObjectiveSpace::parse_multi(s)?),
+                        Value::Arr(_) => planes.push(
+                            ObjectiveSpace::from_json(Some(e))?
+                                .ok_or_else(|| "a plane cannot be null".to_string())?,
+                        ),
+                        _ => return Err("plane entries must be axis-name arrays or strings".into()),
+                    }
+                }
+                reject_duplicate_planes(&planes)?;
+                Ok(Some(planes))
+            }
+            Some(_) => Err("must be an array of axis names or planes".into()),
         }
     }
 
@@ -366,6 +466,39 @@ impl ObjectiveSpace {
     }
 }
 
+/// Rejects a plane list that selects the same plane twice — refining one
+/// plane twice in one pass is never intended. The one definition behind
+/// [`ObjectiveSpace::parse_multi`], [`ObjectiveSpace::multi_from_json`],
+/// and [`crate::refine::refine_multi`], so the surfaces cannot drift.
+///
+/// # Errors
+///
+/// A message naming the repeated plane.
+pub fn reject_duplicate_planes(planes: &[ObjectiveSpace]) -> Result<(), String> {
+    for (i, p) in planes.iter().enumerate() {
+        if planes[..i].contains(p) {
+            return Err(format!("objective plane `{p}` is selected twice"));
+        }
+    }
+    Ok(())
+}
+
+/// The union of the planes' axes, in first-appearance order — the
+/// effective axis set of a multi-plane pass, and what its constraints are
+/// validated against (see [`crate::constraint::validate_constraints`]).
+#[must_use]
+pub fn axis_union(planes: &[ObjectiveSpace]) -> Vec<Objective> {
+    let mut union: Vec<Objective> = Vec::new();
+    for p in planes {
+        for &a in p.axes() {
+            if !union.contains(&a) {
+                union.push(a);
+            }
+        }
+    }
+    union
+}
+
 /// The axis-slice dominance kernel behind [`ObjectiveSpace::dominates`]
 /// and the allocation-free full-space [`dominates`] wrapper (which sits in
 /// refinement's hot pruning loop).
@@ -399,14 +532,42 @@ pub fn dominates(a: &Objectives, b: &Objectives) -> bool {
 /// otherwise always survive, since nothing compares as better than it).
 #[must_use]
 pub fn pareto_indices_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<usize> {
+    pareto_indices_in_constrained(space, &[], rows)
+}
+
+/// Indices of the rows non-dominated in `space` **among the feasible
+/// rows**: rows violating any [`Constraint`] are filtered out *before*
+/// projection, so an infeasible row neither appears on the front nor
+/// dominates anything off it. With `constraints` empty this is exactly
+/// [`pareto_indices_in`].
+///
+/// For bounds in the improving direction
+/// ([`Constraint::is_improving`]) the filter commutes with extraction —
+/// the constrained front is precisely the feasible slice of the
+/// unconstrained front (an infeasible point would have to be no worse on
+/// its own bounded axis to dominate a feasible one, which would make it
+/// feasible). Anti-improving bounds still filter first; they may surface
+/// rows the unconstrained front shadowed.
+#[must_use]
+pub fn pareto_indices_in_constrained(
+    space: &ObjectiveSpace,
+    constraints: &[Constraint],
+    rows: &[DseRow],
+) -> Vec<usize> {
     let objs: Vec<Objectives> = rows.iter().map(objectives).collect();
+    // Eligibility once per row, not once per (i, j) pair — this sits
+    // under every refinement round's front extraction.
+    let eligible: Vec<bool> = objs
+        .iter()
+        .map(|o| o.is_finite() && feasible(constraints, o))
+        .collect();
     let mut front: Vec<usize> = (0..rows.len())
         .filter(|&i| {
-            objs[i].is_finite()
+            eligible[i]
                 && !objs
                     .iter()
                     .enumerate()
-                    .any(|(j, oj)| j != i && oj.is_finite() && space.dominates(oj, &objs[i]))
+                    .any(|(j, oj)| j != i && eligible[j] && space.dominates(oj, &objs[i]))
         })
         .collect();
     front.sort_by(|&i, &j| {
@@ -424,6 +585,20 @@ pub fn pareto_indices_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<usize> 
 #[must_use]
 pub fn pareto_front_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<DseRow> {
     pareto_indices_in(space, rows)
+        .into_iter()
+        .map(|i| rows[i].clone())
+        .collect()
+}
+
+/// The feasible rows non-dominated in `space`, deterministically ordered —
+/// see [`pareto_indices_in_constrained`].
+#[must_use]
+pub fn pareto_front_in_constrained(
+    space: &ObjectiveSpace,
+    constraints: &[Constraint],
+    rows: &[DseRow],
+) -> Vec<DseRow> {
+    pareto_indices_in_constrained(space, constraints, rows)
         .into_iter()
         .map(|i| rows[i].clone())
         .collect()
@@ -457,9 +632,25 @@ pub fn pareto_front(rows: &[DseRow]) -> Vec<DseRow> {
 /// monotone.
 #[must_use]
 pub fn staircase_indices_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<usize> {
+    staircase_indices_in_constrained(space, &[], rows)
+}
+
+/// Indices of the staircase over the **feasible** rows only: rows
+/// violating any [`Constraint`] are filtered before the plane walk, so the
+/// constrained staircase is the tradeoff curve of the feasible region
+/// (what constrained adaptive refinement converges on). With
+/// `constraints` empty this is exactly [`staircase_indices_in`].
+#[must_use]
+pub fn staircase_indices_in_constrained(
+    space: &ObjectiveSpace,
+    constraints: &[Constraint],
+    rows: &[DseRow],
+) -> Vec<usize> {
     let (primary, secondary) = space.plane();
     let objs: Vec<Objectives> = rows.iter().map(objectives).collect();
-    let mut idx: Vec<usize> = (0..rows.len()).filter(|&i| objs[i].is_finite()).collect();
+    let mut idx: Vec<usize> = (0..rows.len())
+        .filter(|&i| objs[i].is_finite() && feasible(constraints, &objs[i]))
+        .collect();
     idx.sort_by(|&i, &j| {
         primary
             .key(&objs[i])
@@ -484,6 +675,20 @@ pub fn staircase_indices_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<usiz
 #[must_use]
 pub fn tradeoff_staircase_in(space: &ObjectiveSpace, rows: &[DseRow]) -> Vec<DseRow> {
     staircase_indices_in(space, rows)
+        .into_iter()
+        .map(|i| rows[i].clone())
+        .collect()
+}
+
+/// The staircase rows of `space`'s plane over the feasible region — see
+/// [`staircase_indices_in_constrained`].
+#[must_use]
+pub fn tradeoff_staircase_in_constrained(
+    space: &ObjectiveSpace,
+    constraints: &[Constraint],
+    rows: &[DseRow],
+) -> Vec<DseRow> {
+    staircase_indices_in_constrained(space, constraints, rows)
         .into_iter()
         .map(|i| rows[i].clone())
         .collect()
@@ -789,6 +994,135 @@ mod tests {
         let same = space.plane_ranges([&a, &a]);
         assert_eq!(same, (1.0, 1.0));
         assert_eq!(space.plane_gap(&a, &a, same), 0.0);
+    }
+
+    #[test]
+    fn constrained_front_is_the_feasible_slice_for_improving_bounds() {
+        use crate::constraint::Constraint;
+        let rows = vec![
+            row("cheap_slow", 100.0, 4000.0, 30.0),
+            row("mid", 200.0, 2000.0, 10.0),
+            row("big_fast", 400.0, 1000.0, 20.0),
+            row("strictly_worse", 450.0, 1500.0, 25.0),
+        ];
+        let space = ObjectiveSpace::tradeoff();
+        let cs = [Constraint::parse("area<=250").unwrap()];
+        let names: Vec<String> = pareto_front_in_constrained(&space, &cs, &rows)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(names, ["cheap_slow", "mid"]);
+        // Improving bounds commute: filter-then-project == project-then-
+        // filter.
+        let post_hoc: Vec<DseRow> = pareto_front_in(&space, &rows)
+            .into_iter()
+            .filter(|r| r.a_slack <= 250.0)
+            .collect();
+        assert_eq!(pareto_front_in_constrained(&space, &cs, &rows), post_hoc);
+        // Empty constraints are bit-identical to the unconstrained calls.
+        assert_eq!(
+            pareto_indices_in_constrained(&space, &[], &rows),
+            pareto_indices_in(&space, &rows)
+        );
+        assert_eq!(
+            staircase_indices_in_constrained(&space, &[], &rows),
+            staircase_indices_in(&space, &rows)
+        );
+    }
+
+    #[test]
+    fn infeasible_rows_neither_survive_nor_dominate() {
+        use crate::constraint::Constraint;
+        // `shadow` dominates `survivor` in the plane, but violates the
+        // latency budget — after filtering, `survivor` is on the front.
+        let rows = vec![
+            row("shadow", 90.0, 2500.0, 5.0),
+            row("survivor", 100.0, 3000.0, 10.0),
+            row("fast", 400.0, 1000.0, 20.0),
+        ];
+        let space = ObjectiveSpace::tradeoff();
+        let cs = [Constraint::parse("latency>=2600").unwrap()];
+        let names: Vec<String> = pareto_front_in_constrained(&space, &cs, &rows)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(names, ["survivor"], "the infeasible dominator is gone");
+        let st: Vec<String> = tradeoff_staircase_in_constrained(&space, &cs, &rows)
+            .into_iter()
+            .map(|r| r.name)
+            .collect();
+        assert_eq!(st, ["survivor"]);
+    }
+
+    #[test]
+    fn all_infeasible_input_yields_empty_front() {
+        use crate::constraint::Constraint;
+        let rows = vec![row("a", 100.0, 1000.0, 10.0), row("b", 200.0, 500.0, 5.0)];
+        let cs = [Constraint::parse("area<=50").unwrap()];
+        assert!(pareto_front_in_constrained(&ObjectiveSpace::tradeoff(), &cs, &rows).is_empty());
+        assert!(
+            tradeoff_staircase_in_constrained(&ObjectiveSpace::tradeoff(), &cs, &rows).is_empty()
+        );
+    }
+
+    #[test]
+    fn multi_plane_parsing_accepts_strings_and_rejects_duplicates() {
+        let planes = ObjectiveSpace::parse_multi("area,latency;area,power").unwrap();
+        assert_eq!(planes.len(), 2);
+        assert_eq!(planes[0], ObjectiveSpace::tradeoff());
+        assert_eq!(planes[1], ObjectiveSpace::parse("area,power").unwrap());
+        assert_eq!(
+            ObjectiveSpace::parse_multi("area,power").unwrap(),
+            vec![ObjectiveSpace::parse("area,power").unwrap()]
+        );
+        let err = ObjectiveSpace::parse_multi("area,power;area,power").unwrap_err();
+        assert!(err.contains("twice"), "{err}");
+        assert!(ObjectiveSpace::parse_multi("area;warp").is_err());
+    }
+
+    #[test]
+    fn multi_from_json_keeps_plain_name_arrays_single_plane() {
+        use adhls_core::json::Value;
+        let single = Value::parse(r#"["area","power"]"#).unwrap();
+        assert_eq!(
+            ObjectiveSpace::multi_from_json(Some(&single)).unwrap(),
+            Some(vec![ObjectiveSpace::parse("area,power").unwrap()])
+        );
+        let nested = Value::parse(r#"[["area","latency"],["area","power"]]"#).unwrap();
+        assert_eq!(
+            ObjectiveSpace::multi_from_json(Some(&nested)).unwrap(),
+            Some(ObjectiveSpace::parse_multi("area,latency;area,power").unwrap())
+        );
+        let comma_strings = Value::parse(r#"["area,latency","area,power"]"#).unwrap();
+        assert_eq!(
+            ObjectiveSpace::multi_from_json(Some(&comma_strings)).unwrap(),
+            Some(ObjectiveSpace::parse_multi("area,latency;area,power").unwrap())
+        );
+        let semis = Value::Str("area,latency;area,power".into());
+        assert_eq!(
+            ObjectiveSpace::multi_from_json(Some(&semis)).unwrap(),
+            Some(ObjectiveSpace::parse_multi("area,latency;area,power").unwrap())
+        );
+        // A `;` inside an array entry means planes, not an axis typo —
+        // the two documented grammars compose instead of colliding.
+        let semi_entry = Value::parse(r#"["area,latency;area,power"]"#).unwrap();
+        assert_eq!(
+            ObjectiveSpace::multi_from_json(Some(&semi_entry)).unwrap(),
+            Some(ObjectiveSpace::parse_multi("area,latency;area,power").unwrap())
+        );
+        let mixed = Value::parse(r#"["area,latency;area,power","area,throughput"]"#).unwrap();
+        assert_eq!(
+            ObjectiveSpace::multi_from_json(Some(&mixed)).unwrap(),
+            Some(ObjectiveSpace::parse_multi("area,latency;area,power;area,throughput").unwrap())
+        );
+        assert_eq!(ObjectiveSpace::multi_from_json(None).unwrap(), None);
+        assert_eq!(
+            ObjectiveSpace::multi_from_json(Some(&Value::Null)).unwrap(),
+            None
+        );
+        let dup = Value::parse(r#"[["area","power"],["area","power"]]"#).unwrap();
+        assert!(ObjectiveSpace::multi_from_json(Some(&dup)).is_err());
+        assert!(ObjectiveSpace::multi_from_json(Some(&Value::Num(7.0))).is_err());
     }
 
     #[test]

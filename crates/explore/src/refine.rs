@@ -50,16 +50,17 @@
 //! parallel, or racing each other on one shared pool) produce the same
 //! rows, front, and trace.
 
+use crate::constraint::{constraints_from_json, validate_constraints, Constraint};
 use crate::engine::{Engine, SweepResult};
 use crate::pareto::{
-    dominates, objectives, pareto_indices, staircase_indices_in, Objective, ObjectiveSpace,
-    Objectives,
+    dominates, objectives, pareto_indices_in_constrained, staircase_indices_in, Objective,
+    ObjectiveSpace, Objectives,
 };
 use crate::pool::EvaluatorPool;
 use crate::sweep::{SweepCell, SweepGrid};
 use adhls_core::dse::{grid_item_time_ps, DsePoint, DseRow};
 use adhls_ir::{Design, Error, Result};
-use std::collections::HashSet;
+use std::collections::{HashMap, HashSet};
 
 /// Anything that can evaluate a batch of points: the per-sweep
 /// [`Engine`] or the persistent [`EvaluatorPool`]. Rows must come back in
@@ -87,7 +88,30 @@ impl Evaluator for EvaluatorPool {
     }
 }
 
-/// Tuning knobs for [`refine`].
+/// Tuning knobs for [`refine`] (and, per plane, for [`refine_multi`]).
+///
+/// The default refines the paper's (area, latency) plane to a 5%
+/// normalized gap with no evaluation budget; each field tightens or
+/// redirects that:
+///
+/// ```
+/// use adhls_explore::constraint::Constraint;
+/// use adhls_explore::pareto::ObjectiveSpace;
+/// use adhls_explore::refine::RefineOptions;
+///
+/// let opts = RefineOptions {
+///     // Steer through the power plane instead of the default
+///     // (area, latency) tradeoff...
+///     objectives: ObjectiveSpace::parse("area,power").unwrap(),
+///     // ...only inside the area budget...
+///     constraints: vec![Constraint::parse("area<=1500").unwrap()],
+///     // ...spending at most 40 HLS evaluations.
+///     budget: 40,
+///     ..Default::default()
+/// };
+/// assert_eq!(opts.gap_tol, 0.05, "defaults fill the rest");
+/// assert!(opts.warm_start.is_empty());
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct RefineOptions {
     /// Maximum number of grid cells to evaluate, seed included
@@ -116,6 +140,19 @@ pub struct RefineOptions {
     /// refinement. The reported [`RefineResult::front`] stays the full
     /// four-objective front in every space (see [`RefineResult`]).
     pub objectives: ObjectiveSpace,
+    /// Objective bounds restricting the exploration to the feasible
+    /// region (`area<=1500`, `latency<=4000`, …). The staircase, its
+    /// gaps, and the reported front only ever see feasible rows;
+    /// candidate windows are clipped to the feasible interval on
+    /// closed-form axes, and cells *provably* infeasible (exact
+    /// latency/throughput outside a bound, or an optimistic area/power
+    /// lower bound already over a `<=` budget) are skipped without
+    /// evaluation. Every constraint's axis must be selected by
+    /// [`RefineOptions::objectives`] (see
+    /// [`crate::constraint::validate_constraints`]); empty = the
+    /// unconstrained refinement, bit-identical to pre-constraint
+    /// behavior.
+    pub constraints: Vec<Constraint>,
 }
 
 impl Default for RefineOptions {
@@ -126,6 +163,7 @@ impl Default for RefineOptions {
             max_rounds: 32,
             warm_start: Vec::new(),
             objectives: ObjectiveSpace::default(),
+            constraints: Vec::new(),
         }
     }
 }
@@ -144,6 +182,11 @@ pub struct WarmStart {
     pub cells: Vec<SweepCell>,
     /// The objective space the document was exported under, when recorded.
     pub objectives: Option<ObjectiveSpace>,
+    /// The objective constraints the document was exported under (empty
+    /// for unconstrained and pre-constraint exports). Like the space,
+    /// pure provenance: the cells seed any refinement, constrained or
+    /// not.
+    pub constraints: Vec<Constraint>,
 }
 
 impl WarmStart {
@@ -162,10 +205,13 @@ impl WarmStart {
         use adhls_core::json::Value;
         let doc = Value::parse(json)
             .map_err(|e| Error::Interp(format!("warm-start JSON did not parse: {e}")))?;
-        // The one shared `objectives` grammar — identical to the wire's
-        // request field, so exported documents and requests cannot drift.
+        // The one shared `objectives`/`constraints` grammar — identical to
+        // the wire's request fields, so exported documents and requests
+        // cannot drift.
         let objectives = ObjectiveSpace::from_json(doc.get("objectives"))
             .map_err(|e| Error::Interp(format!("warm-start `objectives`: {e}")))?;
+        let constraints = constraints_from_json(doc.get("constraints"))
+            .map_err(|e| Error::Interp(format!("warm-start `constraints`: {e}")))?;
         // Prefer the front (the useful part of an exported document); fall
         // back to the sweep, then to a bare array.
         let rows = doc
@@ -190,7 +236,11 @@ impl WarmStart {
                 }
             }
         }
-        Ok(WarmStart { cells, objectives })
+        Ok(WarmStart {
+            cells,
+            objectives,
+            constraints,
+        })
     }
 }
 
@@ -231,17 +281,24 @@ pub struct RefineResult {
     pub rows: Vec<DseRow>,
     /// Infeasible cells as (name, error), if the evaluator skips them.
     pub skipped: Vec<(String, String)>,
-    /// The full four-objective Pareto front over `rows` — in every
-    /// objective space, so the reported front never discards information
-    /// the steering plane happens to ignore. Project it through
-    /// [`crate::pareto::pareto_front_in`] /
-    /// [`crate::pareto::tradeoff_staircase_in`] with
+    /// The full four-objective Pareto front over the **feasible** `rows`
+    /// — in every objective space, so the reported front never discards
+    /// information the steering plane happens to ignore, but never
+    /// contains a row that violates [`RefineResult::constraints`]
+    /// (unconstrained runs: all rows are feasible). Project it through
+    /// [`crate::pareto::pareto_front_in_constrained`] /
+    /// [`crate::pareto::tradeoff_staircase_in_constrained`] with
     /// [`RefineResult::objectives`] for the plane the run converged in.
     pub front: Vec<DseRow>,
     /// The objective space that steered this refinement
     /// ([`RefineOptions::objectives`]) — recorded so exports can say which
     /// plane produced the result.
     pub objectives: ObjectiveSpace,
+    /// The constraints the refinement honored
+    /// ([`RefineOptions::constraints`]) — recorded next to the space, so
+    /// exports are self-describing and warm starts can surface the
+    /// provenance. Empty = unconstrained.
+    pub constraints: Vec<Constraint>,
     /// Per-round refinement metadata, seed first.
     pub trace: Vec<RoundTrace>,
     /// Cells submitted for evaluation (`rows.len() + skipped.len()`).
@@ -264,9 +321,10 @@ struct Driver<'a, F> {
     modes: Vec<Option<u32>>,
     prefix: &'a str,
     build: F,
-    /// The objective space whose plane steers staircase extraction, gap
-    /// measurement, and candidate windowing.
-    space: ObjectiveSpace,
+    /// Objective bounds shared by every steering plane: the staircase,
+    /// the reported front, and the prune's dominator set only ever see
+    /// feasible rows, and provably-infeasible cells are never submitted.
+    constraints: Vec<Constraint>,
     /// Cells already settled — evaluated, skipped as infeasible, or pruned
     /// — and therefore never to be submitted again.
     known: HashSet<Cell>,
@@ -276,7 +334,108 @@ struct Driver<'a, F> {
     pruned: usize,
 }
 
-impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
+impl<'a, F: FnMut(&SweepCell) -> Design> Driver<'a, F> {
+    /// Builds a driver over `grid`'s sorted, deduplicated axes — duplicate
+    /// axis entries name the same cells, and index bisection needs sorted
+    /// axes. Returns the driver and the deduplicated grid's cell count
+    /// (the exhaustive denominator every evaluated/total ratio is judged
+    /// against).
+    ///
+    /// # Errors
+    ///
+    /// [`Error::Capacity`] when the cell count overflows `usize`.
+    fn prepare(
+        grid: &SweepGrid,
+        prefix: &'a str,
+        build: F,
+        constraints: &[Constraint],
+    ) -> Result<(Driver<'a, F>, usize)> {
+        let mut clocks: Vec<u64> = grid.clock_axis().to_vec();
+        clocks.sort_unstable();
+        clocks.dedup();
+        let mut cycles: Vec<u32> = grid.cycles_axis().to_vec();
+        cycles.sort_unstable();
+        cycles.dedup();
+        let mut modes: Vec<Option<u32>> = Vec::new();
+        for &m in grid.pipeline_axis() {
+            if !modes.contains(&m) {
+                modes.push(m);
+            }
+        }
+        let Some(grid_cells) = clocks
+            .len()
+            .checked_mul(cycles.len())
+            .and_then(|p| p.checked_mul(modes.len()))
+        else {
+            return Err(Error::Capacity(
+                "adaptive refinement grid overflows the machine's address space".into(),
+            ));
+        };
+        Ok((
+            Driver {
+                clocks,
+                cycles,
+                modes,
+                prefix,
+                build,
+                constraints: constraints.to_vec(),
+                known: HashSet::new(),
+                rows: Vec::new(),
+                row_cells: Vec::new(),
+                skipped: Vec::new(),
+                pruned: 0,
+            },
+            grid_cells,
+        ))
+    }
+
+    /// The seed cell list: axis corners and midpoints, every pipeline
+    /// mode — plus any warm-start cells that map onto this grid (appended
+    /// after the geometric seed so a warm start never changes which cells
+    /// a cold seed evaluates, only adds to them). Cells that provably
+    /// violate a closed-form constraint (an exact latency/throughput
+    /// outside its bound) never reach the evaluator — the constrained
+    /// run's first saving over sweep-then-filter; they are returned as the
+    /// pruned count. `budget` (if nonzero) truncates the list.
+    fn seed(&mut self, warm_start: &[SweepCell], budget: usize) -> (Vec<Cell>, usize) {
+        let mut seed: Vec<Cell> = Vec::new();
+        for &ci in &seed_indices(self.clocks.len()) {
+            for &li in &seed_indices(self.cycles.len()) {
+                for mi in 0..self.modes.len() {
+                    seed.push((ci, li, mi));
+                }
+            }
+        }
+        for w in warm_start {
+            let found = (
+                self.clocks.iter().position(|&c| c == w.clock_ps),
+                self.cycles.iter().position(|&c| c == w.cycles),
+                self.modes.iter().position(|&m| m == w.pipeline_ii),
+            );
+            if let (Some(ci), Some(li), Some(mi)) = found {
+                let cell = (ci, li, mi);
+                if !seed.contains(&cell) {
+                    seed.push(cell);
+                }
+            }
+        }
+        let mut pruned = 0usize;
+        seed.retain(|&cell| {
+            if self.provably_infeasible(cell) {
+                self.known.insert(cell);
+                self.pruned += 1;
+                pruned += 1;
+                false
+            } else {
+                true
+            }
+        });
+        if budget > 0 {
+            seed.truncate(budget);
+        }
+        (seed, pruned)
+    }
+
     fn sweep_cell(&self, cell: Cell) -> SweepCell {
         SweepCell {
             clock_ps: self.clocks[cell.0],
@@ -326,18 +485,22 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
     }
 
     /// The current front as (row index, cell, objectives), in the
-    /// deterministic pareto order (area ascending).
+    /// deterministic pareto order (area ascending): the full
+    /// four-objective front over the *feasible* rows. Infeasible rows are
+    /// excluded from both sides — they can neither be reported nor serve
+    /// as prune dominators (a point outside the feasible region must not
+    /// veto a cell that could join the constrained front).
     fn front(&self) -> Vec<(usize, Cell, Objectives)> {
-        pareto_indices(&self.rows)
+        pareto_indices_in_constrained(&ObjectiveSpace::full(), &self.constraints, &self.rows)
             .into_iter()
             .map(|i| (i, self.row_cells[i], objectives(&self.rows[i])))
             .collect()
     }
 
-    /// The tradeoff staircase in the selected space's plane: rows
-    /// non-dominated when only the plane's two axes count, sorted by the
-    /// primary axis improving (area ascending, latency strictly descending
-    /// under the default space).
+    /// The **planning** staircase in `space`'s plane: rows non-dominated
+    /// when only the plane's two axes count, sorted by the primary axis
+    /// improving (area ascending, latency strictly descending under the
+    /// default space).
     ///
     /// Gap measurement runs on this projection, not the full
     /// four-objective front: with every axis in play most grid cells are
@@ -347,11 +510,38 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
     /// into an exhaustive sweep. The staircase is the two-axis tradeoff
     /// curve the refinement is promised to resolve; the reported front
     /// stays the full four-objective one.
-    fn staircase(&self) -> Vec<(usize, Cell, Objectives)> {
-        staircase_indices_in(&self.space, &self.rows)
+    ///
+    /// Planning deliberately walks the **unconstrained** staircase even
+    /// under constraints (the *reported* staircase/front are always the
+    /// feasible projections): the feasible staircase is truncated at the
+    /// constraint boundary, so no gap would ever span the region just
+    /// inside it and boundary-adjacent feasible front points would be
+    /// systematically missed. Walking the unconstrained curve keeps the
+    /// bisection anchored on both sides of the boundary; the savings come
+    /// from the cells constraints let the driver *skip* — provably
+    /// infeasible closed-form values, optimistic bounds already over a
+    /// budget, windows clipped to the feasible interval — not from
+    /// blinding the planner. Rows whose closed-form axes violate a bound
+    /// are never evaluated in the first place, so those never appear
+    /// here either.
+    fn staircase(&self, space: &ObjectiveSpace) -> Vec<(usize, Cell, Objectives)> {
+        staircase_indices_in(space, &self.rows)
             .into_iter()
             .map(|i| (i, self.row_cells[i], objectives(&self.rows[i])))
             .collect()
+    }
+
+    /// True when `cell` provably violates a constraint **without
+    /// evaluation**: latency and throughput of a grid cell are closed-form
+    /// ([`Driver::exact_cell_value`]), so a bound on either axis can be
+    /// checked before any HLS run. Area/power bounds have no exact check
+    /// here; the optimistic-bound test in [`Driver::provably_useless`]
+    /// covers their interior-cell case.
+    fn provably_infeasible(&self, cell: Cell) -> bool {
+        self.constraints.iter().any(|c| {
+            self.exact_cell_value(cell, c.axis)
+                .is_some_and(|v| !c.satisfied_value(v))
+        })
     }
 
     /// The exact, closed-form value of a (possibly unevaluated) grid cell
@@ -389,13 +579,29 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
     /// Only interior midpoints are eligible for the optimistic-bound prune:
     /// the monotone-interpolation bound brackets cells *between* the two
     /// evaluated endpoints, not corners or outward neighbors.
+    ///
+    /// `pending` carries the cells already queued *this round* — by this
+    /// plane's earlier gaps, and (under [`refine_multi`]) by other planes'
+    /// plans — so an already-queued cell counts as a gap's contribution
+    /// instead of escalating to costlier families, and no cell is ever
+    /// queued twice in one round.
+    ///
+    /// `full_front` is the current [`Driver::front`] — the dominators for
+    /// the optimistic-bound prune (staircase neighbors can never dominate
+    /// an interior cell's optimistic corner, but a front point better on
+    /// an axis outside the plane can). The caller extracts it once per
+    /// *round*: rows don't change while a round plans, and under
+    /// [`refine_multi`] every plane's plan shares the same extraction.
     fn plan(
         &mut self,
+        space: &ObjectiveSpace,
         stairs: &[(usize, Cell, Objectives)],
         gap_tol: f64,
+        pending: &mut HashSet<Cell>,
+        full_front: &[(usize, Cell, Objectives)],
     ) -> (f64, Vec<Cell>, usize) {
-        let ranges = self.space.plane_ranges(stairs.iter().map(|(_, _, o)| o));
-        let (primary, secondary) = self.space.plane();
+        let ranges = space.plane_ranges(stairs.iter().map(|(_, _, o)| o));
+        let (primary, secondary) = space.plane();
         // The plane axes with closed-form cell values (latency/throughput),
         // paired with their normalization range: these are the axes gap
         // windows can be checked on without evaluation. An area/power
@@ -406,19 +612,13 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
             .into_iter()
             .filter(|(a, _)| matches!(a, Objective::LatencyPs | Objective::Throughput))
             .collect();
-        // Dominators for the optimistic-bound prune: the full
-        // four-objective front (staircase neighbors can never dominate an
-        // interior cell's optimistic corner, but a front point better on
-        // an axis outside the plane can).
-        let full_front = self.front();
         let mut max_gap = 0.0f64;
         let mut candidates: Vec<Cell> = Vec::new();
-        let mut pending: HashSet<Cell> = HashSet::new();
         let mut pruned_now = 0usize;
         for pair in stairs.windows(2) {
             let (_, ca, oa) = pair[0];
             let (_, cb, ob) = pair[1];
-            let gap = self.space.plane_gap(&oa, &ob, ranges);
+            let gap = space.plane_gap(&oa, &ob, ranges);
             max_gap = max_gap.max(gap);
             if gap <= gap_tol {
                 continue;
@@ -469,13 +669,25 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
             // closed-form value on each exact plane axis lands inside the
             // gap's interval on that axis (± the tolerance): anything
             // outside belongs to another pair's territory and would be
-            // proposed there if useful.
+            // proposed there if useful. Constraints on an exact axis clip
+            // the window to the feasible interval — the gap's territory
+            // never extends past a bound, because the staircase the gap
+            // lives on only contains feasible points.
             let windows: Vec<(Objective, f64, f64)> = exact_axes
                 .iter()
                 .map(|&(axis, range)| {
                     let (va, vb) = (axis.value(&oa), axis.value(&ob));
                     let tol = gap_tol.max(0.05) * range;
-                    (axis, va.min(vb) - tol, va.max(vb) + tol)
+                    let (mut lo, mut hi) = (va.min(vb) - tol, va.max(vb) + tol);
+                    for c in &self.constraints {
+                        if c.axis == axis {
+                            match c.op {
+                                crate::constraint::ConstraintOp::Le => hi = hi.min(c.bound),
+                                crate::constraint::ConstraintOp::Ge => lo = lo.max(c.bound),
+                            }
+                        }
+                    }
+                    (axis, lo, hi)
                 })
                 .collect();
             for family in [mids, corners, neighbors] {
@@ -497,6 +709,15 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
                         contributed = true;
                         continue;
                     }
+                    // A bound on a closed-form axis (latency/throughput)
+                    // disqualifies a cell for good, whichever gap or plane
+                    // proposes it — no evaluation needed.
+                    if self.provably_infeasible(cell) {
+                        self.known.insert(cell);
+                        self.pruned += 1;
+                        pruned_now += 1;
+                        continue;
+                    }
                     let outside = windows.iter().any(|&(axis, lo, hi)| {
                         let v = self
                             .exact_cell_value(cell, axis)
@@ -506,7 +727,7 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
                     if outside {
                         continue;
                     }
-                    if prunable && self.provably_dominated(cell, &oa, &ob, &full_front) {
+                    if prunable && self.provably_useless(cell, &oa, &ob, full_front) {
                         self.known.insert(cell);
                         self.pruned += 1;
                         pruned_now += 1;
@@ -527,7 +748,8 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
 
     /// Proposes the axis neighborhood (±1 per numeric axis, every pipeline
     /// mode, including the cell's own coordinates under other modes) of
-    /// each staircase point.
+    /// each staircase point, skipping cells a closed-form constraint
+    /// already disqualifies (returned as the pruned count).
     ///
     /// This is the escape hatch for planes whose staircase collapses to a
     /// single point: when both plane axes are evaluated quantities
@@ -540,8 +762,9 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
     /// without a closed-form axis: a latency-bearing plane's seed corners
     /// already span the exact axis, and its one-point staircase keeps the
     /// pre-redesign early stop instead (default-space bit-identity).
-    fn plan_densify(&self, stairs: &[(usize, Cell, Objectives)]) -> Vec<Cell> {
+    fn plan_densify(&mut self, stairs: &[(usize, Cell, Objectives)]) -> (Vec<Cell>, usize) {
         let mut out: Vec<Cell> = Vec::new();
+        let mut pruned_now = 0usize;
         for &(_, (c, l, _), _) in stairs {
             for mi in 0..self.modes.len() {
                 let neighborhood = [
@@ -558,13 +781,19 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
                         && !self.known.contains(&cell)
                         && !out.contains(&cell)
                     {
+                        if self.provably_infeasible(cell) {
+                            self.known.insert(cell);
+                            self.pruned += 1;
+                            pruned_now += 1;
+                            continue;
+                        }
                         out.push(cell);
                     }
                 }
             }
         }
         out.sort_unstable();
-        out
+        (out, pruned_now)
     }
 
     /// The optimistic-bound prune: latency/throughput of a grid cell are
@@ -572,23 +801,30 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
     /// better of the two bracketing front points (monotone-interpolation
     /// bound — scheduling with a budget between two evaluated budgets does
     /// not beat both on area/power). If even that corner is dominated by a
-    /// front point, evaluating the cell cannot change the front.
+    /// feasible front point — or already violates a `<=` budget on
+    /// area/power, which its real evaluation can only exceed — evaluating
+    /// the cell cannot change the (constrained) front.
     ///
-    /// The check deliberately runs in the **full** four-objective space
-    /// whatever plane steers the run: full-space dominance implies the
-    /// dominator is no worse on *every* axis, so a pruned cell can neither
-    /// join the reported four-objective front nor strictly improve any
-    /// plane's staircase — sound in every [`ObjectiveSpace`]. (Pruning
-    /// in-plane would discard cells that win on an unselected axis, and
-    /// would make the default space diverge from the pre-redesign
-    /// behavior.)
-    fn provably_dominated(
+    /// The dominance check deliberately runs in the **full**
+    /// four-objective space whatever plane steers the run: full-space
+    /// dominance implies the dominator is no worse on *every* axis, so a
+    /// pruned cell can neither join the reported four-objective front nor
+    /// strictly improve any plane's staircase — sound in every
+    /// [`ObjectiveSpace`], and under [`refine_multi`] sound for every
+    /// plane sharing the pass. (Pruning in-plane would discard cells that
+    /// win on an unselected axis, and would make the default space diverge
+    /// from the pre-redesign behavior.) The infeasibility check is
+    /// restricted to `<=` bounds because the monotone-interpolation bound
+    /// is a *lower* bound: it can prove a budget will be exceeded, never
+    /// that a floor will be met.
+    fn provably_useless(
         &self,
         cell: Cell,
         oa: &Objectives,
         ob: &Objectives,
         front: &[(usize, Cell, Objectives)],
     ) -> bool {
+        use crate::constraint::ConstraintOp;
         let item_time = self.cell_item_time_ps(cell);
         let optimistic = Objectives {
             area: oa.area.min(ob.area),
@@ -599,8 +835,24 @@ impl<F: FnMut(&SweepCell) -> Design> Driver<'_, F> {
         if !optimistic.is_finite() {
             return false;
         }
-        front.iter().any(|(_, _, of)| dominates(of, &optimistic))
+        let over_budget = self.constraints.iter().any(|c| {
+            matches!(c.axis, Objective::Area | Objective::PowerTotal)
+                && c.op == ConstraintOp::Le
+                && !c.satisfied_value(c.axis.value(&optimistic))
+        });
+        over_budget || front.iter().any(|(_, _, of)| dominates(of, &optimistic))
     }
+}
+
+/// True when the space's steering plane has a closed-form axis
+/// (latency/throughput): such a plane's seed corners already span that
+/// axis, so a single-point staircase is a genuinely converged corner and
+/// densification is never needed (see [`Driver::plan_densify`]).
+fn plane_has_exact_axis(space: &ObjectiveSpace) -> bool {
+    let (p, s) = space.plane();
+    [p, s]
+        .iter()
+        .any(|a| matches!(a, Objective::LatencyPs | Objective::Throughput))
 }
 
 /// Overflow-free index midpoint, rounding down.
@@ -611,6 +863,16 @@ fn midpoint(a: usize, b: usize) -> usize {
 /// Overflow-free index midpoint, rounding up.
 fn midpoint_up(a: usize, b: usize) -> usize {
     a.min(b) + (a.max(b) - a.min(b)).div_ceil(2)
+}
+
+/// The effective gap tolerance: non-finite or negative values are treated
+/// as `0.0` (refine until nothing new appears), on every driver.
+fn clamp_gap_tol(t: f64) -> f64 {
+    if t.is_finite() && t >= 0.0 {
+        t
+    } else {
+        0.0
+    }
 }
 
 /// Seed indices for one axis: first, middle, last (deduped).
@@ -677,59 +939,18 @@ where
             opts.objectives
         )));
     }
-    let gap_tol = if opts.gap_tol.is_finite() && opts.gap_tol >= 0.0 {
-        opts.gap_tol
-    } else {
-        0.0
-    };
-    // Sorted, deduplicated numeric axes make index bisection meaningful
-    // (and keep duplicate axis entries from double-evaluating cells).
-    let mut clocks: Vec<u64> = grid.clock_axis().to_vec();
-    clocks.sort_unstable();
-    clocks.dedup();
-    let mut cycles: Vec<u32> = grid.cycles_axis().to_vec();
-    cycles.sort_unstable();
-    cycles.dedup();
-    let mut modes: Vec<Option<u32>> = Vec::new();
-    for &m in grid.pipeline_axis() {
-        if !modes.contains(&m) {
-            modes.push(m);
-        }
-    }
-
-    // The grid the refinement actually explores (and that `grid_cells`
-    // reports) is the deduplicated one — duplicate axis entries name the
-    // same cells, and counting them would overstate the exhaustive
-    // denominator every evaluated/total ratio is judged against.
-    let Some(grid_cells) = clocks
-        .len()
-        .checked_mul(cycles.len())
-        .and_then(|p| p.checked_mul(modes.len()))
-    else {
-        return Err(Error::Capacity(
-            "adaptive refinement grid overflows the machine's address space".into(),
-        ));
-    };
-
-    let mut driver = Driver {
-        clocks,
-        cycles,
-        modes,
-        prefix,
-        build,
-        space: opts.objectives.clone(),
-        known: HashSet::new(),
-        rows: Vec::new(),
-        row_cells: Vec::new(),
-        skipped: Vec::new(),
-        pruned: 0,
-    };
+    // Constraints must bound axes the active space selects — a bound on an
+    // ignored axis would filter rows on evidence the space never weighs.
+    validate_constraints(&opts.constraints, opts.objectives.axes()).map_err(Error::Interp)?;
+    let gap_tol = clamp_gap_tol(opts.gap_tol);
+    let (mut driver, grid_cells) = Driver::prepare(grid, prefix, build, &opts.constraints)?;
     if driver.clocks.is_empty() || driver.cycles.is_empty() || driver.modes.is_empty() {
         return Ok(RefineResult {
             rows: Vec::new(),
             skipped: Vec::new(),
             front: Vec::new(),
             objectives: opts.objectives.clone(),
+            constraints: opts.constraints.clone(),
             trace: Vec::new(),
             evaluated: 0,
             pruned: 0,
@@ -737,46 +958,19 @@ where
         });
     }
 
-    // Seed: axis corners and midpoints, every pipeline mode — plus any
-    // warm-start cells that map onto this grid (appended after the
-    // geometric seed so a warm start never changes which cells a cold seed
-    // evaluates, only adds to them).
-    let mut seed: Vec<Cell> = Vec::new();
-    for &ci in &seed_indices(driver.clocks.len()) {
-        for &li in &seed_indices(driver.cycles.len()) {
-            for mi in 0..driver.modes.len() {
-                seed.push((ci, li, mi));
-            }
-        }
-    }
-    for w in &opts.warm_start {
-        let found = (
-            driver.clocks.iter().position(|&c| c == w.clock_ps),
-            driver.cycles.iter().position(|&c| c == w.cycles),
-            driver.modes.iter().position(|&m| m == w.pipeline_ii),
-        );
-        if let (Some(ci), Some(li), Some(mi)) = found {
-            let cell = (ci, li, mi);
-            if !seed.contains(&cell) {
-                seed.push(cell);
-            }
-        }
-    }
-    if opts.budget > 0 {
-        seed.truncate(opts.budget);
-    }
+    let (seed, seed_pruned) = driver.seed(&opts.warm_start, opts.budget);
     driver.evaluate_cells(eval, &seed)?;
     let mut trace = vec![RoundTrace {
         round: 0,
         new_points: seed.len(),
         front_size: driver.front().len(),
         max_gap: 0.0,
-        pruned: 0,
+        pruned: seed_pruned,
     }];
     observe(&trace[0]);
 
     for round in 1..=opts.max_rounds {
-        let stairs = driver.staircase();
+        let stairs = driver.staircase(&opts.objectives);
         if stairs.is_empty() {
             break;
         }
@@ -791,20 +985,23 @@ where
             // densify the lone point's axis neighborhood instead (see
             // `plan_densify`). The gap is reported as 0.0, like the seed
             // round: there is none yet.
-            let (p, s) = driver.space.plane();
-            let plane_has_exact_axis = [p, s]
-                .iter()
-                .any(|a| matches!(a, Objective::LatencyPs | Objective::Throughput));
-            if plane_has_exact_axis {
+            if plane_has_exact_axis(&opts.objectives) {
                 break;
             }
-            let candidates = driver.plan_densify(&stairs);
+            let (candidates, pruned_now) = driver.plan_densify(&stairs);
             if candidates.is_empty() {
                 break;
             }
-            (0.0, candidates, 0)
+            (0.0, candidates, pruned_now)
         } else {
-            let planned = driver.plan(&stairs, gap_tol);
+            let full_front = driver.front();
+            let planned = driver.plan(
+                &opts.objectives,
+                &stairs,
+                gap_tol,
+                &mut HashSet::new(),
+                &full_front,
+            );
             if planned.0 <= gap_tol || planned.1.is_empty() {
                 break;
             }
@@ -840,7 +1037,309 @@ where
         skipped: driver.skipped,
         front,
         objectives: opts.objectives.clone(),
+        constraints: opts.constraints.clone(),
         trace,
+        evaluated,
+        pruned: driver.pruned,
+        grid_cells,
+    })
+}
+
+/// One merged round of a multi-plane refinement ([`refine_multi`]): what
+/// the pass evaluated, and where every plane stood.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRoundTrace {
+    /// Round number (`0` is the shared seed).
+    pub round: usize,
+    /// Cells evaluated this round — every plane's proposals, merged and
+    /// deduplicated (a cell two planes want is evaluated once).
+    pub new_points: usize,
+    /// Size of the feasible full-objective front after integrating the
+    /// round's rows.
+    pub front_size: usize,
+    /// Each plane's widest normalized staircase gap this round,
+    /// index-aligned with the `planes` passed to [`refine_multi`]
+    /// (`0.0` for the seed round and for planes with no gap yet).
+    pub plane_gaps: Vec<f64>,
+    /// Cells discarded without evaluation this round (optimistic-bound
+    /// prunes and provable constraint violations), all planes combined.
+    pub pruned: usize,
+}
+
+/// Outcome of one multi-plane refinement ([`refine_multi`]): per-plane
+/// [`RefineResult`]s over one shared evaluation set, plus the merged
+/// trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MultiRefineResult {
+    /// One result per requested plane, in request order. All of them share
+    /// the pass's `rows`/`skipped`/`front` (the evaluations were shared);
+    /// each records its own `objectives` and a per-plane trace whose
+    /// `max_gap` is that plane's gap and whose `new_points` counts the
+    /// cells that plane proposed (a shared cell is credited to the first
+    /// plane that asked for it).
+    pub planes: Vec<RefineResult>,
+    /// The merged per-round trace, seed first.
+    pub trace: Vec<MultiRoundTrace>,
+    /// Every evaluated row, in deterministic (round, cell-index) order —
+    /// the union the planes steered together.
+    pub rows: Vec<DseRow>,
+    /// Infeasible cells as (name, error), if the evaluator skips them.
+    pub skipped: Vec<(String, String)>,
+    /// The full four-objective Pareto front over the feasible `rows` (see
+    /// [`RefineResult::front`]) — identical in every plane's result.
+    pub front: Vec<DseRow>,
+    /// The constraints the pass honored (shared by every plane).
+    pub constraints: Vec<Constraint>,
+    /// Cells submitted for evaluation (`rows.len() + skipped.len()`) —
+    /// each exactly once, however many planes wanted it.
+    pub evaluated: usize,
+    /// Cells discarded without evaluation, all planes combined.
+    pub pruned: usize,
+    /// Cell count of the deduplicated exhaustive grid.
+    pub grid_cells: usize,
+}
+
+/// Refines **several objective planes in one pass** over one shared
+/// evaluator: every plane's staircase gaps are measured and bisected each
+/// round, the proposed cells are merged (deduplicated) into one batch, and
+/// every evaluation feeds every plane — so exploring `[area,latency]` and
+/// `[area,power]` together performs no duplicate HLS evaluations, where
+/// two single-plane runs would re-derive the shared neighborhoods (or pay
+/// cache lookups for them).
+///
+/// `opts.objectives` is ignored; the planes come from `planes` (each needs
+/// two axes, duplicates are rejected). Constraints apply to the whole
+/// pass and must bound axes selected by at least one plane. Budget,
+/// tolerance, warm start, and round cap are shared.
+///
+/// Convergence matches the single-plane driver per plane: a plane stops
+/// proposing once its gaps are within tolerance (or its candidate
+/// families are exhausted), and the pass ends when no plane proposes
+/// anything new. Because every plane also sees the rows the *other*
+/// planes requested, each plane's final staircase is at least as resolved
+/// as its single-plane run's.
+///
+/// # Errors
+///
+/// As [`refine`], plus a message when `planes` is empty or repeats a
+/// plane.
+pub fn refine_multi<F>(
+    eval: &dyn Evaluator,
+    grid: &SweepGrid,
+    prefix: &str,
+    build: F,
+    opts: &RefineOptions,
+    planes: &[ObjectiveSpace],
+) -> Result<MultiRefineResult>
+where
+    F: FnMut(&SweepCell) -> Design,
+{
+    refine_multi_with_progress(eval, grid, prefix, build, opts, planes, |_| {})
+}
+
+/// [`refine_multi`], reporting each merged round's [`MultiRoundTrace`] to
+/// `observe` as soon as the round's rows are integrated (the seed round
+/// included) — the multi-plane counterpart of [`refine_with_progress`],
+/// and what the exploration server streams multi-plane `round` events
+/// from.
+///
+/// # Errors
+///
+/// As [`refine_multi`].
+pub fn refine_multi_with_progress<F>(
+    eval: &dyn Evaluator,
+    grid: &SweepGrid,
+    prefix: &str,
+    build: F,
+    opts: &RefineOptions,
+    planes: &[ObjectiveSpace],
+    mut observe: impl FnMut(&MultiRoundTrace),
+) -> Result<MultiRefineResult>
+where
+    F: FnMut(&SweepCell) -> Design,
+{
+    if planes.is_empty() {
+        return Err(Error::Interp(
+            "multi-plane refinement needs at least one objective plane".into(),
+        ));
+    }
+    for p in planes {
+        if p.axes().len() < 2 {
+            return Err(Error::Interp(format!(
+                "adaptive refinement steers a two-axis objective plane; `{p}` has only one axis \
+                 (pick two, e.g. `area,power`)"
+            )));
+        }
+    }
+    crate::pareto::reject_duplicate_planes(planes).map_err(Error::Interp)?;
+    // Constraints must bound an axis some plane selects; the union is the
+    // pass's effective objective space.
+    validate_constraints(&opts.constraints, &crate::pareto::axis_union(planes))
+        .map_err(Error::Interp)?;
+
+    let gap_tol = clamp_gap_tol(opts.gap_tol);
+    let (mut driver, grid_cells) = Driver::prepare(grid, prefix, build, &opts.constraints)?;
+    let empty_result = |planes: &[ObjectiveSpace]| MultiRefineResult {
+        planes: planes
+            .iter()
+            .map(|p| RefineResult {
+                rows: Vec::new(),
+                skipped: Vec::new(),
+                front: Vec::new(),
+                objectives: p.clone(),
+                constraints: opts.constraints.clone(),
+                trace: Vec::new(),
+                evaluated: 0,
+                pruned: 0,
+                grid_cells,
+            })
+            .collect(),
+        trace: Vec::new(),
+        rows: Vec::new(),
+        skipped: Vec::new(),
+        front: Vec::new(),
+        constraints: opts.constraints.clone(),
+        evaluated: 0,
+        pruned: 0,
+        grid_cells,
+    };
+    if driver.clocks.is_empty() || driver.cycles.is_empty() || driver.modes.is_empty() {
+        return Ok(empty_result(planes));
+    }
+
+    let (seed, seed_pruned) = driver.seed(&opts.warm_start, opts.budget);
+    driver.evaluate_cells(eval, &seed)?;
+    let front_size = driver.front().len();
+    let mut merged = vec![MultiRoundTrace {
+        round: 0,
+        new_points: seed.len(),
+        front_size,
+        plane_gaps: vec![0.0; planes.len()],
+        pruned: seed_pruned,
+    }];
+    let mut plane_traces: Vec<Vec<RoundTrace>> = planes
+        .iter()
+        .map(|_| {
+            vec![RoundTrace {
+                round: 0,
+                new_points: seed.len(),
+                front_size,
+                max_gap: 0.0,
+                pruned: seed_pruned,
+            }]
+        })
+        .collect();
+    observe(&merged[0]);
+
+    for round in 1..=opts.max_rounds {
+        // One shared pending set: a cell several planes want this round is
+        // queued once, credited to the first plane that asked.
+        let mut pending: HashSet<Cell> = HashSet::new();
+        // One front extraction per round, shared by every plane's prune —
+        // rows don't change while the round plans.
+        let full_front = driver.front();
+        // Which plane proposed each cell — so per-plane counts can be
+        // re-derived from the cells that *survive* the budget cut below.
+        let mut proposer: HashMap<Cell, usize> = HashMap::new();
+        let mut candidates: Vec<Cell> = Vec::new();
+        let mut plane_gaps = vec![0.0f64; planes.len()];
+        let mut plane_pruned = vec![0usize; planes.len()];
+        for (pi, plane) in planes.iter().enumerate() {
+            let stairs = driver.staircase(plane);
+            if stairs.is_empty() {
+                continue;
+            }
+            let (gap, fresh, pruned_now) = if stairs.len() < 2 {
+                // Same per-plane policy as the single-plane driver: an
+                // exact-axis plane's one-point staircase is a converged
+                // corner; an evaluated-axes plane densifies around it.
+                if plane_has_exact_axis(plane) {
+                    continue;
+                }
+                let (cands, pruned_now) = driver.plan_densify(&stairs);
+                let fresh: Vec<Cell> = cands.into_iter().filter(|c| pending.insert(*c)).collect();
+                (0.0, fresh, pruned_now)
+            } else {
+                // `plan` itself skips (and credits) cells another plane
+                // already queued via the shared pending set.
+                driver.plan(plane, &stairs, gap_tol, &mut pending, &full_front)
+            };
+            plane_gaps[pi] = gap;
+            plane_pruned[pi] = pruned_now;
+            for &c in &fresh {
+                proposer.insert(c, pi);
+            }
+            candidates.extend(fresh);
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        candidates.sort_unstable();
+        if opts.budget > 0 {
+            let spent = driver.rows.len() + driver.skipped.len();
+            let remaining = opts.budget.saturating_sub(spent);
+            if remaining == 0 {
+                break;
+            }
+            candidates.truncate(remaining);
+        }
+        // Per-plane counts reflect what was *evaluated*, not what was
+        // proposed: cells the budget truncation dropped never ran, and
+        // counting them would make the per-plane traces disagree with the
+        // merged trace (and with a single-plane run's under one plane).
+        let mut plane_new = vec![0usize; planes.len()];
+        for c in &candidates {
+            plane_new[proposer[c]] += 1;
+        }
+        driver.evaluate_cells(eval, &candidates)?;
+        let front_size = driver.front().len();
+        merged.push(MultiRoundTrace {
+            round,
+            new_points: candidates.len(),
+            front_size,
+            plane_gaps: plane_gaps.clone(),
+            pruned: plane_pruned.iter().sum(),
+        });
+        for (pi, t) in plane_traces.iter_mut().enumerate() {
+            t.push(RoundTrace {
+                round,
+                new_points: plane_new[pi],
+                front_size,
+                max_gap: plane_gaps[pi],
+                pruned: plane_pruned[pi],
+            });
+        }
+        observe(merged.last().expect("round trace just pushed"));
+    }
+
+    let front: Vec<DseRow> = driver
+        .front()
+        .into_iter()
+        .map(|(i, _, _)| driver.rows[i].clone())
+        .collect();
+    let evaluated = driver.rows.len() + driver.skipped.len();
+    let plane_results: Vec<RefineResult> = planes
+        .iter()
+        .zip(plane_traces)
+        .map(|(plane, trace)| RefineResult {
+            rows: driver.rows.clone(),
+            skipped: driver.skipped.clone(),
+            front: front.clone(),
+            objectives: plane.clone(),
+            constraints: opts.constraints.clone(),
+            trace,
+            evaluated,
+            pruned: driver.pruned,
+            grid_cells,
+        })
+        .collect();
+    Ok(MultiRefineResult {
+        planes: plane_results,
+        trace: merged,
+        rows: driver.rows,
+        skipped: driver.skipped,
+        front,
+        constraints: opts.constraints.clone(),
         evaluated,
         pruned: driver.pruned,
         grid_cells,
@@ -1215,6 +1714,358 @@ mod tests {
         )
         .unwrap();
         assert_eq!(seen, r.trace, "streamed traces match the result trace");
+    }
+
+    #[test]
+    fn constrained_refine_front_is_the_feasible_slice() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1250, 1400, 1600, 1800, 2100], &[2, 3, 4, 5, 6]);
+        // Reference: the unconstrained exhaustive sweep.
+        let exhaustive = g.expand("syn", build_cell).unwrap();
+        let ex_rows = engine(&lib).evaluate_points(&exhaustive).unwrap().rows;
+        // A latency budget cutting through the middle of the plane.
+        let lats: Vec<f64> = ex_rows.iter().map(|r| r.latency_ps).collect();
+        let mid = lats.iter().copied().fold(f64::NEG_INFINITY, f64::max) / 2.0;
+        let cs = vec![Constraint::parse(&format!("latency<={mid}")).unwrap()];
+        let r = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                gap_tol: 0.0,
+                constraints: cs.clone(),
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(r.constraints, cs);
+        // Every reported front row is feasible, and the front equals the
+        // post-hoc constrained extraction over the same evaluations.
+        assert!(r.front.iter().all(|row| row.latency_ps <= mid));
+        assert_eq!(
+            r.front,
+            crate::pareto::pareto_front_in_constrained(&ObjectiveSpace::full(), &cs, &r.rows)
+        );
+        // The provable-infeasibility skip kept the budget-violating cells
+        // away from the evaluator entirely.
+        assert!(r.rows.iter().all(|row| row.latency_ps <= mid));
+        assert!(r.pruned > 0, "closed-form infeasible cells were skipped");
+        assert!(r.evaluated < r.grid_cells);
+        // The constrained staircase is the feasible slice of the
+        // unconstrained plane staircase (improving bound ⇒ commutes).
+        let feasible_slice: Vec<DseRow> = crate::pareto::tradeoff_staircase(&ex_rows)
+            .into_iter()
+            .filter(|row| row.latency_ps <= mid)
+            .collect();
+        let refined_stairs =
+            crate::pareto::tradeoff_staircase_in_constrained(&r.objectives, &cs, &r.rows);
+        for s in &feasible_slice {
+            assert!(
+                refined_stairs.iter().any(|a| a == s)
+                    || refined_stairs
+                        .iter()
+                        .any(|a| a.a_slack <= s.a_slack && a.latency_ps <= s.latency_ps),
+                "feasible exhaustive staircase point {} is not covered",
+                s.name
+            );
+        }
+    }
+
+    #[test]
+    fn constraints_on_unselected_axes_are_rejected() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1400, 1800], &[2, 4, 6]);
+        let err = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                constraints: vec![Constraint::parse("power<=10").unwrap()],
+                ..Default::default()
+            },
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("power"), "{err}");
+        // The same bound is fine once the space selects the axis.
+        refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                objectives: ObjectiveSpace::parse("area,power").unwrap(),
+                constraints: vec![Constraint::parse("power<=1e9").unwrap()],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+    }
+
+    #[test]
+    fn infeasible_constraints_refine_to_an_empty_front() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1400, 1800], &[2, 4, 6]);
+        let r = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                // No cell of this grid is this fast.
+                constraints: vec![Constraint::parse("latency<=1").unwrap()],
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(r.front.is_empty());
+        assert_eq!(r.evaluated, 0, "every cell was provably infeasible");
+        assert!(r.pruned > 0);
+    }
+
+    #[test]
+    fn empty_constraints_are_bit_identical_to_the_unconstrained_run() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1250, 1400, 1600, 1800], &[2, 3, 4, 6]);
+        let opts = RefineOptions {
+            gap_tol: 0.1,
+            ..Default::default()
+        };
+        let plain = refine(&engine(&lib), &g, "syn", build_cell, &opts).unwrap();
+        let constrained = refine(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                constraints: Vec::new(),
+                ..opts
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, constrained);
+    }
+
+    #[test]
+    fn warm_start_round_trips_exported_constraints() {
+        let json = r#"{"objectives":["area","power"],
+            "constraints":["area<=1500","power<=40"],
+            "front":[{"name":"syn-c1100-l2","a_slack":10}]}"#;
+        let ws = WarmStart::parse(json).unwrap();
+        assert_eq!(
+            ws.constraints,
+            vec![
+                Constraint::parse("area<=1500").unwrap(),
+                Constraint::parse("power<=40").unwrap(),
+            ]
+        );
+        // Absent and null mean unconstrained, like pre-constraint exports.
+        let legacy = WarmStart::parse(r#"{"front":[{"name":"syn-c1100-l2"}]}"#).unwrap();
+        assert!(legacy.constraints.is_empty());
+        // A recorded-but-bogus constraint is an error, not a default.
+        assert!(WarmStart::parse(r#"{"constraints":["warp<=1"],"front":[]}"#).is_err());
+        assert!(WarmStart::parse(r#"{"constraints":7,"front":[]}"#).is_err());
+    }
+
+    #[test]
+    fn multi_plane_refinement_shares_every_evaluation() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1250, 1400, 1600, 1800, 2100], &[2, 3, 4, 5, 6]);
+        let planes = ObjectiveSpace::parse_multi("area,latency;area,power").unwrap();
+        let opts = RefineOptions {
+            gap_tol: 0.1,
+            ..Default::default()
+        };
+        let multi = refine_multi(&engine(&lib), &g, "syn", build_cell, &opts, &planes).unwrap();
+        assert_eq!(multi.planes.len(), 2);
+        // No cell is evaluated twice: the row names are unique.
+        let mut names: Vec<&str> = multi.rows.iter().map(|r| r.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "a cell was evaluated twice");
+        assert_eq!(multi.evaluated, multi.rows.len() + multi.skipped.len());
+        // Per-plane results share the evaluation set and record their own
+        // plane; the merged trace is index-aligned with the planes.
+        for (pi, plane_result) in multi.planes.iter().enumerate() {
+            assert_eq!(plane_result.objectives, planes[pi]);
+            assert_eq!(plane_result.rows, multi.rows);
+            assert_eq!(plane_result.front, multi.front);
+            assert_eq!(plane_result.trace.len(), multi.trace.len());
+            for (t, m) in plane_result.trace.iter().zip(&multi.trace) {
+                assert_eq!(t.round, m.round);
+                assert_eq!(t.max_gap, m.plane_gaps[pi]);
+            }
+        }
+        // Each plane's staircase over the shared rows covers its
+        // single-plane run's staircase within the tolerance box (the multi
+        // pass saw a superset of useful cells, so it can only be at least
+        // as resolved).
+        for (pi, plane) in planes.iter().enumerate() {
+            let single = refine(
+                &engine(&lib),
+                &g,
+                "syn",
+                build_cell,
+                &RefineOptions {
+                    objectives: plane.clone(),
+                    ..opts.clone()
+                },
+            )
+            .unwrap();
+            let single_stairs = crate::pareto::tradeoff_staircase_in(plane, &single.rows);
+            let multi_stairs = crate::pareto::tradeoff_staircase_in(plane, &multi.rows);
+            assert!(
+                !multi_stairs.is_empty(),
+                "plane {pi} has a staircase in the merged pass"
+            );
+            let (p, s) = plane.plane();
+            let val = |r: &DseRow, a: Objective| a.key(&crate::pareto::objectives(r));
+            for sp in &single_stairs {
+                let covered = multi_stairs
+                    .iter()
+                    .any(|m| val(m, p) <= val(sp, p) && val(m, s) <= val(sp, s) + 1e-9);
+                assert!(
+                    covered,
+                    "plane {pi}: single-plane staircase point {} not covered by the multi pass",
+                    sp.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_plane_budget_truncation_keeps_traces_consistent() {
+        // Per-plane round counts must describe what was *evaluated*, not
+        // what was proposed: under a tight budget the merged batch is
+        // truncated, and the per-plane new_points must sum to the merged
+        // (post-truncation) count in every round.
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1250, 1400, 1600, 1800, 2100], &[2, 3, 4, 5, 6]);
+        let planes = ObjectiveSpace::parse_multi("area,latency;area,power").unwrap();
+        let multi = refine_multi(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                budget: 11,
+                gap_tol: 0.0,
+                ..Default::default()
+            },
+            &planes,
+        )
+        .unwrap();
+        assert!(
+            multi.evaluated <= 11,
+            "budget 11, spent {}",
+            multi.evaluated
+        );
+        for (ri, m) in multi.trace.iter().enumerate() {
+            let per_plane_sum: usize = multi.planes.iter().map(|p| p.trace[ri].new_points).sum();
+            // The shared seed round is credited in full to every plane
+            // (they all consumed it); refinement rounds partition the
+            // evaluated batch across the proposing planes.
+            if ri == 0 {
+                for p in &multi.planes {
+                    assert_eq!(p.trace[0].new_points, m.new_points);
+                }
+            } else {
+                assert_eq!(
+                    per_plane_sum, m.new_points,
+                    "round {ri}: per-plane counts disagree with the merged trace"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn multi_plane_rejects_empty_duplicate_and_single_axis_planes() {
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1400, 1800], &[2, 4, 6]);
+        let opts = RefineOptions::default();
+        let err = refine_multi(&engine(&lib), &g, "syn", build_cell, &opts, &[]).unwrap_err();
+        assert!(err.to_string().contains("at least one"), "{err}");
+        let dup = ObjectiveSpace::parse_multi("area,power").unwrap();
+        let err = refine_multi(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &opts,
+            &[dup[0].clone(), dup[0].clone()],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("twice"), "{err}");
+        let err = refine_multi(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &opts,
+            &[ObjectiveSpace::new([Objective::Area]).unwrap()],
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("two-axis"), "{err}");
+        // Constraints must hit an axis of at least one plane.
+        let planes = ObjectiveSpace::parse_multi("area,latency;area,power").unwrap();
+        let err = refine_multi(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &RefineOptions {
+                constraints: vec![Constraint::parse("throughput>=1").unwrap()],
+                ..Default::default()
+            },
+            &planes,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("throughput"), "{err}");
+    }
+
+    #[test]
+    fn multi_plane_single_plane_matches_the_dedicated_driver_rows() {
+        // One plane through refine_multi explores the same grid the
+        // dedicated driver does — same seed, same gap logic — so the
+        // evaluated set and front must coincide.
+        let lib = tsmc90::library();
+        let g = grid(&[1100, 1250, 1400, 1600, 1800], &[2, 3, 4, 6]);
+        let opts = RefineOptions {
+            gap_tol: 0.1,
+            ..Default::default()
+        };
+        let single = refine(&engine(&lib), &g, "syn", build_cell, &opts).unwrap();
+        let multi = refine_multi(
+            &engine(&lib),
+            &g,
+            "syn",
+            build_cell,
+            &opts,
+            &[ObjectiveSpace::default()],
+        )
+        .unwrap();
+        assert_eq!(multi.rows, single.rows);
+        assert_eq!(multi.front, single.front);
+        assert_eq!(multi.evaluated, single.evaluated);
+        assert_eq!(multi.planes[0].trace, single.trace);
+        let observer_run = {
+            let mut seen = Vec::new();
+            let r = refine_multi_with_progress(
+                &engine(&lib),
+                &g,
+                "syn",
+                build_cell,
+                &opts,
+                &[ObjectiveSpace::default()],
+                |t| seen.push(t.clone()),
+            )
+            .unwrap();
+            assert_eq!(seen, r.trace, "streamed traces match the result trace");
+            r
+        };
+        assert_eq!(observer_run, multi, "observer does not perturb the run");
     }
 
     #[test]

@@ -29,4 +29,7 @@ pub mod session;
 
 pub use eviction::{CacheStats, EvictingCache, Outcome};
 pub use protocol::{Command, WorkloadSpec};
-pub use session::{refine_space, sweep_points, sweep_space, workload_grid, BuildFn, Server};
+pub use session::{
+    refine_spaces, sweep_points, sweep_spaces, validate_spec_constraints, workload_grid, BuildFn,
+    Server,
+};

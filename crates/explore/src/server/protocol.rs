@@ -16,10 +16,11 @@
 //! CLI for the same rows. `docs/PROTOCOL.md` documents the full surface
 //! with worked examples.
 
+use crate::constraint::{constraints_from_json, constraints_to_json, Constraint};
 use crate::engine::SweepResult;
 use crate::export::{objectives_to_json, rows_to_json_line};
-use crate::pareto::{tradeoff_staircase_in, ObjectiveSpace};
-use crate::refine::{RefineResult, RoundTrace};
+use crate::pareto::{tradeoff_staircase_in_constrained, ObjectiveSpace};
+use crate::refine::{MultiRefineResult, MultiRoundTrace, RefineResult, RoundTrace};
 use crate::server::eviction::CacheStats;
 use adhls_core::dse::{summarize, DseRow};
 use adhls_core::json::{escape_into, Value};
@@ -50,13 +51,20 @@ pub struct WorkloadSpec {
     pub count: Option<usize>,
     /// Seed for the random workload.
     pub seed: Option<u64>,
-    /// The objective space the request selects (`objectives` field: an
-    /// array of axis names, or one comma-separated string — the same
-    /// grammar as CLI `--objectives`). `None` applies the surface default:
-    /// all four axes for sweep fronts, the (area, latency) plane for
-    /// refinement (see [`crate::server::session::sweep_space`] /
-    /// [`crate::server::session::refine_space`]).
-    pub objectives: Option<ObjectiveSpace>,
+    /// The objective space(s) the request selects (`objectives` field: an
+    /// array of axis names, one comma-separated string, or — multi-plane —
+    /// a `;`-separated string / array of planes; the same grammar as CLI
+    /// `--objectives`, see [`ObjectiveSpace::multi_from_json`]). `None`
+    /// applies the surface default: all four axes for sweep fronts, the
+    /// (area, latency) plane for refinement (see
+    /// [`crate::server::session::sweep_spaces`] /
+    /// [`crate::server::session::refine_spaces`]).
+    pub objectives: Option<Vec<ObjectiveSpace>>,
+    /// Objective bounds (`constraints` field: an array of strings like
+    /// `"area<=1500"`, or one comma-separated string) every returned
+    /// front/staircase honors and adaptive refinement clips to. Each
+    /// bound's axis must be selected by the active objective space(s).
+    pub constraints: Vec<Constraint>,
 }
 
 /// One parsed request.
@@ -188,15 +196,25 @@ fn parse_spec(doc: &Value) -> Result<WorkloadSpec, String> {
             Some(v) => Some(v.as_u64().ok_or("`seed` must be a whole number")?),
         },
         objectives: parse_objectives(doc)?,
+        constraints: parse_constraints_field(doc)?,
     })
 }
 
 /// Parses the `objectives` request field through the one shared
-/// definition ([`ObjectiveSpace::from_json`], whose string grammar the
-/// CLI's `--objectives` also uses), accepting both the array form
-/// (`["area","power"]`) and the comma string (`"area,power"`).
-fn parse_objectives(doc: &Value) -> Result<Option<ObjectiveSpace>, String> {
-    ObjectiveSpace::from_json(doc.get("objectives")).map_err(|e| format!("`objectives`: {e}"))
+/// definition ([`ObjectiveSpace::multi_from_json`], whose string grammar
+/// the CLI's `--objectives` also uses), accepting the axis-name array
+/// (`["area","power"]`), the comma string (`"area,power"`), and the
+/// multi-plane forms (`"area,latency;area,power"`,
+/// `[["area","latency"],["area","power"]]`).
+fn parse_objectives(doc: &Value) -> Result<Option<Vec<ObjectiveSpace>>, String> {
+    ObjectiveSpace::multi_from_json(doc.get("objectives")).map_err(|e| format!("`objectives`: {e}"))
+}
+
+/// Parses the `constraints` request field through the one shared
+/// definition ([`constraints_from_json`], the same grammar the CLI's
+/// `--constraint` and exported documents use).
+fn parse_constraints_field(doc: &Value) -> Result<Vec<Constraint>, String> {
+    constraints_from_json(doc.get("constraints")).map_err(|e| format!("`constraints`: {e}"))
 }
 
 fn opt_usize(doc: &Value, key: &str) -> Result<Option<usize>, String> {
@@ -308,29 +326,64 @@ fn skipped_into(out: &mut String, skipped: &[(String, String)]) {
     out.push(']');
 }
 
-/// The terminal message for a `sweep` request. `space` is the objective
-/// space the front was extracted in; the response records it, and the
-/// `staircase` is the plane projection of the same space.
+/// The terminal message for a `sweep` request. `planes` pairs each
+/// requested objective space with the (constrained) front extracted in it;
+/// the top-level `objectives`/`front`/`staircase` mirror the *first*
+/// plane — byte-identical to the pre-multi-plane response for single-plane
+/// requests — and a `planes` array with every plane's view is added when
+/// more than one was requested. `constraints` records the bounds every
+/// front and staircase honored.
 #[must_use]
 pub fn render_sweep_result(
     id: Option<&Value>,
     result: &SweepResult,
-    front: &[DseRow],
-    space: &ObjectiveSpace,
+    planes: &[(ObjectiveSpace, Vec<DseRow>)],
+    constraints: &[Constraint],
 ) -> String {
     let mut out = String::new();
     open_envelope(&mut out, id);
+    let (space, front) = &planes[0];
+    // One staircase extraction per plane, shared between the top-level
+    // mirror and the `planes` array — staircase walks are O(n log n) over
+    // the full row set, and this sits on the serve hot path.
+    let staircases: Vec<String> = planes
+        .iter()
+        .map(|(space, _)| {
+            rows_to_json_line(&tradeoff_staircase_in_constrained(
+                space,
+                constraints,
+                &result.rows,
+            ))
+        })
+        .collect();
     out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"sweep\",\"objectives\":");
     out.push_str(&objectives_to_json(space));
+    if !constraints.is_empty() {
+        out.push_str(",\"constraints\":");
+        out.push_str(&constraints_to_json(constraints));
+    }
     out.push_str(",\"rows\":");
     out.push_str(&rows_to_json_line(&result.rows));
     out.push_str(",\"front\":");
     out.push_str(&rows_to_json_line(front));
     out.push_str(",\"staircase\":");
-    out.push_str(&rows_to_json_line(&tradeoff_staircase_in(
-        space,
-        &result.rows,
-    )));
+    out.push_str(&staircases[0]);
+    if planes.len() > 1 {
+        out.push_str(",\"planes\":[");
+        for (i, (space, front)) in planes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"objectives\":");
+            out.push_str(&objectives_to_json(space));
+            out.push_str(",\"front\":");
+            out.push_str(&rows_to_json_line(front));
+            out.push_str(",\"staircase\":");
+            out.push_str(&staircases[i]);
+            out.push('}');
+        }
+        out.push(']');
+    }
     out.push_str(",\"summary\":");
     match summarize(&result.rows) {
         Some(s) => out.push_str(&s.to_json().render()),
@@ -347,19 +400,25 @@ pub fn render_sweep_result(
 }
 
 /// The terminal message for a `refine` request. The `staircase` is the
-/// plane projection of the space that steered the run
-/// ([`RefineResult::objectives`]), which the response records.
+/// constrained plane projection of the space that steered the run
+/// ([`RefineResult::objectives`]), which the response records next to its
+/// constraints.
 #[must_use]
 pub fn render_refine_result(id: Option<&Value>, r: &RefineResult) -> String {
     let mut out = String::new();
     open_envelope(&mut out, id);
     out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",\"objectives\":");
     out.push_str(&objectives_to_json(&r.objectives));
+    if !r.constraints.is_empty() {
+        out.push_str(",\"constraints\":");
+        out.push_str(&constraints_to_json(&r.constraints));
+    }
     out.push_str(",\"rows\":");
     out.push_str(&rows_to_json_line(&r.rows));
     out.push_str(",\"staircase\":");
-    out.push_str(&rows_to_json_line(&tradeoff_staircase_in(
+    out.push_str(&rows_to_json_line(&tradeoff_staircase_in_constrained(
         &r.objectives,
+        &r.constraints,
         &r.rows,
     )));
     out.push_str(",\"front\":");
@@ -378,6 +437,112 @@ pub fn render_refine_result(id: Option<&Value>, r: &RefineResult) -> String {
         out.push('{');
         round_trace_fields_into(&mut out, t);
         out.push('}');
+    }
+    out.push_str("]}}");
+    out
+}
+
+/// A streamed per-round progress event for a **multi-plane** refinement:
+/// like [`render_round`], with the per-plane gap vector in place of the
+/// single `max_gap` (index-aligned with the request's planes).
+#[must_use]
+pub fn render_multi_round(id: Option<&Value>, t: &MultiRoundTrace) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    let _ = write!(
+        out,
+        ",\"event\":\"round\",\"round\":{},\"new_points\":{},\"front_size\":{},\"plane_gaps\":[",
+        t.round, t.new_points, t.front_size
+    );
+    for (i, g) in t.plane_gaps.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{g}");
+    }
+    let _ = write!(out, "],\"pruned\":{}}}", t.pruned);
+    out
+}
+
+/// The terminal message for a multi-plane `refine` request: the shared
+/// `rows`/`front`, a `planes` array with each plane's `objectives`,
+/// converged constrained `staircase`, and per-plane `rounds`, and a
+/// `refine` audit block whose merged rounds carry `plane_gaps`. The
+/// top-level `objectives`/`staircase` mirror the first plane, so
+/// single-plane consumers read the response unchanged.
+#[must_use]
+pub fn render_refine_multi_result(id: Option<&Value>, r: &MultiRefineResult) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    let first = &r.planes[0];
+    // As in `render_sweep_result`: one staircase extraction per plane,
+    // shared between the top-level mirror and the `planes` array.
+    let staircases: Vec<String> = r
+        .planes
+        .iter()
+        .map(|p| {
+            rows_to_json_line(&tradeoff_staircase_in_constrained(
+                &p.objectives,
+                &r.constraints,
+                &r.rows,
+            ))
+        })
+        .collect();
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",\"objectives\":");
+    out.push_str(&objectives_to_json(&first.objectives));
+    if !r.constraints.is_empty() {
+        out.push_str(",\"constraints\":");
+        out.push_str(&constraints_to_json(&r.constraints));
+    }
+    out.push_str(",\"rows\":");
+    out.push_str(&rows_to_json_line(&r.rows));
+    out.push_str(",\"staircase\":");
+    out.push_str(&staircases[0]);
+    out.push_str(",\"front\":");
+    out.push_str(&rows_to_json_line(&r.front));
+    out.push_str(",\"planes\":[");
+    for (i, p) in r.planes.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"objectives\":");
+        out.push_str(&objectives_to_json(&p.objectives));
+        out.push_str(",\"staircase\":");
+        out.push_str(&staircases[i]);
+        out.push_str(",\"rounds\":[");
+        for (j, t) in p.trace.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            round_trace_fields_into(&mut out, t);
+            out.push('}');
+        }
+        out.push_str("]}");
+    }
+    out.push_str("],\"skipped\":");
+    skipped_into(&mut out, &r.skipped);
+    let _ = write!(
+        out,
+        ",\"refine\":{{\"grid_cells\":{},\"evaluated\":{},\"pruned\":{},\"rounds\":[",
+        r.grid_cells, r.evaluated, r.pruned
+    );
+    for (i, t) in r.trace.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"round\":{},\"new_points\":{},\"front_size\":{},\"plane_gaps\":[",
+            t.round, t.new_points, t.front_size
+        );
+        for (j, g) in t.plane_gaps.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "{g}");
+        }
+        let _ = write!(out, "],\"pruned\":{}}}", t.pruned);
     }
     out.push_str("]}}");
     out
@@ -455,7 +620,7 @@ mod tests {
         };
         assert_eq!(
             spec.objectives,
-            Some(ObjectiveSpace::parse("area,power").unwrap())
+            Some(vec![ObjectiveSpace::parse("area,power").unwrap()])
         );
         let (_, cmd) =
             parse_request(r#"{"cmd":"refine","workload":"idct","objectives":"area,throughput"}"#);
@@ -464,7 +629,7 @@ mod tests {
         };
         assert_eq!(
             spec.objectives,
-            Some(ObjectiveSpace::parse("area,throughput").unwrap())
+            Some(vec![ObjectiveSpace::parse("area,throughput").unwrap()])
         );
         // Absent and null both mean "surface default".
         let (_, cmd) = parse_request(r#"{"cmd":"sweep","workload":"idct","objectives":null}"#);
@@ -478,10 +643,65 @@ mod tests {
             r#"{"cmd":"sweep","workload":"idct","objectives":["area",3]}"#,
             r#"{"cmd":"sweep","workload":"idct","objectives":["warp"]}"#,
             r#"{"cmd":"sweep","workload":"idct","objectives":"area,area"}"#,
+            r#"{"cmd":"sweep","workload":"idct","objectives":"area,power;area,power"}"#,
         ] {
             let (_, cmd) = parse_request(bad);
             let err = cmd.unwrap_err();
             assert!(err.contains("objectives"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn multi_plane_objectives_parse_on_every_accepted_shape() {
+        let planes = ObjectiveSpace::parse_multi("area,latency;area,power").unwrap();
+        for req in [
+            r#"{"cmd":"refine","workload":"idct","objectives":"area,latency;area,power"}"#,
+            r#"{"cmd":"refine","workload":"idct","objectives":["area,latency","area,power"]}"#,
+            r#"{"cmd":"refine","workload":"idct","objectives":[["area","latency"],["area","power"]]}"#,
+        ] {
+            let (_, cmd) = parse_request(req);
+            let Command::Refine { spec, .. } = cmd.unwrap() else {
+                panic!("expected refine: {req}");
+            };
+            assert_eq!(spec.objectives, Some(planes.clone()), "{req}");
+        }
+    }
+
+    #[test]
+    fn constraints_parse_as_array_or_comma_string() {
+        use crate::constraint::Constraint;
+        let want = vec![
+            Constraint::parse("area<=1500").unwrap(),
+            Constraint::parse("power<=40").unwrap(),
+        ];
+        for req in [
+            r#"{"cmd":"sweep","workload":"idct","constraints":["area<=1500","power<=40"]}"#,
+            r#"{"cmd":"refine","workload":"idct","constraints":"area<=1500,power<=40"}"#,
+        ] {
+            let (_, cmd) = parse_request(req);
+            let spec = match cmd.unwrap() {
+                Command::Sweep(spec) | Command::Refine { spec, .. } => spec,
+                other => panic!("unexpected {other:?}"),
+            };
+            assert_eq!(spec.constraints, want, "{req}");
+        }
+        // Absent and null mean unconstrained.
+        let (_, cmd) = parse_request(r#"{"cmd":"sweep","workload":"idct","constraints":null}"#);
+        let Command::Sweep(spec) = cmd.unwrap() else {
+            panic!("expected sweep");
+        };
+        assert!(spec.constraints.is_empty());
+        // Malformed constraints are request errors naming the field.
+        for bad in [
+            r#"{"cmd":"sweep","workload":"idct","constraints":7}"#,
+            r#"{"cmd":"sweep","workload":"idct","constraints":["warp<=1"]}"#,
+            r#"{"cmd":"sweep","workload":"idct","constraints":["area=1"]}"#,
+            r#"{"cmd":"sweep","workload":"idct","constraints":["area<=NaN"]}"#,
+            r#"{"cmd":"sweep","workload":"idct","constraints":[7]}"#,
+        ] {
+            let (_, cmd) = parse_request(bad);
+            let err = cmd.unwrap_err();
+            assert!(err.contains("constraints"), "{bad}: {err}");
         }
     }
 

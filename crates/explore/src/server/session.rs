@@ -14,9 +14,10 @@
 //! through the pool, streaming `round` events for adaptive requests → one
 //! terminal `result` line.
 
-use crate::pareto::{pareto_front_in, ObjectiveSpace};
+use crate::constraint::validate_constraints;
+use crate::pareto::{pareto_front_in_constrained, ObjectiveSpace};
 use crate::pool::EvaluatorPool;
-use crate::refine::{refine_with_progress, RefineOptions};
+use crate::refine::{refine_multi_with_progress, refine_with_progress, RefineOptions};
 use crate::server::protocol::{self, Command, WorkloadSpec};
 use crate::sweep::{SweepCell, SweepGrid};
 use adhls_core::dse::DsePoint;
@@ -41,34 +42,60 @@ const MAX_MATMUL_DIM: usize = 64;
 /// other connection.
 const MAX_RANDOM_COUNT: usize = 10_000;
 
-/// The objective space a `sweep` request's front is extracted in: the
-/// requested one, defaulting to every axis ([`ObjectiveSpace::full`] —
-/// what sweep fronts were before spaces were selectable). One definition
-/// for the wire and `adhls explore`, so both surfaces default alike.
+/// The objective space(s) a `sweep` request's fronts are extracted in:
+/// the requested one(s), defaulting to every axis
+/// ([`ObjectiveSpace::full`] — what sweep fronts were before spaces were
+/// selectable). One definition for the wire and `adhls explore`, so both
+/// surfaces default alike.
 #[must_use]
-pub fn sweep_space(spec: &WorkloadSpec) -> ObjectiveSpace {
-    spec.objectives.clone().unwrap_or_else(ObjectiveSpace::full)
+pub fn sweep_spaces(spec: &WorkloadSpec) -> Vec<ObjectiveSpace> {
+    spec.objectives
+        .clone()
+        .unwrap_or_else(|| vec![ObjectiveSpace::full()])
 }
 
-/// The objective space a `refine` request steers through: the requested
-/// one, defaulting to the paper's (area, latency) tradeoff plane
-/// ([`ObjectiveSpace::tradeoff`]). One definition for the wire and
-/// `adhls explore --adaptive`, including the validation.
+/// The objective plane(s) a `refine` request steers through: the
+/// requested one(s), defaulting to the paper's (area, latency) tradeoff
+/// plane ([`ObjectiveSpace::tradeoff`]). One definition for the wire and
+/// `adhls explore --adaptive`, including the validation. More than one
+/// plane selects the one-pass multi-plane driver
+/// ([`crate::refine::refine_multi`]).
 ///
 /// # Errors
 ///
-/// A message naming the `objectives` field when the space has fewer than
+/// A message naming the `objectives` field when any plane has fewer than
 /// the two axes a steering plane needs (the library-level
 /// [`crate::refine::refine`] enforces the same bound as a backstop).
-pub fn refine_space(spec: &WorkloadSpec) -> Result<ObjectiveSpace, String> {
-    let space = spec.objectives.clone().unwrap_or_default();
-    if space.axes().len() < 2 {
-        return Err(format!(
-            "objectives: adaptive refinement steers a two-axis plane; `{space}` has only \
-             one axis (pick two, e.g. `area,power`)"
-        ));
+pub fn refine_spaces(spec: &WorkloadSpec) -> Result<Vec<ObjectiveSpace>, String> {
+    let spaces = spec
+        .objectives
+        .clone()
+        .unwrap_or_else(|| vec![ObjectiveSpace::default()]);
+    for space in &spaces {
+        if space.axes().len() < 2 {
+            return Err(format!(
+                "objectives: adaptive refinement steers a two-axis plane; `{space}` has only \
+                 one axis (pick two, e.g. `area,power`)"
+            ));
+        }
     }
-    Ok(space)
+    Ok(spaces)
+}
+
+/// Validates the request's constraints against the active objective
+/// space(s): every bound must hit an axis at least one space selects.
+/// One definition for the wire and the CLI (whose error mapper re-spells
+/// the `constraints:` prefix as `--constraint:`).
+///
+/// # Errors
+///
+/// A message naming the `constraints` field and the offending bound.
+pub fn validate_spec_constraints(
+    spec: &WorkloadSpec,
+    spaces: &[ObjectiveSpace],
+) -> Result<(), String> {
+    validate_constraints(&spec.constraints, &crate::pareto::axis_union(spaces))
+        .map_err(|e| format!("constraints: {e}"))
 }
 
 fn validate_axes(spec: &WorkloadSpec) -> Result<(), String> {
@@ -333,42 +360,67 @@ impl Server {
                 );
                 writeln!(out, "{line}")?;
             }
-            Ok(Command::Sweep(spec)) => match sweep_points(&spec) {
-                Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
-                Ok(points) if points.is_empty() => writeln!(
-                    out,
-                    "{}",
-                    protocol::render_error(id, "the sweep is empty (check clocks/cycles)")
-                )?,
-                Ok(points) => match self.pool.evaluate(&points) {
-                    Ok(result) => {
-                        let space = sweep_space(&spec);
-                        let front = pareto_front_in(&space, &result.rows);
-                        let line = protocol::render_sweep_result(id, &result, &front, &space);
-                        writeln!(out, "{line}")?;
-                    }
-                    Err(e) => {
-                        let msg = format!(
-                            "sweep failed: {e} (run the server with skip-infeasible \
-                             to drop such points)"
-                        );
-                        writeln!(out, "{}", protocol::render_error(id, &msg))?;
-                    }
-                },
-            },
+            Ok(Command::Sweep(spec)) => {
+                let spaces = sweep_spaces(&spec);
+                let prep =
+                    validate_spec_constraints(&spec, &spaces).and_then(|()| sweep_points(&spec));
+                match prep {
+                    Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
+                    Ok(points) if points.is_empty() => writeln!(
+                        out,
+                        "{}",
+                        protocol::render_error(id, "the sweep is empty (check clocks/cycles)")
+                    )?,
+                    Ok(points) => match self.pool.evaluate(&points) {
+                        Ok(result) => {
+                            let planes: Vec<(ObjectiveSpace, Vec<adhls_core::dse::DseRow>)> =
+                                spaces
+                                    .iter()
+                                    .map(|s| {
+                                        (
+                                            s.clone(),
+                                            pareto_front_in_constrained(
+                                                s,
+                                                &spec.constraints,
+                                                &result.rows,
+                                            ),
+                                        )
+                                    })
+                                    .collect();
+                            let line = protocol::render_sweep_result(
+                                id,
+                                &result,
+                                &planes,
+                                &spec.constraints,
+                            );
+                            writeln!(out, "{line}")?;
+                        }
+                        Err(e) => {
+                            let msg = format!(
+                                "sweep failed: {e} (run the server with skip-infeasible \
+                                 to drop such points)"
+                            );
+                            writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                        }
+                    },
+                }
+            }
             Ok(Command::Refine {
                 spec,
                 budget,
                 gap_tol,
                 warm_front,
-            }) => match workload_grid(&spec).and_then(|g| refine_space(&spec).map(|s| (g, s))) {
+            }) => match workload_grid(&spec)
+                .and_then(|g| refine_spaces(&spec).map(|s| (g, s)))
+                .and_then(|(g, s)| validate_spec_constraints(&spec, &s).map(|()| (g, s)))
+            {
                 Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
                 Ok(((grid, _, _), _)) if grid.is_empty() => writeln!(
                     out,
                     "{}",
                     protocol::render_error(id, "the grid is empty (check clocks/cycles)")
                 )?,
-                Ok(((grid, prefix, build), objectives)) => {
+                Ok(((grid, prefix, build), spaces)) => {
                     let warm_start: Vec<SweepCell> = warm_front
                         .iter()
                         .filter_map(|n| DsePoint::parse_grid_name(n))
@@ -382,29 +434,55 @@ impl Server {
                         budget,
                         gap_tol,
                         warm_start,
-                        objectives,
+                        objectives: spaces[0].clone(),
+                        constraints: spec.constraints.clone(),
                         ..Default::default()
                     };
                     let mut stream_err: Option<std::io::Error> = None;
-                    let result = {
+                    // Single plane keeps the dedicated driver (and its
+                    // round events); several planes share one pass.
+                    let line = {
                         let out = &mut *out;
                         let stream_err = &mut stream_err;
-                        refine_with_progress(&self.pool, &grid, &prefix, build, &opts, |t| {
-                            if stream_err.is_none() {
-                                let line = protocol::render_round(id, t);
-                                if let Err(e) = writeln!(out, "{line}").and_then(|()| out.flush()) {
-                                    *stream_err = Some(e);
+                        if spaces.len() == 1 {
+                            refine_with_progress(&self.pool, &grid, &prefix, build, &opts, |t| {
+                                if stream_err.is_none() {
+                                    let line = protocol::render_round(id, t);
+                                    if let Err(e) =
+                                        writeln!(out, "{line}").and_then(|()| out.flush())
+                                    {
+                                        *stream_err = Some(e);
+                                    }
                                 }
-                            }
-                        })
+                            })
+                            .map(|r| protocol::render_refine_result(id, &r))
+                        } else {
+                            refine_multi_with_progress(
+                                &self.pool,
+                                &grid,
+                                &prefix,
+                                build,
+                                &opts,
+                                &spaces,
+                                |t| {
+                                    if stream_err.is_none() {
+                                        let line = protocol::render_multi_round(id, t);
+                                        if let Err(e) =
+                                            writeln!(out, "{line}").and_then(|()| out.flush())
+                                        {
+                                            *stream_err = Some(e);
+                                        }
+                                    }
+                                },
+                            )
+                            .map(|r| protocol::render_refine_multi_result(id, &r))
+                        }
                     };
                     if let Some(e) = stream_err {
                         return Err(e);
                     }
-                    match result {
-                        Ok(r) => {
-                            writeln!(out, "{}", protocol::render_refine_result(id, &r))?;
-                        }
+                    match line {
+                        Ok(line) => writeln!(out, "{line}")?,
                         Err(e) => {
                             let msg = format!(
                                 "refinement failed: {e} (run the server with \
@@ -717,7 +795,8 @@ mod tests {
             .unwrap()
             .rows;
         let space = ObjectiveSpace::parse("area,power").unwrap();
-        let expected = crate::export::rows_to_json_line(&pareto_front_in(&space, &rows));
+        let expected =
+            crate::export::rows_to_json_line(&crate::pareto::pareto_front_in(&space, &rows));
         assert!(
             lines[1].contains(&format!("\"front\":{expected}")),
             "served (area,power) front != direct projection\nserved: {}",
@@ -728,6 +807,204 @@ mod tests {
         assert_eq!(err.get("ok"), Some(&Value::Bool(false)), "{}", lines[2]);
         assert!(lines[2].contains("objectives"), "{}", lines[2]);
         assert!(lines[2].contains("warp"), "{}", lines[2]);
+    }
+
+    #[test]
+    fn constrained_sweeps_filter_fronts_and_echo_the_constraints() {
+        use crate::constraint::Constraint;
+        let srv = server(2, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":1,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1400],\"cycles\":[3,4]}\n\
+             {\"id\":2,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1400],\"cycles\":[3,4],\"constraints\":[\"power<=1400\"]}\n",
+        );
+        assert_eq!(lines.len(), 2, "{lines:?}");
+        let unconstrained = Value::parse(&lines[0]).unwrap();
+        let constrained = Value::parse(&lines[1]).unwrap();
+        assert_eq!(
+            constrained.get("ok"),
+            Some(&Value::Bool(true)),
+            "{}",
+            lines[1]
+        );
+        // The constraint is echoed; the unconstrained response omits the
+        // field entirely (byte-compatible with pre-constraint responses).
+        assert!(
+            lines[1].contains("\"constraints\":[\"power<=1400\"]"),
+            "{}",
+            lines[1]
+        );
+        assert!(!lines[0].contains("\"constraints\""), "{}", lines[0]);
+        // Every front row is feasible, and the constrained front is the
+        // feasible slice of the unconstrained one.
+        let bound = Constraint::parse("power<=1400").unwrap();
+        let front_powers = |v: &Value| -> Vec<f64> {
+            v.get("front")
+                .and_then(Value::as_arr)
+                .unwrap()
+                .iter()
+                .map(|r| {
+                    r.get("power")
+                        .unwrap()
+                        .get("total")
+                        .and_then(Value::as_f64)
+                        .unwrap()
+                })
+                .collect()
+        };
+        let feas = front_powers(&constrained);
+        assert!(!feas.is_empty(), "{}", lines[1]);
+        assert!(feas.iter().all(|&p| p <= bound.bound), "{feas:?}");
+        let all = front_powers(&unconstrained);
+        assert!(
+            all.iter().any(|&p| p > bound.bound),
+            "the bound must actually cut the front for this test to mean anything: {all:?}"
+        );
+        // Rows stay the full sweep — constraints shape fronts, not data.
+        assert_eq!(
+            unconstrained
+                .get("rows")
+                .and_then(Value::as_arr)
+                .unwrap()
+                .len(),
+            constrained
+                .get("rows")
+                .and_then(Value::as_arr)
+                .unwrap()
+                .len()
+        );
+    }
+
+    #[test]
+    fn malformed_constraints_return_structured_errors_and_keep_the_connection() {
+        let srv = server(1, None);
+        // Unknown axis, bad shape, non-finite bound, axis outside the
+        // active space — each gets an ok:false result naming the field,
+        // and the connection keeps serving (the trailing ping answers).
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":1,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"constraints\":[\"warp<=1\"]}\n\
+             {\"id\":2,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"constraints\":[\"area=1\"]}\n\
+             {\"id\":3,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"constraints\":[\"area<=NaN\"]}\n\
+             {\"id\":4,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"objectives\":[\"area\",\"latency\"],\"constraints\":[\"power<=10\"]}\n\
+             {\"id\":5,\"cmd\":\"refine\",\"workload\":\"interpolation\",\
+             \"constraints\":[\"power<=10\"]}\n\
+             {\"id\":6,\"cmd\":\"ping\"}\n",
+        );
+        assert_eq!(lines.len(), 6, "{lines:?}");
+        for (i, needle) in [
+            (0, "warp"),
+            (1, "<="),
+            (2, "finite"),
+            (3, "power"),
+            (4, "power"),
+        ] {
+            let v = Value::parse(&lines[i]).unwrap();
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{}", lines[i]);
+            let err = v.get("error").and_then(Value::as_str).unwrap();
+            assert!(err.contains("constraints"), "{}", lines[i]);
+            assert!(err.contains(needle), "{}", lines[i]);
+            assert_eq!(
+                v.get("id").and_then(Value::as_u64),
+                Some(i as u64 + 1),
+                "errors keep their request id: {}",
+                lines[i]
+            );
+        }
+        let ping = Value::parse(&lines[5]).unwrap();
+        assert_eq!(ping.get("ok"), Some(&Value::Bool(true)), "{}", lines[5]);
+    }
+
+    #[test]
+    fn multi_plane_sweeps_report_every_plane() {
+        let srv = server(2, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":1,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1400],\"cycles\":[3,4],\
+             \"objectives\":\"area,latency;area,power\"}\n",
+        );
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        let v = Value::parse(&lines[0]).unwrap();
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)), "{}", lines[0]);
+        // Top level mirrors the first plane; `planes` holds both views.
+        assert!(
+            lines[0].contains("\"objectives\":[\"area\",\"latency\"]"),
+            "{}",
+            lines[0]
+        );
+        let planes = v.get("planes").and_then(Value::as_arr).unwrap();
+        assert_eq!(planes.len(), 2);
+        let names: Vec<String> = planes
+            .iter()
+            .map(|p| p.get("objectives").unwrap().render())
+            .collect();
+        assert_eq!(names, ["[\"area\",\"latency\"]", "[\"area\",\"power\"]"]);
+        for p in planes {
+            assert!(!p.get("front").and_then(Value::as_arr).unwrap().is_empty());
+            assert!(!p
+                .get("staircase")
+                .and_then(Value::as_arr)
+                .unwrap()
+                .is_empty());
+        }
+        // The first plane's view is byte-identical at both levels.
+        assert_eq!(
+            planes[0].get("front").unwrap().render(),
+            v.get("front").unwrap().render()
+        );
+    }
+
+    #[test]
+    fn multi_plane_refines_run_one_pass_and_report_per_plane_results() {
+        let srv = server(2, None);
+        let lines = roundtrip(
+            &srv,
+            "{\"id\":9,\"cmd\":\"refine\",\"workload\":\"interpolation\",\
+             \"clocks\":[1100,1250,1400,1800],\"cycles\":[3,4,6],\"gap_tol\":0.15,\
+             \"objectives\":\"area,latency;area,power\"}\n",
+        );
+        assert!(lines.len() >= 2, "round events then result: {lines:?}");
+        // Streams multi-plane round events carrying per-plane gaps.
+        for l in &lines[..lines.len() - 1] {
+            let v = Value::parse(l).unwrap();
+            assert_eq!(v.get("event").and_then(Value::as_str), Some("round"));
+            assert_eq!(
+                v.get("plane_gaps")
+                    .and_then(Value::as_arr)
+                    .map(<[Value]>::len),
+                Some(2),
+                "{l}"
+            );
+        }
+        let last = Value::parse(lines.last().unwrap()).unwrap();
+        assert_eq!(last.get("ok"), Some(&Value::Bool(true)), "{lines:?}");
+        let planes = last.get("planes").and_then(Value::as_arr).unwrap();
+        assert_eq!(planes.len(), 2);
+        for p in planes {
+            assert!(!p
+                .get("staircase")
+                .and_then(Value::as_arr)
+                .unwrap()
+                .is_empty());
+            assert!(!p.get("rounds").and_then(Value::as_arr).unwrap().is_empty());
+        }
+        // The shared evaluation set is reported once, with unique rows.
+        let rows = last.get("rows").and_then(Value::as_arr).unwrap();
+        let mut names: Vec<&str> = rows
+            .iter()
+            .map(|r| r.get("name").and_then(Value::as_str).unwrap())
+            .collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "a cell was evaluated twice");
     }
 
     #[test]

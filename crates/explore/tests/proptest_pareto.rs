@@ -92,6 +92,48 @@ proptest! {
         prop_assert_eq!(pareto_front(&rows), pareto_front(&reversed));
     }
 
+    /// Constrained extraction is filtering: the constrained front equals
+    /// the unconstrained front of the feasible subset, and for improving
+    /// bounds it also equals the post-hoc-filtered unconstrained front —
+    /// filter and projection commute.
+    #[test]
+    fn constrained_front_commutes_with_post_hoc_filtering(
+        seeds in prop::collection::vec((0u16..64, 0u16..64, 0u16..64), 1..40),
+        area_seed in 1u16..9,
+        power_seed in 1u16..9,
+    ) {
+        use adhls_explore::constraint::Constraint;
+        use adhls_explore::pareto::{pareto_front_in_constrained, ObjectiveSpace};
+        let rows = rows_from(&seeds);
+        // Improving bounds cutting through the generated value ranges.
+        let cs = vec![
+            Constraint::parse(&format!("area<={}", f64::from(area_seed) * 100.0)).unwrap(),
+            Constraint::parse(&format!("power<={}", f64::from(power_seed) * 2.5)).unwrap(),
+        ];
+        let space = ObjectiveSpace::full();
+        let constrained = pareto_front_in_constrained(&space, &cs, &rows);
+        // Identity 1: front of the feasible subset.
+        let feasible_rows: Vec<DseRow> = rows
+            .iter()
+            .filter(|r| {
+                let o = objectives(r);
+                cs.iter().all(|c| c.satisfied(&o))
+            })
+            .cloned()
+            .collect();
+        prop_assert_eq!(&constrained, &pareto_front(&feasible_rows));
+        // Identity 2 (improving bounds only): the feasible slice of the
+        // unconstrained front.
+        let post_hoc: Vec<DseRow> = pareto_front(&rows)
+            .into_iter()
+            .filter(|r| {
+                let o = objectives(r);
+                cs.iter().all(|c| c.satisfied(&o))
+            })
+            .collect();
+        prop_assert_eq!(&constrained, &post_hoc);
+    }
+
     /// Dominance itself is a strict partial order on the generated rows:
     /// irreflexive and antisymmetric (transitivity is what makes
     /// `dropped_points_are_dominated_by_the_front` hold).

@@ -16,11 +16,13 @@
 
 use adhls_core::dse::DseRow;
 use adhls_core::sched::HlsOptions;
+use adhls_explore::constraint::Constraint;
 use adhls_explore::pareto::{
-    pareto_front, pareto_front_in, tradeoff_staircase, tradeoff_staircase_in, ObjectiveSpace,
+    pareto_front, pareto_front_in, tradeoff_staircase, tradeoff_staircase_in,
+    tradeoff_staircase_in_constrained, ObjectiveSpace,
 };
 use adhls_explore::pool::{EvaluatorPool, PoolOptions};
-use adhls_explore::refine::{refine, RefineOptions, RefineResult};
+use adhls_explore::refine::{refine, refine_multi, RefineOptions, RefineResult};
 use adhls_explore::sweep::SweepCell;
 use adhls_explore::SweepGrid;
 use adhls_ir::Design;
@@ -210,4 +212,164 @@ fn idct_adaptive_power_front_matches_exhaustive_within_tolerance_with_fewer_eval
     let ex_stairs = tradeoff_staircase_in(&space, &ex.rows);
     let cover: Vec<&DseRow> = ex_front.iter().chain(ex_stairs.iter()).collect();
     assert_plane_eps_equivalence(&space, &ex.rows, &ex_front, &cover, &r, GAP_TOL);
+}
+
+/// The constrained acceptance bar: refining the IDCT-1D grid under
+/// `area<=A` / `power<=P` budgets returns **exactly** the feasible slice
+/// of the unconstrained plane front — the same staircase an exhaustive
+/// sweep plus post-hoc filter produces — while evaluating measurably
+/// fewer cells than that sweep, and skipping provably-infeasible cells
+/// without evaluation.
+#[test]
+fn idct_constrained_refine_is_exactly_the_feasible_slice_with_fewer_evals() {
+    let grid = idct_grid();
+    let grid_cells = grid.checked_len().expect("grid counts");
+    assert_eq!(grid_cells, 70);
+    // Area and power both bounded, so the space must select all three
+    // axes; the steering plane stays the paper's (area, latency).
+    let space = ObjectiveSpace::parse("area,latency,power").expect("valid space");
+
+    let pool = idct_pool();
+    let points = grid.expand("idct", idct_cell).expect("grid expands");
+    let ex = pool.evaluate(&points).expect("exhaustive sweep runs");
+
+    // Budgets cutting through the middle of the plane: the median front
+    // area, and the 75th-percentile front power.
+    let ex_front = pareto_front_in(&space, &ex.rows);
+    let mut areas: Vec<f64> = ex_front.iter().map(|r| r.a_slack).collect();
+    areas.sort_by(f64::total_cmp);
+    let a_bound = areas[areas.len() / 2];
+    let mut powers: Vec<f64> = ex_front.iter().map(|r| r.power.total).collect();
+    powers.sort_by(f64::total_cmp);
+    let p_bound = powers[3 * powers.len() / 4];
+    let cs = vec![
+        Constraint::parse(&format!("area<={a_bound}")).unwrap(),
+        Constraint::parse(&format!("power<={p_bound}")).unwrap(),
+    ];
+
+    // The reference: exhaustive sweep + post-hoc filter of the
+    // unconstrained plane staircase.
+    let feasible_slice: Vec<&DseRow> = tradeoff_staircase_in(&space, &ex.rows)
+        .iter()
+        .map(|r| ex.rows.iter().find(|e| e.name == r.name).unwrap())
+        .filter(|r| r.a_slack <= a_bound && r.power.total <= p_bound)
+        .collect();
+    assert!(
+        feasible_slice.len() >= 2,
+        "the bounds must leave a nontrivial slice for this test to mean anything"
+    );
+
+    let r = refine(
+        &pool,
+        &grid,
+        "idct",
+        idct_cell,
+        &RefineOptions {
+            gap_tol: 0.0,
+            objectives: space.clone(),
+            constraints: cs.clone(),
+            ..Default::default()
+        },
+    )
+    .expect("constrained refinement runs");
+    assert_eq!(r.constraints, cs);
+
+    // Exactly the feasible slice — same rows, same order.
+    let refined_slice = tradeoff_staircase_in_constrained(&space, &cs, &r.rows);
+    let got: Vec<&str> = refined_slice.iter().map(|r| r.name.as_str()).collect();
+    let want: Vec<&str> = feasible_slice.iter().map(|r| r.name.as_str()).collect();
+    assert_eq!(got, want, "constrained refine != exhaustive sweep + filter");
+    // ... and bit-identical rows, not merely the same names.
+    for row in &refined_slice {
+        assert_eq!(
+            ex.rows.iter().find(|e| e.name == row.name),
+            Some(row),
+            "{} diverged from the exhaustive sweep",
+            row.name
+        );
+    }
+
+    // Measurably fewer evaluations than exhaustive sweep + filter, with
+    // real work saved by the constraint-aware pruning.
+    assert!(
+        r.evaluated * 3 <= grid_cells * 2,
+        "constrained refine evaluated {} of {} cells — not measurably fewer",
+        r.evaluated,
+        grid_cells
+    );
+    assert!(r.pruned > 0, "the optimistic budget prune never fired");
+    // Every reported front row is feasible.
+    for row in &r.front {
+        assert!(
+            row.a_slack <= a_bound && row.power.total <= p_bound,
+            "{}",
+            row.name
+        );
+    }
+}
+
+/// The multi-plane acceptance bar: one `refine_multi` pass over
+/// `[area,latency]` + `[area,power]` performs **no duplicate HLS
+/// evaluations** across the planes — the pool's cache counters prove
+/// every cell ran once — and each plane's converged staircase is
+/// ε-equivalent to its dedicated single-plane run.
+#[test]
+fn idct_multi_plane_pass_shares_evaluations_and_matches_single_plane_runs() {
+    const GAP_TOL: f64 = 0.05;
+    let grid = idct_grid();
+    let planes = ObjectiveSpace::parse_multi("area,latency;area,power").expect("valid planes");
+    let opts = RefineOptions {
+        gap_tol: GAP_TOL,
+        ..Default::default()
+    };
+
+    // A fresh pool, so its cache counters describe this pass alone.
+    let pool = idct_pool();
+    let multi = refine_multi(&pool, &grid, "idct", idct_cell, &opts, &planes)
+        .expect("multi-plane refinement runs");
+    let stats = pool.cache_metrics();
+    assert_eq!(
+        stats.hits + stats.coalesced,
+        0,
+        "a duplicate evaluation hit the cache — cells were submitted twice"
+    );
+    assert_eq!(
+        stats.misses, multi.evaluated as u64,
+        "every evaluation ran HLS exactly once"
+    );
+    assert!(
+        multi.evaluated < multi.grid_cells,
+        "one shared pass stays under the exhaustive grid: {} of {}",
+        multi.evaluated,
+        multi.grid_cells
+    );
+
+    // Each plane ε-matches its dedicated single-plane run (fresh pools,
+    // so the runs are independent).
+    for (pi, plane) in planes.iter().enumerate() {
+        let single = refine(
+            &idct_pool(),
+            &grid,
+            "idct",
+            idct_cell,
+            &RefineOptions {
+                objectives: plane.clone(),
+                ..opts.clone()
+            },
+        )
+        .expect("single-plane refinement runs");
+        let cover_rows = tradeoff_staircase_in(plane, &single.rows);
+        let cover: Vec<&DseRow> = cover_rows.iter().collect();
+        assert_plane_eps_equivalence(
+            plane,
+            &single.rows,
+            &single.front,
+            &cover,
+            &multi.planes[pi],
+            GAP_TOL,
+        );
+        // The shared pass never does worse on evaluations than running
+        // this plane's refinement on top of the other's would.
+        assert!(multi.evaluated <= multi.grid_cells);
+    }
 }

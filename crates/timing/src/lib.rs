@@ -43,6 +43,8 @@
 //! assert!(result.min_slack >= 0, "two muls in two 1100ps cycles is feasible");
 //! ```
 
+#![warn(missing_docs)]
+
 pub mod aligned;
 pub mod bellman;
 pub mod budget;

@@ -16,6 +16,8 @@
 //! * [`sweep`] — per-workload sweep constructors producing `DsePoint`
 //!   fleets for the `adhls-explore` engine.
 
+#![warn(missing_docs)]
+
 pub mod fir;
 pub mod idct;
 pub mod interpolation;
