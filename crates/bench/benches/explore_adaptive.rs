@@ -26,6 +26,7 @@ fn build(cell: &SweepCell) -> adhls_ir::Design {
 }
 
 fn bench(c: &mut Criterion) {
+    let _metrics = adhls_bench::metrics_dump("explore_adaptive");
     let lib = tsmc90::library();
     let grid = grid();
     let points = grid.expand("idct", build).expect("grid expands");
@@ -61,8 +62,11 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // The serving path: the pool (and its cache) outlives requests.
-    let pool = EvaluatorPool::new(
+    // The serving path: the pool (and its cache) outlives requests. The
+    // global registry stands in for the pool's own so a recording run
+    // (benches/record.sh) captures pool latency histograms too; unmetered
+    // runs see a disabled registry either way.
+    let pool = EvaluatorPool::with_telemetry(
         tsmc90::library(),
         HlsOptions::default(),
         PoolOptions {
@@ -70,6 +74,7 @@ fn bench(c: &mut Criterion) {
             skip_infeasible: true,
             ..Default::default()
         },
+        adhls_telemetry::global().clone(),
     );
     refine(&pool, &grid, "idct", build, &RefineOptions::default()).expect("warmup");
     c.bench_function("adaptive/idct1d_refine_warm_pool", |b| {

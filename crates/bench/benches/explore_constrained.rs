@@ -53,6 +53,7 @@ fn engine(lib: &adhls_reslib::Library) -> Engine<'_> {
 }
 
 fn bench(c: &mut Criterion) {
+    let _metrics = adhls_bench::metrics_dump("explore_constrained");
     let lib = tsmc90::library();
     let grid = grid();
     let space = ObjectiveSpace::parse("area,latency,power").expect("valid space");

@@ -13,6 +13,7 @@ use adhls_workloads::sweep;
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 
 fn bench(c: &mut Criterion) {
+    let _metrics = adhls_bench::metrics_dump("explore_parallel");
     let lib = tsmc90::library();
     // A mid-size IDCT grid: big enough for load imbalance to matter,
     // small enough to iterate (the full Table 4 fleet is a long bench).
@@ -57,6 +58,35 @@ fn bench(c: &mut Criterion) {
             })
         });
     }
+
+    // The telemetry-overhead check: the same 4-thread fleet sweep with
+    // every meter live (the engine's workers record into the enabled
+    // global registry). Compare against explore/idct_parallel_t4 — the
+    // observability layer's acceptance bar is <2% between the two.
+    // Restores the registry's prior state so later benches (and a
+    // recording run's enablement) are unaffected.
+    c.bench_function("explore/idct_parallel_t4_telemetry", |b| {
+        let was = adhls_telemetry::global().is_enabled();
+        adhls_telemetry::global().set_enabled(true);
+        b.iter(|| {
+            let engine = Engine::with_options(
+                &lib,
+                HlsOptions::default(),
+                EngineOptions {
+                    threads: 4,
+                    ..Default::default()
+                },
+            );
+            black_box(
+                engine
+                    .evaluate(&points)
+                    .expect("fleet schedules")
+                    .rows
+                    .len(),
+            )
+        });
+        adhls_telemetry::global().set_enabled(was);
+    });
 
     // The memoized path: everything already evaluated once.
     let warm = Engine::new(&lib, HlsOptions::default());

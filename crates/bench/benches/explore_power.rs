@@ -36,6 +36,7 @@ fn power_opts() -> RefineOptions {
 }
 
 fn bench(c: &mut Criterion) {
+    let _metrics = adhls_bench::metrics_dump("explore_power");
     let lib = tsmc90::library();
     let grid = grid();
     let space = ObjectiveSpace::parse("area,power").expect("valid plane");
@@ -73,8 +74,10 @@ fn bench(c: &mut Criterion) {
         })
     });
 
-    // The serving path: the pool (and its cache) outlives requests.
-    let pool = EvaluatorPool::new(
+    // The serving path: the pool (and its cache) outlives requests. The
+    // global registry stands in for the pool's own so a recording run
+    // captures its latency histograms; disabled (free) otherwise.
+    let pool = EvaluatorPool::with_telemetry(
         tsmc90::library(),
         HlsOptions::default(),
         PoolOptions {
@@ -82,6 +85,7 @@ fn bench(c: &mut Criterion) {
             skip_infeasible: true,
             ..Default::default()
         },
+        adhls_telemetry::global().clone(),
     );
     refine(&pool, &grid, "idct", build, &power_opts()).expect("warmup");
     c.bench_function("power/idct1d_refine_warm_pool", |b| {

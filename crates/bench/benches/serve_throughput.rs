@@ -28,7 +28,11 @@ fn roundtrip(server: &Server, req: &str) -> usize {
 }
 
 fn bench(c: &mut Criterion) {
-    let server = Server::new(EvaluatorPool::new(
+    let _metrics = adhls_bench::metrics_dump("serve_throughput");
+    // The server always meters its pool (Server::new enables the
+    // registry), so handing it the global one costs nothing extra and
+    // lets a recording run dump the serve-tier histograms.
+    let server = Server::new(EvaluatorPool::with_telemetry(
         tsmc90::library(),
         HlsOptions::default(),
         PoolOptions {
@@ -36,6 +40,7 @@ fn bench(c: &mut Criterion) {
             skip_infeasible: true,
             cache_bytes: Some(32 << 20),
         },
+        adhls_telemetry::global().clone(),
     ));
     // Warm the cache: after this, sweep/refine requests measure the serve
     // overhead on top of pure cache hits — the steady state of a long-

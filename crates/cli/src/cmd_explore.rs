@@ -42,14 +42,22 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--warm-start",
             "--objectives",
             "--constraint",
+            "--metrics-out",
         ],
         &[
             "--serial",
             "--skip-infeasible",
             "--front-only",
             "--adaptive",
+            "--profile",
         ],
     )?;
+    // Telemetry observes, never steers: enabling the global registry here
+    // changes nothing about the rows or fronts below (the equivalence
+    // tests hold the pipeline to that), it only starts the meters.
+    if profiling(&o) {
+        adhls_telemetry::global().set_enabled(true);
+    }
     if o.flag("--adaptive") {
         return run_adaptive(&o);
     }
@@ -138,7 +146,16 @@ pub fn run(args: &[String]) -> Result<(), String> {
     if let Some(path) = o.get("--csv") {
         write_out(path, &rows_to_csv(&result.rows), "sweep CSV")?;
     }
+    // The engine's scoped workers have no installed registry, so their
+    // pipeline spans fell through to the global one we enabled above.
+    crate::profile::emit(&o, adhls_telemetry::global().snapshot())?;
     Ok(())
+}
+
+/// Whether this run wants telemetry at all (a human table, a JSON export,
+/// or both).
+fn profiling(o: &Opts) -> bool {
+    o.flag("--profile") || o.get("--metrics-out").is_some()
 }
 
 /// `adhls explore --adaptive`: refine the Pareto front of a workload grid
@@ -227,6 +244,10 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
             refine_multi(eval, &grid, &prefix, build, &opts, &spaces).map(RefineOutcome::Multi)
         }
     };
+    // The pool appends its cache counters at snapshot time; remember that
+    // unified snapshot before the pool is dropped so the profile carries
+    // them too. The serial path reads the global registry instead.
+    let mut pool_snapshot = None;
     let outcome = if o.flag("--serial") {
         let lib = adhls_reslib::tsmc90::library();
         let engine = Engine::with_options(
@@ -239,16 +260,35 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
         );
         run(&engine)
     } else {
-        let pool = EvaluatorPool::new(
-            adhls_reslib::tsmc90::library(),
-            HlsOptions::default(),
-            PoolOptions {
-                threads,
-                skip_infeasible: skip,
-                ..Default::default()
-            },
-        );
-        run(&pool)
+        // Pool workers record into the pool's own registry; handing them
+        // the (enabled) global one lands their spans next to the refine
+        // driver's counters. Without --profile the pool keeps its private
+        // disabled registry and every recording op is a cheap no-op.
+        let pool = if profiling(o) {
+            EvaluatorPool::with_telemetry(
+                adhls_reslib::tsmc90::library(),
+                HlsOptions::default(),
+                PoolOptions {
+                    threads,
+                    skip_infeasible: skip,
+                    ..Default::default()
+                },
+                adhls_telemetry::global().clone(),
+            )
+        } else {
+            EvaluatorPool::new(
+                adhls_reslib::tsmc90::library(),
+                HlsOptions::default(),
+                PoolOptions {
+                    threads,
+                    skip_infeasible: skip,
+                    ..Default::default()
+                },
+            )
+        };
+        let outcome = run(&pool);
+        pool_snapshot = Some(pool.metrics_snapshot());
+        outcome
     }
     .map_err(|e| {
         format!(
@@ -309,6 +349,10 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
     if let Some(path) = o.get("--csv") {
         write_out(path, &rows_to_csv(rows), "sweep CSV")?;
     }
+    crate::profile::emit(
+        o,
+        pool_snapshot.unwrap_or_else(|| adhls_telemetry::global().snapshot()),
+    )?;
     Ok(())
 }
 

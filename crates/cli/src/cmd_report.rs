@@ -1,17 +1,40 @@
-//! `adhls report` — reproduce the paper's headline tables.
+//! `adhls report` — reproduce the paper's headline tables, or re-render an
+//! exported telemetry snapshot (`--metrics <file>`).
 
+use crate::opts::Opts;
 use adhls_core::dse::{summarize, table4, DseSummary};
 use adhls_core::sched::{run_hls, Flow, HlsOptions};
 use adhls_explore::Engine;
 use adhls_workloads::{interpolation, sweep};
 
 pub fn run(args: &[String]) -> Result<(), String> {
-    let which = args.first().map_or("table4", String::as_str);
+    let o = Opts::parse(args, &["--metrics"], &[])?;
+    if let Some(path) = o.get("--metrics") {
+        if !o.positional.is_empty() {
+            return Err("report --metrics takes no table name".into());
+        }
+        return report_metrics(path);
+    }
+    let which = o.positional.first().map_or("table4", String::as_str);
     match which {
         "table4" | "idct" => report_table4(),
         "table2" | "interpolation" => report_table2(),
         other => Err(format!("unknown report `{other}` (table4 | table2)")),
     }
+}
+
+/// `adhls report --metrics <file|->` — render a metrics snapshot captured
+/// earlier (`explore --metrics-out`, a saved `metrics` response, or a
+/// piped scrape) as the same per-span table `--profile` prints live.
+fn report_metrics(path: &str) -> Result<(), String> {
+    let text = if path == "-" {
+        std::io::read_to_string(std::io::stdin()).map_err(|e| format!("reading stdin: {e}"))?
+    } else {
+        std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?
+    };
+    let snap = crate::profile::parse_snapshot(&text).map_err(|e| format!("{path}: {e}"))?;
+    print!("{}", crate::profile::render_profile(&snap));
+    Ok(())
 }
 
 /// Paper §VII Table 4: the 15-point IDCT sweep, evaluated in parallel.

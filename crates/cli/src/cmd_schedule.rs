@@ -12,7 +12,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
         args,
         &["--clock", "--flow", "--pipeline", "--netlist"],
-        &["--json"],
+        &["--json", "--profile"],
     )?;
     let [path] = o.positional.as_slice() else {
         return Err("schedule needs exactly one <file.dsl> argument".into());
@@ -41,8 +41,15 @@ pub fn run(args: &[String]) -> Result<(), String> {
         );
     }
 
+    // Enabled before the run so the pipeline's phase spans land in the
+    // global registry; printed right after it so every exit path (table,
+    // --json, --netlist -) carries the breakdown on stderr.
+    if o.flag("--profile") {
+        adhls_telemetry::global().set_enabled(true);
+    }
     let lib = adhls_reslib::tsmc90::library();
     let res = run_hls(&design, &lib, &hls).map_err(|e| format!("scheduling failed: {e}"))?;
+    crate::profile::emit(&o, adhls_telemetry::global().snapshot())?;
 
     if let Some(out) = o.get("--netlist") {
         let info = design

@@ -14,7 +14,13 @@ use adhls_explore::server::Server;
 pub fn run(args: &[String]) -> Result<(), String> {
     let o = Opts::parse(
         args,
-        &["--addr", "--threads", "--cache-bytes"],
+        &[
+            "--addr",
+            "--threads",
+            "--cache-bytes",
+            "--metrics-addr",
+            "--slow-ms",
+        ],
         &["--stdio", "--strict"],
     )?;
     if !o.positional.is_empty() {
@@ -34,29 +40,65 @@ pub fn run(args: &[String]) -> Result<(), String> {
         },
     );
     let server = Server::new(pool);
+    if let Some(ms) = o.get("--slow-ms") {
+        let ms: u64 = ms
+            .parse()
+            .map_err(|_| format!("--slow-ms: `{ms}` is not a millisecond count"))?;
+        server.set_slow_ms(ms);
+    }
 
     if o.flag("--stdio") {
         if o.get("--addr").is_some() {
             return Err("--stdio and --addr are mutually exclusive".into());
+        }
+        // The exposition loop only winds down on protocol shutdown, which
+        // a one-shot stdio session may never send.
+        if o.get("--metrics-addr").is_some() {
+            return Err("--metrics-addr needs the TCP server (drop --stdio)".into());
         }
         return server
             .serve_connection(std::io::stdin().lock(), std::io::stdout().lock())
             .map_err(|e| format!("serve (stdio): {e}"));
     }
 
+    // Bind the metrics listener before announcing the protocol port, so a
+    // bad --metrics-addr fails the whole command up front.
+    let metrics_listener = match o.get("--metrics-addr") {
+        None => None,
+        Some(addr) => Some(
+            std::net::TcpListener::bind(addr)
+                .map_err(|e| format!("binding metrics address {addr}: {e}"))?,
+        ),
+    };
     let addr = o.get("--addr").unwrap_or("127.0.0.1:7130");
     let listener = std::net::TcpListener::bind(addr).map_err(|e| format!("binding {addr}: {e}"))?;
     let local = listener
         .local_addr()
         .map_err(|e| format!("resolving the bound address: {e}"))?;
-    // One parseable line on stdout so scripts (and the e2e tests) learn the
-    // actual port when --addr ends in :0.
+    // One parseable line on stdout per listener so scripts (and the e2e
+    // tests) learn the actual ports when an address ends in :0.
     println!("adhls serve listening on {local}");
+    if let Some(ml) = &metrics_listener {
+        let mlocal = ml
+            .local_addr()
+            .map_err(|e| format!("resolving the metrics address: {e}"))?;
+        println!("adhls serve metrics on {mlocal}");
+    }
     use std::io::Write as _;
     std::io::stdout().flush().ok();
-    server
-        .serve_tcp(&listener)
-        .map_err(|e| format!("serve: {e}"))?;
+    // The exposition loop exits on the same shutdown flag serve_tcp honors,
+    // so the scope joins as soon as a client sends `shutdown`.
+    std::thread::scope(|scope| {
+        if let Some(ml) = &metrics_listener {
+            scope.spawn(|| {
+                if let Err(e) = server.serve_metrics(ml) {
+                    eprintln!("adhls serve: metrics listener failed: {e}");
+                }
+            });
+        }
+        server.serve_tcp(&listener)
+    })
+    .map_err(|e| format!("serve: {e}"))?;
     eprintln!("adhls serve: shutdown requested, exiting");
     Ok(())
 }

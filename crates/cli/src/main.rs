@@ -18,6 +18,7 @@ mod cmd_report;
 mod cmd_schedule;
 mod cmd_serve;
 mod opts;
+mod profile;
 
 use std::process::ExitCode;
 
@@ -28,7 +29,7 @@ USAGE:
     adhls schedule <file.dsl> [OPTIONS]
     adhls explore  (--workload <name> | <file.dsl>) [OPTIONS]
     adhls serve    [OPTIONS]
-    adhls report   [table4|table2]
+    adhls report   [table4|table2] | report --metrics <file>
     adhls help
 
 SCHEDULE OPTIONS:
@@ -38,6 +39,8 @@ SCHEDULE OPTIONS:
     --json                emit the result as JSON instead of a table
     --netlist <PATH>      dump the Verilog-flavored datapath/FSM netlist
                           (`-` for stdout; see docs/NETLIST.md)
+    --profile             print a per-phase wall-time breakdown (stderr)
+                          after the run; see docs/OBSERVABILITY.md
 
 EXPLORE OPTIONS:
     --workload <NAME>     interpolation | idct | idct-table4 | fir |
@@ -60,6 +63,10 @@ EXPLORE OPTIONS:
     --json <PATH>         write sweep + front JSON with its objective
                           space recorded (`-` for stdout)
     --csv <PATH>          write sweep CSV (`-` for stdout)
+    --profile             print a per-phase wall-time breakdown (stderr)
+                          after the run; see docs/OBSERVABILITY.md
+    --metrics-out <PATH>  write the telemetry snapshot as JSON (`-` for
+                          stdout); re-render it with `report --metrics`
 
 ADAPTIVE EXPLORE OPTIONS (interpolation | idct | matmul):
     --adaptive            refine the front instead of sweeping the grid:
@@ -89,6 +96,11 @@ SERVE OPTIONS (line-delimited JSON protocol; see docs/PROTOCOL.md):
                           with optional k/m/g suffix    [default: unbounded]
     --strict              fail requests on unschedulable points instead of
                           skipping them
+    --metrics-addr <A>    additionally expose Prometheus-format metrics
+                          over HTTP on this address (port 0 picks a free
+                          port, printed on stdout)
+    --slow-ms <MS>        log requests slower than this threshold to
+                          stderr (0 disables)           [default: off]
 
 Exploring a DSL file sweeps --clocks only (the file fixes its own states).
 `schedule` evaluates one point; `report` prints the paper's tables over the

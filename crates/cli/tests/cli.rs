@@ -464,3 +464,109 @@ fn explore_adaptive_validates_its_flags() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("no adaptive grid"));
 }
+
+/// The observability CLI surface: `--profile` prints the per-phase
+/// breakdown on stderr (stdout output is byte-identical with and without
+/// it), `--metrics-out` exports the snapshot, and `report --metrics`
+/// re-renders that export as the same table.
+#[test]
+fn explore_profile_prints_phases_and_roundtrips_through_report() {
+    let base = [
+        "explore",
+        "--workload",
+        "interpolation",
+        "--clocks",
+        "1100,1500",
+        "--json",
+        "-",
+    ];
+    let quiet = adhls(&base);
+    assert!(quiet.status.success());
+
+    let dir = std::env::temp_dir().join(format!("adhls-profile-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let metrics_path = dir.join("metrics.json");
+    let metrics_file = metrics_path.to_str().expect("utf-8 temp path");
+    let mut args: Vec<&str> = base.to_vec();
+    args.extend(["--profile", "--metrics-out", metrics_file]);
+    let loud = adhls(&args);
+    assert!(
+        loud.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&loud.stderr)
+    );
+
+    // Telemetry observes, never steers: the exported JSON is identical.
+    assert_eq!(quiet.stdout, loud.stdout, "--profile changed the results");
+    let err = String::from_utf8_lossy(&loud.stderr);
+    assert!(err.contains("profile: wall time by span"), "{err}");
+    for phase in [
+        "pipeline.elab",
+        "pipeline.schedule",
+        "pipeline.bind",
+        "pipeline.area",
+        "pipeline.evaluate",
+        "pipeline.power",
+    ] {
+        assert!(err.contains(phase), "missing {phase} in profile:\n{err}");
+    }
+
+    // The exported snapshot re-renders to the same phase table.
+    let report = adhls(&["report", "--metrics", metrics_file]);
+    assert!(
+        report.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&report.stderr)
+    );
+    let table = String::from_utf8_lossy(&report.stdout);
+    assert!(table.contains("pipeline.schedule"), "{table}");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// `--profile` on the adaptive path meters the evaluator pool too: the
+/// refine counters and pool histograms appear next to the phase spans.
+#[test]
+fn explore_adaptive_profile_includes_pool_and_refine_metrics() {
+    let out = adhls(&[
+        "explore",
+        "--workload",
+        "interpolation",
+        "--adaptive",
+        "--clocks",
+        "1100,1400,1800",
+        "--cycles",
+        "3,4,6",
+        "--profile",
+    ]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("refine.round.area_latency"), "{err}");
+    assert!(err.contains("refine.cells_evaluated"), "{err}");
+    assert!(err.contains("pool.batch.submit_to_done_us"), "{err}");
+    assert!(err.contains("cache.misses"), "{err}");
+}
+
+/// `schedule --profile` meters a single run.
+#[test]
+fn schedule_profile_prints_the_phase_table() {
+    let dsl = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../examples/dsl/resizer.adhls"
+    );
+    let out = adhls(&["schedule", dsl, "--clock", "2000", "--profile"]);
+    assert!(
+        out.status.success(),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("profile: wall time by span"), "{err}");
+    assert!(err.contains("pipeline.schedule"), "{err}");
+    // One schedule = one run of each phase.
+    let quiet = adhls(&["schedule", dsl, "--clock", "2000"]);
+    assert_eq!(quiet.stdout, out.stdout, "--profile changed the schedule");
+}

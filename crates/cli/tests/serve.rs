@@ -26,6 +26,7 @@ const GAP_TOL: f64 = 0.1;
 struct Serve {
     child: Child,
     addr: String,
+    metrics_addr: Option<String>,
 }
 
 impl Serve {
@@ -39,21 +40,49 @@ impl Serve {
             .spawn()
             .expect("adhls serve spawns");
         let stdout = child.stdout.take().expect("stdout piped");
-        let mut line = String::new();
-        BufReader::new(stdout)
-            .read_line(&mut line)
-            .expect("serve announces its address");
-        let addr = line
-            .trim()
-            .rsplit(' ')
-            .next()
-            .expect("address at end of announcement")
-            .to_string();
-        assert!(
-            addr.starts_with("127.0.0.1:"),
-            "unexpected announcement: {line}"
-        );
-        Serve { child, addr }
+        let mut reader = BufReader::new(stdout);
+        let announced = |reader: &mut BufReader<_>, what: &str| {
+            let mut line = String::new();
+            reader.read_line(&mut line).expect(what);
+            let addr = line
+                .trim()
+                .rsplit(' ')
+                .next()
+                .expect("address at end of announcement")
+                .to_string();
+            assert!(
+                addr.starts_with("127.0.0.1:"),
+                "unexpected announcement: {line}"
+            );
+            addr
+        };
+        let addr = announced(&mut reader, "serve announces its address");
+        let metrics_addr = extra
+            .contains(&"--metrics-addr")
+            .then(|| announced(&mut reader, "serve announces its metrics address"));
+        Serve {
+            child,
+            addr,
+            metrics_addr,
+        }
+    }
+
+    /// One raw HTTP scrape of the exposition listener; returns head + body.
+    fn scrape(&self) -> String {
+        let addr = self
+            .metrics_addr
+            .as_ref()
+            .expect("started with --metrics-addr");
+        let mut stream = TcpStream::connect(addr).expect("connect to metrics listener");
+        stream
+            .write_all(b"GET /metrics HTTP/1.0\r\nHost: localhost\r\n\r\n")
+            .expect("send scrape request");
+        let mut out = String::new();
+        use std::io::Read as _;
+        stream
+            .read_to_string(&mut out)
+            .expect("read scrape response");
+        out
     }
 
     /// Sends one request line on a fresh connection; returns all response
@@ -218,6 +247,120 @@ fn tiny_cache_budget_forces_evictions_but_not_wrong_answers() {
     let s = stats[0].get("stats").unwrap();
     let bytes = s.get("bytes").and_then(Value::as_u64).unwrap();
     assert!(bytes <= 1024, "{bytes} bytes cached under a 1k budget");
+    serve.shutdown();
+}
+
+/// The observability acceptance path: every export surface (the `metrics`
+/// verb, the `stats` verb, the Prometheus exposition listener) renders
+/// one shared snapshot, and the per-request span histograms plus the
+/// in-flight gauge account for the request counter exactly.
+#[test]
+fn metrics_surfaces_reconcile_with_the_request_history() {
+    let serve = Serve::start(&[
+        "--threads",
+        "2",
+        "--metrics-addr",
+        "127.0.0.1:0",
+        "--slow-ms",
+        "600000",
+    ]);
+    // Traffic: one sweep (ok), one ping (ok), one unknown command (error).
+    let sweep = serve.request(
+        "{\"id\":1,\"cmd\":\"sweep\",\"workload\":\"interpolation\",\
+         \"clocks\":[1100,1400],\"cycles\":[3,4]}",
+    );
+    assert_eq!(sweep[0].get("ok"), Some(&Value::Bool(true)));
+    serve.request("{\"id\":2,\"cmd\":\"ping\"}");
+    let err = serve.request("{\"id\":3,\"cmd\":\"frobnicate\"}");
+    assert_eq!(err[0].get("ok"), Some(&Value::Bool(false)));
+
+    let resp = serve.request("{\"id\":4,\"cmd\":\"metrics\"}");
+    let m = resp[0].get("metrics").expect("metrics payload");
+    let counter = |name: &str| {
+        m.get("counters")
+            .and_then(|c| c.get(name))
+            .and_then(Value::as_u64)
+    };
+    let gauge = |name: &str| {
+        m.get("gauges")
+            .and_then(|g| g.get(name))
+            .and_then(Value::as_u64)
+    };
+    let hist_count = |name: &str| {
+        m.get("histograms")
+            .and_then(|h| h.get(name))
+            .and_then(|h| h.get("count"))
+            .and_then(Value::as_u64)
+            .unwrap_or(0)
+    };
+
+    // Per-verb spans for the three finished requests; the metrics request
+    // itself is still in flight at snapshot time, so it appears in the
+    // gauge rather than its histogram.
+    assert_eq!(hist_count("serve.request.sweep"), 1);
+    assert_eq!(hist_count("serve.request.ping"), 1);
+    assert_eq!(hist_count("serve.request.invalid"), 1);
+    let requests = counter("serve.requests").expect("request counter");
+    assert_eq!(requests, 4);
+    let in_flight = gauge("serve.in_flight").expect("in-flight gauge");
+    let span_total: u64 = [
+        "sweep", "refine", "stats", "metrics", "ping", "shutdown", "invalid",
+    ]
+    .iter()
+    .map(|v| hist_count(&format!("serve.request.{v}")))
+    .sum();
+    assert_eq!(
+        span_total + in_flight,
+        requests,
+        "per-request spans + in-flight must account for every request: {}",
+        resp[0].render()
+    );
+    // Outcome counters partition the finished requests.
+    assert_eq!(counter("serve.ok"), Some(2));
+    assert_eq!(counter("serve.errors"), Some(1));
+    // The sweep's real HLS work shows up as pipeline phase spans, pool
+    // batches, and cache misses — one unified snapshot, so the phase
+    // count and the cache's miss counter must agree exactly.
+    assert!(hist_count("pipeline.evaluate") >= 4);
+    assert_eq!(
+        counter("cache.misses"),
+        Some(hist_count("pipeline.evaluate"))
+    );
+    assert!(counter("pool.points").unwrap_or(0) >= 4);
+    assert_eq!(gauge("pool.threads"), Some(2));
+    assert!(gauge("serve.uptime_ms").is_some());
+
+    // The stats verb reads the same snapshot: its request counter sits
+    // exactly one ahead (itself), and the pool echo matches.
+    let stats_resp = serve.request("{\"id\":5,\"cmd\":\"stats\"}");
+    let stats = stats_resp[0].get("stats").expect("stats payload");
+    assert_eq!(
+        stats.get("requests").and_then(Value::as_u64),
+        Some(requests + 1)
+    );
+    assert_eq!(stats.get("threads").and_then(Value::as_u64), Some(2));
+    assert_eq!(stats.get("in_flight").and_then(Value::as_u64), Some(1));
+    assert!(stats.get("uptime_ms").and_then(Value::as_u64).is_some());
+
+    // The exposition listener renders the same snapshot in Prometheus
+    // text format; a scrape is not a protocol request, so the counter
+    // still reads 5.
+    let scrape = serve.scrape();
+    assert!(
+        scrape.starts_with("HTTP/1.0 200 OK"),
+        "unexpected scrape head: {}",
+        scrape.lines().next().unwrap_or("")
+    );
+    assert!(scrape.contains("Content-Type: text/plain; version=0.0.4"));
+    assert!(
+        scrape.contains("\nadhls_serve_requests 5\n"),
+        "scrape disagrees with the metrics verb:\n{scrape}"
+    );
+    assert!(scrape.contains("# TYPE adhls_serve_request_sweep histogram"));
+    assert!(scrape.contains("adhls_serve_request_sweep_count 1"));
+    assert!(scrape.contains("adhls_pipeline_schedule_bucket{le=\"+Inf\"}"));
+    assert!(scrape.contains("adhls_serve_scrapes 1"));
+
     serve.shutdown();
 }
 

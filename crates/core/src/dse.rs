@@ -170,6 +170,11 @@ pub fn grid_item_time_ps(clock_ps: u64, cycles_per_item: u32) -> f64 {
 /// Propagates scheduling failures (a point whose clock/latency combination
 /// is overconstrained).
 pub fn evaluate_point(p: &DsePoint, lib: &Library, base: &HlsOptions) -> Result<DseRow> {
+    // The whole-point span wraps both HLS runs and the power model, so a
+    // `metrics` snapshot attributes per-cell cost; note each point runs the
+    // pipeline twice (conventional + slack-based), so `pipeline.*` phase
+    // counts are 2x `pipeline.evaluate`.
+    let _span = adhls_telemetry::span("pipeline.evaluate");
     let mk_opts = |flow: Flow| HlsOptions {
         clock_ps: p.clock_ps,
         flow,
@@ -181,13 +186,15 @@ pub fn evaluate_point(p: &DsePoint, lib: &Library, base: &HlsOptions) -> Result<
     let cycles_per_item = p.cycles_per_item.max(1);
     let conv = run_hls(&p.design, lib, &mk_opts(Flow::Conventional))?;
     let slack = run_hls(&p.design, lib, &mk_opts(Flow::SlackBased))?;
-    let power = estimate(
-        &p.design,
-        &slack.schedule,
-        &slack.area,
-        cycles_per_item,
-        p.clock_ps,
-    );
+    let power = adhls_telemetry::timed("pipeline.power", || {
+        estimate(
+            &p.design,
+            &slack.schedule,
+            &slack.area,
+            cycles_per_item,
+            p.clock_ps,
+        )
+    });
     let item_time_ps = grid_item_time_ps(p.clock_ps, cycles_per_item);
     let save_pct = if conv.area.total == 0.0 {
         0.0

@@ -134,98 +134,124 @@ struct PassFailure {
 /// after `max_relax_rounds` relaxations (overconstrained, paper Fig. 8
 /// step 5).
 pub fn run_hls(design: &Design, lib: &Library, opts: &HlsOptions) -> Result<HlsResult> {
-    let info = design.validate()?;
-    let span_analysis = SpanAnalysis::new(&design.dfg, &info)?;
-    let base_choices = op_choices(&design.dfg, lib)?;
+    // Telemetry phase spans ("pipeline.*" histograms) time each stage on
+    // the thread's current registry; they observe only and never steer —
+    // results are bit-identical with telemetry on or off.
+    let (info, span_analysis, base_choices) =
+        adhls_telemetry::timed("pipeline.elab", || -> Result<_> {
+            let info = design.validate()?;
+            let span_analysis = SpanAnalysis::new(&design.dfg, &info)?;
+            let base_choices = op_choices(&design.dfg, lib)?;
+            Ok((info, span_analysis, base_choices))
+        })?;
 
-    // Relaxation state: per-class instance limits and per-op grade caps
-    // (maximum candidate index; lower = faster).
-    let cycles = count_states(&info).max(1);
-    let mut limits = Allocation::initial_limits(design, cycles);
-    let mut grade_cap: Vec<usize> = base_choices
-        .iter()
-        .map(|c| c.candidates.len().saturating_sub(1))
-        .collect();
+    let (mut schedule, spans_final, relax_rounds) = adhls_telemetry::timed(
+        "pipeline.schedule",
+        || -> Result<_> {
+            // Relaxation state: per-class instance limits and per-op grade
+            // caps (maximum candidate index; lower = faster).
+            let cycles = count_states(&info).max(1);
+            let mut limits = Allocation::initial_limits(design, cycles);
+            let mut grade_cap: Vec<usize> = base_choices
+                .iter()
+                .map(|c| c.candidates.len().saturating_sub(1))
+                .collect();
 
-    let mut relax_rounds = 0;
-    // Escalation: when the same operation keeps failing despite local
-    // relaxations, ratchet every operation's slowest allowed grade down —
-    // in the limit the pass degenerates to the conventional all-fastest
-    // flow (with the accumulated extra instances), which is exactly the
-    // paper's observed behavior on timing-critical designs (D5–D7: "the
-    // scheduler was unable to recover from starting with slower resources
-    // and had to restrict sharing to meet timing").
-    let mut last_failure: Option<(OpId, bool)> = None;
-    let mut global_cap = usize::MAX;
-    loop {
-        // Apply caps by truncating candidate lists.
-        let choices: Vec<OpChoice> = base_choices
-            .iter()
-            .enumerate()
-            .map(|(i, c)| OpChoice {
-                candidates: c.candidates[..(grade_cap[i] + 1).min(c.candidates.len())].to_vec(),
-                fixed_ps: c.fixed_ps,
-            })
-            .collect();
-        let mut pass = Pass::new(design, &info, &span_analysis, lib, opts, &choices)?;
-        for (class, lim) in &limits {
-            pass.alloc.set_limit(*class, *lim);
-        }
-        match pass.run() {
-            Ok(()) => {
-                let mut schedule = pass.into_schedule();
-                let spans_final = span_analysis
-                    .compute_pinned(&design.dfg, &info, |o| schedule.edge_of[o.0 as usize])?;
-                schedule.validate(design, &info, &spans_final)?;
-                let regs = bind::bind_registers(design, &info, &schedule, lib);
-                if opts.area_recovery {
-                    area::area_recovery(design, &info, &mut schedule, lib, opts.zero_overhead);
-                    schedule.validate(design, &info, &spans_final)?;
+            let mut relax_rounds = 0;
+            // Escalation: when the same operation keeps failing despite local
+            // relaxations, ratchet every operation's slowest allowed grade down —
+            // in the limit the pass degenerates to the conventional all-fastest
+            // flow (with the accumulated extra instances), which is exactly the
+            // paper's observed behavior on timing-critical designs (D5–D7: "the
+            // scheduler was unable to recover from starting with slower resources
+            // and had to restrict sharing to meet timing").
+            let mut last_failure: Option<(OpId, bool)> = None;
+            let mut global_cap = usize::MAX;
+            loop {
+                // Apply caps by truncating candidate lists.
+                let choices: Vec<OpChoice> = base_choices
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| OpChoice {
+                        candidates: c.candidates[..(grade_cap[i] + 1).min(c.candidates.len())]
+                            .to_vec(),
+                        fixed_ps: c.fixed_ps,
+                    })
+                    .collect();
+                let mut pass = Pass::new(design, &info, &span_analysis, lib, opts, &choices)?;
+                for (class, lim) in &limits {
+                    pass.alloc.set_limit(*class, *lim);
                 }
-                let area = area::area_report(design, &schedule, &regs, lib, opts.zero_overhead);
-                let budget_moves = 0;
-                return Ok(HlsResult {
-                    schedule,
-                    area,
-                    regs,
-                    relax_rounds,
-                    budget_moves,
-                });
-            }
-            Err(f) => {
-                if std::env::var("ADHLS_DEBUG").is_ok() {
-                    eprintln!(
-                        "[relax {relax_rounds}] op {} reason {:?} grade {:?}",
-                        f.op, f.reason, f.grade_at_failure
-                    );
-                }
-                relax_rounds += 1;
-                if relax_rounds > opts.max_relax_rounds {
-                    return Err(Error::Transform(format!(
-                        "overconstrained: no relaxation helps {} (reason {:?}) after {} rounds",
-                        f.op, f.reason, opts.max_relax_rounds
-                    )));
-                }
-                let sig = (f.op, matches!(f.reason, NoFit::Timing));
-                if last_failure == Some(sig) && sig.1 {
-                    // Same op failing on timing again: tighten globally.
-                    global_cap = match global_cap {
-                        usize::MAX => 3,
-                        0 => 0,
-                        g => g - 1,
-                    };
-                    for (i, cap) in grade_cap.iter_mut().enumerate() {
-                        let n = base_choices[i].candidates.len();
-                        if n > 0 {
-                            *cap = (*cap).min(global_cap.min(n - 1));
+                match pass.run() {
+                    Ok(()) => {
+                        let schedule = pass.into_schedule();
+                        let spans_final =
+                            span_analysis.compute_pinned(&design.dfg, &info, |o| {
+                                schedule.edge_of[o.0 as usize]
+                            })?;
+                        schedule.validate(design, &info, &spans_final)?;
+                        return Ok((schedule, spans_final, relax_rounds));
+                    }
+                    Err(f) => {
+                        if std::env::var("ADHLS_DEBUG").is_ok() {
+                            eprintln!(
+                                "[relax {relax_rounds}] op {} reason {:?} grade {:?}",
+                                f.op, f.reason, f.grade_at_failure
+                            );
                         }
+                        relax_rounds += 1;
+                        if relax_rounds > opts.max_relax_rounds {
+                            return Err(Error::Transform(format!(
+                                "overconstrained: no relaxation helps {} (reason {:?}) after {} rounds",
+                                f.op, f.reason, opts.max_relax_rounds
+                            )));
+                        }
+                        let sig = (f.op, matches!(f.reason, NoFit::Timing));
+                        if last_failure == Some(sig) && sig.1 {
+                            // Same op failing on timing again: tighten globally.
+                            global_cap = match global_cap {
+                                usize::MAX => 3,
+                                0 => 0,
+                                g => g - 1,
+                            };
+                            for (i, cap) in grade_cap.iter_mut().enumerate() {
+                                let n = base_choices[i].candidates.len();
+                                if n > 0 {
+                                    *cap = (*cap).min(global_cap.min(n - 1));
+                                }
+                            }
+                        }
+                        last_failure = Some(sig);
+                        apply_relaxation(design, &base_choices, &mut limits, &mut grade_cap, &f)?;
                     }
                 }
-                last_failure = Some(sig);
-                apply_relaxation(design, &base_choices, &mut limits, &mut grade_cap, &f)?;
             }
+        },
+    )?;
+
+    let regs = adhls_telemetry::timed("pipeline.bind", || {
+        bind::bind_registers(design, &info, &schedule, lib)
+    });
+    let area = adhls_telemetry::timed("pipeline.area", || -> Result<_> {
+        if opts.area_recovery {
+            area::area_recovery(design, &info, &mut schedule, lib, opts.zero_overhead);
+            schedule.validate(design, &info, &spans_final)?;
         }
-    }
+        Ok(area::area_report(
+            design,
+            &schedule,
+            &regs,
+            lib,
+            opts.zero_overhead,
+        ))
+    })?;
+    Ok(HlsResult {
+        schedule,
+        area,
+        regs,
+        relax_rounds,
+        budget_moves: 0,
+    })
 }
 
 /// Clock cycles available to one iteration: the number of state nodes, plus

@@ -25,10 +25,12 @@ use crate::server::eviction::{CacheStats, EvictingCache, Outcome};
 use adhls_core::dse::{evaluate_point, DsePoint, DseRow};
 use adhls_core::sched::HlsOptions;
 use adhls_reslib::Library;
+use adhls_telemetry::{Registry, Snapshot};
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use adhls_ir::{Error, Result};
 
@@ -64,10 +66,16 @@ struct Batch {
     failed: AtomicBool,
     done: Mutex<bool>,
     done_cv: Condvar,
+    /// Submission time, captured only when the pool's telemetry is enabled
+    /// (the pool records submit→start and start→done latencies from it).
+    submitted: Option<Instant>,
+    /// First claim time, set by whichever thread claims index 0's slot in
+    /// the claim counter (i.e. wins the first `fetch_add`).
+    started: OnceLock<Instant>,
 }
 
 impl Batch {
-    fn new(points: Vec<DsePoint>, skip_infeasible: bool) -> Self {
+    fn new(points: Vec<DsePoint>, skip_infeasible: bool, timed: bool) -> Self {
         let slots = (0..points.len()).map(|_| OnceLock::new()).collect();
         Batch {
             points,
@@ -79,6 +87,8 @@ impl Batch {
             failed: AtomicBool::new(false),
             done: Mutex::new(false),
             done_cv: Condvar::new(),
+            submitted: timed.then(Instant::now),
+            started: OnceLock::new(),
         }
     }
 
@@ -131,6 +141,11 @@ struct Shared {
     queue: Mutex<VecDeque<Arc<Batch>>>,
     work_ready: Condvar,
     shutdown: AtomicBool,
+    /// Pool-scoped metrics registry, installed as the thread-current
+    /// registry on worker threads and around submitter drains so pipeline
+    /// phase spans from any batch land here. Disabled (and therefore
+    /// nearly free) unless the owner enables it.
+    registry: Registry,
 }
 
 impl Shared {
@@ -179,6 +194,17 @@ impl Shared {
             if i >= batch.points.len() {
                 break;
             }
+            if let Some(submitted) = batch.submitted {
+                // First claimer stamps the batch start and credits the time
+                // it spent queued (submit→start) — each batch reports once.
+                let now = Instant::now();
+                if batch.started.set(now).is_ok() {
+                    self.registry.observe(
+                        "pool.batch.submit_to_start_us",
+                        now.duration_since(submitted).as_secs_f64() * 1e6,
+                    );
+                }
+            }
             let out = self.evaluate_one(&batch.points[i], &batch.hits);
             if out.is_err() {
                 batch.failed.store(true, Ordering::Relaxed);
@@ -193,15 +219,21 @@ impl Shared {
     }
 
     /// Background worker: pick the oldest batch with work left, help drain
-    /// it, repeat until shutdown.
+    /// it, repeat until shutdown. The pool registry is installed for the
+    /// thread's lifetime, so pipeline spans from evaluations land on it,
+    /// and idle (waiting for work) vs busy (draining) time is credited to
+    /// the `pool.worker.{idle,busy}_us` counters.
     fn worker_loop(&self) {
+        let _telemetry = adhls_telemetry::install(&self.registry);
         loop {
+            let idle_from = self.registry.is_enabled().then(Instant::now);
             let batch = {
                 let mut q = self.queue.lock().expect("pool queue poisoned");
                 loop {
                     while q.front().is_some_and(|b| b.exhausted()) {
                         q.pop_front();
                     }
+                    self.registry.gauge_set("pool.queue_depth", q.len() as i64);
                     if let Some(b) = q.front() {
                         break Arc::clone(b);
                     }
@@ -211,8 +243,22 @@ impl Shared {
                     q = self.work_ready.wait(q).expect("pool queue poisoned");
                 }
             };
+            if let Some(t) = idle_from {
+                self.counter_elapsed_us("pool.worker.idle_us", t);
+            }
+            let busy_from = self.registry.is_enabled().then(Instant::now);
             self.drain(&batch);
+            if let Some(t) = busy_from {
+                self.counter_elapsed_us("pool.worker.busy_us", t);
+            }
         }
+    }
+
+    /// Adds the whole microseconds elapsed since `from` to counter `name`.
+    fn counter_elapsed_us(&self, name: &str, from: Instant) {
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        self.registry
+            .counter_add(name, from.elapsed().as_micros() as u64);
     }
 }
 
@@ -261,9 +307,26 @@ impl std::fmt::Debug for EvaluatorPool {
 impl EvaluatorPool {
     /// Spawns the pool. `threads` counts the submitting thread, so a pool
     /// of `threads: N` spawns `N - 1` background workers (`0` = one thread
-    /// per available core).
+    /// per available core). The pool owns a fresh, **disabled** metrics
+    /// registry; use [`EvaluatorPool::with_telemetry`] to supply one (or
+    /// enable via [`EvaluatorPool::telemetry`]).
     #[must_use]
     pub fn new(lib: Library, base: HlsOptions, opts: PoolOptions) -> Self {
+        Self::with_telemetry(lib, base, opts, Registry::new())
+    }
+
+    /// [`EvaluatorPool::new`], collecting metrics into `registry`: queue
+    /// depth, batch latencies, worker busy/idle time, and — because the
+    /// registry is installed on worker threads and around submitter
+    /// drains — the per-phase `pipeline.*` histograms of every evaluation
+    /// run through the pool.
+    #[must_use]
+    pub fn with_telemetry(
+        lib: Library,
+        base: HlsOptions,
+        opts: PoolOptions,
+        registry: Registry,
+    ) -> Self {
         let shared = Arc::new(Shared {
             lib,
             base,
@@ -271,6 +334,7 @@ impl EvaluatorPool {
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            registry,
         });
         let threads = if opts.threads == 0 {
             std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
@@ -304,14 +368,39 @@ impl EvaluatorPool {
     /// Returns the first (by input order) point's scheduling error unless
     /// [`PoolOptions::skip_infeasible`] is set.
     pub fn evaluate(&self, points: &[DsePoint]) -> Result<SweepResult> {
-        let batch = Arc::new(Batch::new(points.to_vec(), self.opts.skip_infeasible));
+        // Route the submitting thread's own evaluations (it always helps
+        // drain) to the pool registry, like the background workers.
+        let _telemetry = adhls_telemetry::install(&self.shared.registry);
+        let batch = Arc::new(Batch::new(
+            points.to_vec(),
+            self.opts.skip_infeasible,
+            self.shared.registry.is_enabled(),
+        ));
         {
             let mut q = self.shared.queue.lock().expect("pool queue poisoned");
             q.push_back(Arc::clone(&batch));
+            self.shared
+                .registry
+                .gauge_set("pool.queue_depth", q.len() as i64);
             self.shared.work_ready.notify_all();
         }
         self.shared.drain(&batch);
         batch.wait_complete();
+        self.shared.registry.counter_add("pool.batches", 1);
+        self.shared
+            .registry
+            .counter_add("pool.points", points.len() as u64);
+        if let (Some(submitted), Some(&started)) = (batch.submitted, batch.started.get()) {
+            let done = Instant::now();
+            self.shared.registry.observe(
+                "pool.batch.start_to_done_us",
+                done.duration_since(started).as_secs_f64() * 1e6,
+            );
+            self.shared.registry.observe(
+                "pool.batch.submit_to_done_us",
+                done.duration_since(submitted).as_secs_f64() * 1e6,
+            );
+        }
         // Retire the batch from the queue ourselves: background workers
         // also pop exhausted fronts opportunistically, but on a pool with
         // no background workers (threads: 1) nobody else ever would, and a
@@ -319,6 +408,9 @@ impl EvaluatorPool {
         {
             let mut q = self.shared.queue.lock().expect("pool queue poisoned");
             q.retain(|b| !Arc::ptr_eq(b, &batch));
+            self.shared
+                .registry
+                .gauge_set("pool.queue_depth", q.len() as i64);
         }
         // Claims were contiguous from 0 and every claimed slot is filled,
         // so filled slots form a prefix; the unfilled suffix (strict-mode
@@ -381,6 +473,37 @@ impl EvaluatorPool {
     #[must_use]
     pub fn base_options(&self) -> &HlsOptions {
         &self.shared.base
+    }
+
+    /// The pool's metrics registry. Enable it to start collecting:
+    /// `pool.telemetry().set_enabled(true)`.
+    #[must_use]
+    pub fn telemetry(&self) -> &Registry {
+        &self.shared.registry
+    }
+
+    /// One unified snapshot: everything in the registry plus the eviction
+    /// cache's own counters (`cache.*`) and the pool's structural gauges
+    /// (`pool.threads`, `cache.capacity_bytes` when budgeted) — appended
+    /// here so every export surface (`stats`, `metrics`, exposition,
+    /// `--metrics-out`) reads the same numbers from the same place.
+    #[must_use]
+    #[allow(clippy::cast_possible_wrap)]
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.shared.registry.snapshot();
+        let s = self.shared.cache.stats();
+        snap.push_counter("cache.hits", s.hits);
+        snap.push_counter("cache.coalesced", s.coalesced);
+        snap.push_counter("cache.misses", s.misses);
+        snap.push_counter("cache.evictions", s.evictions);
+        snap.push_gauge("cache.entries", s.entries as i64);
+        snap.push_gauge("cache.bytes", s.bytes as i64);
+        if let Some(cap) = s.capacity_bytes {
+            snap.push_gauge("cache.capacity_bytes", cap as i64);
+        }
+        snap.push_gauge("pool.threads", self.thread_count() as i64);
+        snap.sort();
+        snap
     }
 }
 
@@ -558,6 +681,52 @@ mod tests {
                 "finished batch left in the queue"
             );
         }
+    }
+
+    #[test]
+    fn telemetry_collects_pipeline_and_pool_metrics() {
+        let pool = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        pool.telemetry().set_enabled(true);
+        let pts = fleet();
+        let r = pool.evaluate(&pts).unwrap();
+        let snap = pool.metrics_snapshot();
+        // Pipeline phases ran through the installed registry: each point
+        // runs HLS twice (conventional + slack-based).
+        let schedules = snap.histogram("pipeline.schedule").expect("phase timing");
+        assert_eq!(schedules.count, 2 * pts.len() as u64);
+        assert_eq!(
+            snap.histogram("pipeline.evaluate").map(|h| h.count),
+            Some(pts.len() as u64)
+        );
+        // Batch accounting and the unified cache counters.
+        assert_eq!(snap.counter("pool.batches"), Some(1));
+        assert_eq!(snap.counter("pool.points"), Some(pts.len() as u64));
+        assert_eq!(
+            snap.histogram("pool.batch.start_to_done_us")
+                .map(|h| h.count),
+            Some(1)
+        );
+        assert_eq!(snap.counter("cache.misses"), Some(pts.len() as u64));
+        assert_eq!(snap.gauge("pool.threads"), Some(2));
+        assert_eq!(snap.gauge("pool.queue_depth"), Some(0));
+        // Telemetry observes, never steers: rows match the disabled pool.
+        let quiet = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(quiet.evaluate(&pts).unwrap().rows, r.rows);
+        assert!(quiet.metrics_snapshot().counter("pool.batches").is_none());
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! shared cache. This module tree is that process:
 //!
 //! * [`protocol`] — the line-delimited JSON wire format: `sweep`,
-//!   `refine`, `stats`, `ping`, `shutdown` requests; streamed `round`
+//!   `refine`, `stats`, `metrics`, `ping`, `shutdown` requests; streamed `round`
 //!   progress events; terminal `result` messages whose row arrays are
 //!   byte-compatible with the file exporters,
 //! * [`session`] — request dispatch onto the pool, per-connection

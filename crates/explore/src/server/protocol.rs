@@ -21,9 +21,9 @@ use crate::engine::SweepResult;
 use crate::export::{objectives_to_json, rows_to_json_line};
 use crate::pareto::{tradeoff_staircase_in_constrained, ObjectiveSpace};
 use crate::refine::{MultiRefineResult, MultiRoundTrace, RefineResult, RoundTrace};
-use crate::server::eviction::CacheStats;
 use adhls_core::dse::{summarize, DseRow};
 use adhls_core::json::{escape_into, Value};
+use adhls_telemetry::Snapshot;
 use std::fmt::Write as _;
 
 /// What to explore: a named workload grid or an inline DSL design, plus
@@ -86,10 +86,28 @@ pub enum Command {
     },
     /// Report the pool's cache counters and server gauges.
     Stats,
+    /// Return the full telemetry registry snapshot (counters, gauges,
+    /// per-phase histograms).
+    Metrics,
     /// Liveness probe.
     Ping,
     /// Stop accepting connections and exit the serve loop.
     Shutdown,
+}
+
+impl Command {
+    /// The wire verb, as telemetry labels it (`serve.request.<verb>`).
+    #[must_use]
+    pub fn verb(&self) -> &'static str {
+        match self {
+            Command::Sweep(_) => "sweep",
+            Command::Refine { .. } => "refine",
+            Command::Stats => "stats",
+            Command::Metrics => "metrics",
+            Command::Ping => "ping",
+            Command::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// Parses one request line. The request `id` (echoed on every response) is
@@ -157,10 +175,11 @@ fn parse_command(doc: &Value) -> Result<Command, String> {
             })
         }
         "stats" => Ok(Command::Stats),
+        "metrics" => Ok(Command::Metrics),
         "ping" => Ok(Command::Ping),
         "shutdown" => Ok(Command::Shutdown),
         other => Err(format!(
-            "unknown cmd `{other}` (sweep | refine | stats | ping | shutdown)"
+            "unknown cmd `{other}` (sweep | refine | stats | metrics | ping | shutdown)"
         )),
     }
 }
@@ -548,11 +567,19 @@ pub fn render_refine_multi_result(id: Option<&Value>, r: &MultiRefineResult) -> 
     out
 }
 
-/// The terminal message for a `stats` request. `requests` counts requests
-/// accepted by the server since startup; the rest is the pool's cache
-/// metrics and thread count.
+/// The terminal message for a `stats` request — the compact, stable-schema
+/// summary. Every field is pulled from the same unified [`Snapshot`] the
+/// `metrics` verb renders in full (`Server::metrics_snapshot`), so the two
+/// surfaces cannot drift: `hits`/`coalesced`/`misses`/`evictions`/
+/// `entries`/`bytes`/`capacity_bytes` are the cache counters, `requests`/
+/// `uptime_ms`/`in_flight` the serve tier, `threads` the pool. Missing
+/// entries render as `0` (counters/gauges the registry has not seen yet),
+/// except `capacity_bytes`, whose absence means "unbounded" and renders
+/// `null`.
 #[must_use]
-pub fn render_stats(id: Option<&Value>, s: &CacheStats, requests: u64, threads: usize) -> String {
+pub fn render_stats(id: Option<&Value>, snap: &Snapshot) -> String {
+    let counter = |name: &str| snap.counter(name).unwrap_or(0);
+    let gauge = |name: &str| snap.gauge(name).unwrap_or(0);
     let mut out = String::new();
     open_envelope(&mut out, id);
     let _ = write!(
@@ -560,15 +587,43 @@ pub fn render_stats(id: Option<&Value>, s: &CacheStats, requests: u64, threads: 
         ",\"event\":\"result\",\"ok\":true,\"cmd\":\"stats\",\"stats\":{{\
          \"hits\":{},\"coalesced\":{},\"misses\":{},\"evictions\":{},\
          \"entries\":{},\"bytes\":{},\"capacity_bytes\":",
-        s.hits, s.coalesced, s.misses, s.evictions, s.entries, s.bytes
+        counter("cache.hits"),
+        counter("cache.coalesced"),
+        counter("cache.misses"),
+        counter("cache.evictions"),
+        gauge("cache.entries"),
+        gauge("cache.bytes"),
     );
-    match s.capacity_bytes {
+    match snap.gauge("cache.capacity_bytes") {
         Some(c) => {
             let _ = write!(out, "{c}");
         }
         None => out.push_str("null"),
     }
-    let _ = write!(out, ",\"requests\":{requests},\"threads\":{threads}}}}}");
+    let _ = write!(
+        out,
+        ",\"requests\":{},\"uptime_ms\":{},\"in_flight\":{},\"threads\":{}}}}}",
+        counter("serve.requests"),
+        gauge("serve.uptime_ms"),
+        gauge("serve.in_flight"),
+        gauge("pool.threads"),
+    );
+    out
+}
+
+/// The terminal message for a `metrics` request: the full unified
+/// [`Snapshot`] under a `metrics` key, in the snapshot's own JSON schema
+/// (`{"counters":{...},"gauges":{...},"histograms":{...}}` — see
+/// `docs/OBSERVABILITY.md`).
+#[must_use]
+pub fn render_metrics(id: Option<&Value>, snap: &Snapshot) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    let _ = write!(
+        out,
+        ",\"event\":\"result\",\"ok\":true,\"cmd\":\"metrics\",\"metrics\":{}}}",
+        snap.render_json()
+    );
     out
 }
 
@@ -743,16 +798,19 @@ mod tests {
 
     #[test]
     fn stats_rendering_carries_capacity_and_counters() {
-        let s = CacheStats {
-            hits: 5,
-            coalesced: 2,
-            misses: 9,
-            evictions: 1,
-            entries: 8,
-            bytes: 1024,
-            capacity_bytes: Some(4096),
-        };
-        let line = render_stats(None, &s, 12, 4);
+        let mut snap = Snapshot::new();
+        snap.push_counter("cache.hits", 5);
+        snap.push_counter("cache.coalesced", 2);
+        snap.push_counter("cache.misses", 9);
+        snap.push_counter("cache.evictions", 1);
+        snap.push_gauge("cache.entries", 8);
+        snap.push_gauge("cache.bytes", 1024);
+        snap.push_gauge("cache.capacity_bytes", 4096);
+        snap.push_counter("serve.requests", 12);
+        snap.push_gauge("serve.uptime_ms", 1500);
+        snap.push_gauge("serve.in_flight", 1);
+        snap.push_gauge("pool.threads", 4);
+        let line = render_stats(None, &snap);
         let v = Value::parse(&line).unwrap();
         let stats = v.get("stats").unwrap();
         assert_eq!(stats.get("hits").and_then(Value::as_u64), Some(5));
@@ -761,15 +819,44 @@ mod tests {
             Some(4096)
         );
         assert_eq!(stats.get("requests").and_then(Value::as_u64), Some(12));
-        let unbounded = render_stats(
-            None,
-            &CacheStats {
-                capacity_bytes: None,
-                ..s
-            },
-            0,
-            1,
+        assert_eq!(stats.get("uptime_ms").and_then(Value::as_u64), Some(1500));
+        assert_eq!(stats.get("in_flight").and_then(Value::as_u64), Some(1));
+        assert_eq!(stats.get("threads").and_then(Value::as_u64), Some(4));
+        // An unbounded cache has no capacity gauge at all; unseen counters
+        // report 0, not an absent field — the schema is stable.
+        let empty = render_stats(None, &Snapshot::new());
+        assert!(empty.contains("\"capacity_bytes\":null"));
+        assert!(empty.contains("\"hits\":0"));
+    }
+
+    #[test]
+    fn metrics_rendering_embeds_the_snapshot_verbatim() {
+        let mut snap = Snapshot::new();
+        snap.push_counter("serve.requests", 3);
+        let line = render_metrics(Some(&Value::Num(9.0)), &snap);
+        let v = Value::parse(&line).unwrap();
+        assert_eq!(v.get("event").and_then(Value::as_str), Some("result"));
+        assert_eq!(v.get("ok"), Some(&Value::Bool(true)));
+        assert_eq!(v.get("cmd").and_then(Value::as_str), Some("metrics"));
+        let m = v.get("metrics").expect("metrics payload");
+        assert_eq!(
+            m.get("counters")
+                .and_then(|c| c.get("serve.requests"))
+                .and_then(Value::as_u64),
+            Some(3)
         );
-        assert!(unbounded.contains("\"capacity_bytes\":null"));
+    }
+
+    #[test]
+    fn every_command_reports_its_wire_verb() {
+        assert_eq!(
+            parse_request(r#"{"cmd":"metrics"}"#).1.unwrap().verb(),
+            "metrics"
+        );
+        assert_eq!(parse_request(r#"{"cmd":"ping"}"#).1.unwrap().verb(), "ping");
+        assert_eq!(
+            parse_request(r#"{"cmd":"stats"}"#).1.unwrap().verb(),
+            "stats"
+        );
     }
 }

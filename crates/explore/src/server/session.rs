@@ -22,11 +22,12 @@ use crate::server::protocol::{self, Command, WorkloadSpec};
 use crate::sweep::{SweepCell, SweepGrid};
 use adhls_core::dse::DsePoint;
 use adhls_ir::{frontend, Design};
+use adhls_telemetry::Snapshot;
 use adhls_workloads::{idct, interpolation, matmul, sweep};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A per-cell design builder, boxed so grids for different workloads share
 /// one type (and `Send` so refinements can run on pool threads).
@@ -285,6 +286,11 @@ pub struct Server {
     pool: EvaluatorPool,
     requests: AtomicU64,
     shutdown: AtomicBool,
+    /// Construction time, for `stats`/`metrics` uptime reporting.
+    started: Instant,
+    /// Requests slower than this (milliseconds) are logged to stderr;
+    /// `0` disables slow-request logging.
+    slow_ms: AtomicU64,
 }
 
 impl std::fmt::Debug for Server {
@@ -299,12 +305,21 @@ impl std::fmt::Debug for Server {
 impl Server {
     /// Wraps a pool. The pool's options decide the evaluation policy for
     /// every request: worker threads, skip-infeasible, cache budget.
+    ///
+    /// The pool's telemetry registry is **enabled**: a long-lived server is
+    /// exactly the deployment observability exists for, and the per-request
+    /// overhead (a handful of atomic ops per phase) is noise next to an
+    /// HLS evaluation. `stats`, the `metrics` verb, and the exposition
+    /// listener all read from it.
     #[must_use]
     pub fn new(pool: EvaluatorPool) -> Self {
+        pool.telemetry().set_enabled(true);
         Server {
             pool,
             requests: AtomicU64::new(0),
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            slow_ms: AtomicU64::new(0),
         }
     }
 
@@ -312,6 +327,28 @@ impl Server {
     #[must_use]
     pub fn pool(&self) -> &EvaluatorPool {
         &self.pool
+    }
+
+    /// Logs any request taking longer than `ms` milliseconds to stderr
+    /// (`0` disables, the default).
+    pub fn set_slow_ms(&self, ms: u64) {
+        self.slow_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// One unified snapshot of everything observable: the pool's registry
+    /// and cache counters ([`EvaluatorPool::metrics_snapshot`]) plus the
+    /// serve tier's own `serve.requests` counter and `serve.uptime_ms`
+    /// gauge. Every export surface — the `stats` and `metrics` verbs, the
+    /// exposition listener — renders from this one snapshot, so they
+    /// cannot drift from each other.
+    #[must_use]
+    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+    pub fn metrics_snapshot(&self) -> Snapshot {
+        let mut snap = self.pool.metrics_snapshot();
+        snap.push_counter("serve.requests", self.requests.load(Ordering::Relaxed));
+        snap.push_gauge("serve.uptime_ms", self.started.elapsed().as_millis() as i64);
+        snap.sort();
+        snap
     }
 
     /// Asks the serve loops to wind down: [`Server::serve_tcp`] stops
@@ -339,25 +376,75 @@ impl Server {
         if line.is_empty() {
             return Ok(true);
         }
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        // The pool registry becomes this thread's current registry for the
+        // whole request, so refine-level counters (and pipeline spans from
+        // the submitter's share of the work) land beside the pool's own.
+        let registry = self.pool.telemetry().clone();
+        let _telemetry = adhls_telemetry::install(&registry);
+        let seq = self.requests.fetch_add(1, Ordering::Relaxed) + 1;
+        let _in_flight = registry.gauge_guard("serve.in_flight");
+        registry.counter_add("serve.bytes_read", line.len() as u64);
+        let started = registry.is_enabled().then(Instant::now);
         let (id, cmd) = protocol::parse_request(line);
-        let id = id.as_ref();
+        let verb = cmd.as_ref().map_or("invalid", |c| c.verb());
+        let handled = self.dispatch(id.as_ref(), cmd, out)?;
+        out.flush()?;
+        if let Some(t) = started {
+            // Per-request accounting: every counted request ends in exactly
+            // one `serve.request.<verb>` histogram sample and one
+            // ok/errors increment — `metrics` totals reconcile with the
+            // `serve.requests` counter (modulo requests still in flight).
+            let us = t.elapsed().as_secs_f64() * 1e6;
+            registry.observe(&format!("serve.request.{verb}"), us);
+            registry.counter_add(
+                if handled.ok {
+                    "serve.ok"
+                } else {
+                    "serve.errors"
+                },
+                1,
+            );
+            let slow_ms = self.slow_ms.load(Ordering::Relaxed);
+            #[allow(clippy::cast_precision_loss)]
+            if slow_ms > 0 && us >= slow_ms as f64 * 1e3 {
+                eprintln!(
+                    "[adhls serve] slow request #{seq}: {verb} took {:.1} ms \
+                     (threshold {slow_ms} ms)",
+                    us / 1e3
+                );
+            }
+        }
+        Ok(handled.keep_going)
+    }
+
+    /// Runs one parsed request, writing its response line(s). Factored out
+    /// of [`Server::handle_line`] so the wrapper can time the request and
+    /// classify its outcome uniformly.
+    fn dispatch(
+        &self,
+        id: Option<&adhls_core::json::Value>,
+        cmd: Result<Command, String>,
+        out: &mut dyn Write,
+    ) -> std::io::Result<Handled> {
+        let mut ok = true;
+        let mut keep_going = true;
         match cmd {
-            Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
+            Err(msg) => {
+                writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                ok = false;
+            }
             Ok(Command::Ping) => writeln!(out, "{}", protocol::render_ok(id, "ping"))?,
             Ok(Command::Shutdown) => {
                 self.request_shutdown();
                 writeln!(out, "{}", protocol::render_ok(id, "shutdown"))?;
-                out.flush()?;
-                return Ok(false);
+                keep_going = false;
             }
             Ok(Command::Stats) => {
-                let line = protocol::render_stats(
-                    id,
-                    &self.pool.cache_metrics(),
-                    self.requests.load(Ordering::Relaxed),
-                    self.pool.thread_count(),
-                );
+                let line = protocol::render_stats(id, &self.metrics_snapshot());
+                writeln!(out, "{line}")?;
+            }
+            Ok(Command::Metrics) => {
+                let line = protocol::render_metrics(id, &self.metrics_snapshot());
                 writeln!(out, "{line}")?;
             }
             Ok(Command::Sweep(spec)) => {
@@ -365,12 +452,18 @@ impl Server {
                 let prep =
                     validate_spec_constraints(&spec, &spaces).and_then(|()| sweep_points(&spec));
                 match prep {
-                    Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
-                    Ok(points) if points.is_empty() => writeln!(
-                        out,
-                        "{}",
-                        protocol::render_error(id, "the sweep is empty (check clocks/cycles)")
-                    )?,
+                    Err(msg) => {
+                        writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                        ok = false;
+                    }
+                    Ok(points) if points.is_empty() => {
+                        writeln!(
+                            out,
+                            "{}",
+                            protocol::render_error(id, "the sweep is empty (check clocks/cycles)")
+                        )?;
+                        ok = false;
+                    }
                     Ok(points) => match self.pool.evaluate(&points) {
                         Ok(result) => {
                             let planes: Vec<(ObjectiveSpace, Vec<adhls_core::dse::DseRow>)> =
@@ -401,6 +494,7 @@ impl Server {
                                  to drop such points)"
                             );
                             writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                            ok = false;
                         }
                     },
                 }
@@ -414,12 +508,18 @@ impl Server {
                 .and_then(|g| refine_spaces(&spec).map(|s| (g, s)))
                 .and_then(|(g, s)| validate_spec_constraints(&spec, &s).map(|()| (g, s)))
             {
-                Err(msg) => writeln!(out, "{}", protocol::render_error(id, &msg))?,
-                Ok(((grid, _, _), _)) if grid.is_empty() => writeln!(
-                    out,
-                    "{}",
-                    protocol::render_error(id, "the grid is empty (check clocks/cycles)")
-                )?,
+                Err(msg) => {
+                    writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                    ok = false;
+                }
+                Ok(((grid, _, _), _)) if grid.is_empty() => {
+                    writeln!(
+                        out,
+                        "{}",
+                        protocol::render_error(id, "the grid is empty (check clocks/cycles)")
+                    )?;
+                    ok = false;
+                }
                 Ok(((grid, prefix, build), spaces)) => {
                     let warm_start: Vec<SweepCell> = warm_front
                         .iter()
@@ -489,13 +589,13 @@ impl Server {
                                  skip-infeasible to drop unschedulable cells)"
                             );
                             writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                            ok = false;
                         }
                     }
                 }
             },
         }
-        out.flush()?;
-        Ok(true)
+        Ok(Handled { keep_going, ok })
     }
 
     /// Serves one connection from any reader/writer pair until EOF or a
@@ -538,7 +638,7 @@ impl Server {
         let keep_going = match std::str::from_utf8(buf) {
             Ok(line) => self.handle_line(line, writer)?,
             Err(_) => {
-                self.requests.fetch_add(1, Ordering::Relaxed);
+                self.count_unparseable_request(buf.len());
                 writeln!(
                     writer,
                     "{}",
@@ -554,10 +654,22 @@ impl Server {
 
     /// Answers an over-long request line and gives up on the connection.
     fn refuse_oversized(&self, writer: &mut dyn Write) -> std::io::Result<()> {
-        self.requests.fetch_add(1, Ordering::Relaxed);
+        self.count_unparseable_request(MAX_REQUEST_BYTES);
         let msg = format!("request line exceeds {MAX_REQUEST_BYTES} bytes");
         writeln!(writer, "{}", protocol::render_error(None, &msg))?;
         writer.flush()
+    }
+
+    /// Accounts a request that never reached [`Server::handle_line`]
+    /// (invalid UTF-8, oversized line): it still counts as a request and
+    /// still produces its one `serve.request.invalid` histogram sample, so
+    /// `metrics` totals reconcile with `serve.requests` on every path.
+    fn count_unparseable_request(&self, bytes: usize) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let registry = self.pool.telemetry();
+        registry.counter_add("serve.bytes_read", bytes as u64);
+        registry.observe("serve.request.invalid", 0.0);
+        registry.counter_add("serve.errors", 1);
     }
 
     /// Accepts and serves TCP connections until a `shutdown` request (from
@@ -626,6 +738,75 @@ impl Server {
             }
         }
     }
+
+    /// Serves Prometheus text-format scrapes (`GET /metrics`-style) until
+    /// shutdown — the `adhls serve --metrics-addr` listener. Each accepted
+    /// connection gets one HTTP/1.0 response rendering
+    /// [`Server::metrics_snapshot`] and is closed; the request head is read
+    /// (bounded, best-effort) only to be polite to HTTP clients. Runs on
+    /// the caller's thread; pair it with [`Server::serve_tcp`] on another.
+    ///
+    /// # Errors
+    ///
+    /// Propagates listener-level I/O errors (per-connection errors only
+    /// drop that scrape).
+    pub fn serve_metrics(&self, listener: &TcpListener) -> std::io::Result<()> {
+        listener.set_nonblocking(true)?;
+        loop {
+            if self.is_shutting_down() {
+                return Ok(());
+            }
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.pool.telemetry().counter_add("serve.scrapes", 1);
+                    let _ = self.answer_scrape(stream);
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(25));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One exposition response: drain the request head (until a blank line,
+    /// EOF, a small cap, or a short timeout — scrapers vary), then write
+    /// the snapshot and close.
+    fn answer_scrape(&self, mut stream: TcpStream) -> std::io::Result<()> {
+        stream.set_nonblocking(false)?;
+        stream.set_read_timeout(Some(Duration::from_millis(250)))?;
+        let mut head = Vec::new();
+        let mut chunk = [0u8; 1024];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    head.extend_from_slice(&chunk[..n]);
+                    if head.windows(4).any(|w| w == b"\r\n\r\n") || head.len() >= 8 * 1024 {
+                        break;
+                    }
+                }
+                // A client that writes nothing (netcat probing the port)
+                // still deserves the snapshot.
+                Err(_) => break,
+            }
+        }
+        let body = self.metrics_snapshot().render_prometheus();
+        let response = format!(
+            "HTTP/1.0 200 OK\r\nContent-Type: text/plain; version=0.0.4\r\n\
+             Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+            body.len()
+        );
+        stream.write_all(response.as_bytes())?;
+        stream.flush()
+    }
+}
+
+/// How [`Server::dispatch`] left one request: whether the connection stays
+/// open, and whether the terminal response was `ok:true`.
+struct Handled {
+    keep_going: bool,
+    ok: bool,
 }
 
 /// Largest accepted request line. Inline DSL sources fit comfortably; a

@@ -1,0 +1,376 @@
+//! Point-in-time metric snapshots and their JSON / Prometheus renderers.
+
+use std::fmt::Write as _;
+
+/// A frozen copy of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Strictly increasing bucket upper bounds.
+    pub bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `bounds.len() + 1` entries, the
+    /// last being the `+Inf` overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total number of observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Mean observed value, or `None` before the first observation.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            Some(self.sum / self.count as f64)
+        }
+    }
+}
+
+/// One named snapshot entry.
+#[derive(Debug, Clone, PartialEq)]
+enum Entry {
+    Counter(String, u64),
+    Gauge(String, i64),
+    Histogram(String, HistogramSnapshot),
+}
+
+impl Entry {
+    fn name(&self) -> &str {
+        match self {
+            Entry::Counter(n, _) | Entry::Gauge(n, _) | Entry::Histogram(n, _) => n,
+        }
+    }
+}
+
+/// A point-in-time copy of a registry's metrics, with renderers.
+///
+/// Snapshots are also *appendable*: components merge metrics that live
+/// outside the registry (the eviction cache's own counters, the server's
+/// request counter) with [`Snapshot::push_counter`] / `push_gauge` at
+/// snapshot time, so every export surface — `stats`, `metrics`, the
+/// exposition listener, `--metrics-out` files — renders from one source.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    entries: Vec<Entry>,
+}
+
+impl Snapshot {
+    /// An empty snapshot.
+    #[must_use]
+    pub fn new() -> Self {
+        Snapshot::default()
+    }
+
+    /// True when no metric has been recorded or appended.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Appends a counter. A later push with an existing name shadows it in
+    /// lookups (first match wins is *not* used: lookups scan from the end,
+    /// so the latest push wins — callers overriding registry values rely
+    /// on this).
+    pub fn push_counter(&mut self, name: &str, v: u64) {
+        self.entries.push(Entry::Counter(name.to_string(), v));
+    }
+
+    /// Appends a gauge; same shadowing rule as [`Snapshot::push_counter`].
+    pub fn push_gauge(&mut self, name: &str, v: i64) {
+        self.entries.push(Entry::Gauge(name.to_string(), v));
+    }
+
+    /// Appends a histogram.
+    pub fn push_histogram(&mut self, name: &str, h: HistogramSnapshot) {
+        self.entries.push(Entry::Histogram(name.to_string(), h));
+    }
+
+    /// Sorts entries by name (stable, so a shadowing later push stays
+    /// after the original).
+    pub fn sort(&mut self) {
+        self.entries.sort_by(|a, b| a.name().cmp(b.name()));
+    }
+
+    /// The counter `name`, if present (latest push wins).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.entries.iter().rev().find_map(|e| match e {
+            Entry::Counter(n, v) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The gauge `name`, if present (latest push wins).
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.entries.iter().rev().find_map(|e| match e {
+            Entry::Gauge(n, v) if n == name => Some(*v),
+            _ => None,
+        })
+    }
+
+    /// The histogram `name`, if present.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.entries.iter().rev().find_map(|e| match e {
+            Entry::Histogram(n, h) if n == name => Some(h),
+            _ => None,
+        })
+    }
+
+    /// Names and frozen values of every histogram, in entry order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &HistogramSnapshot)> {
+        self.entries.iter().filter_map(|e| match e {
+            Entry::Histogram(n, h) => Some((n.as_str(), h)),
+            _ => None,
+        })
+    }
+
+    /// Names and values of every counter, in entry order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().filter_map(|e| match e {
+            Entry::Counter(n, v) => Some((n.as_str(), *v)),
+            _ => None,
+        })
+    }
+
+    /// Names and values of every gauge, in entry order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.entries.iter().filter_map(|e| match e {
+            Entry::Gauge(n, v) => Some((n.as_str(), *v)),
+            _ => None,
+        })
+    }
+
+    /// Renders the snapshot as one compact JSON object:
+    ///
+    /// ```json
+    /// {"counters":{...},"gauges":{...},"histograms":{"name":
+    ///   {"le":[50,100],"counts":[1,2,0],"count":3,"sum":180.5}}}
+    /// ```
+    ///
+    /// `counts` carries one entry per `le` bound plus a trailing `+Inf`
+    /// overflow slot, non-cumulative. The output is strict JSON,
+    /// parseable by `adhls_core::json::Value::parse`. Duplicate names keep
+    /// the latest push, matching the lookup accessors.
+    #[must_use]
+    pub fn render_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        let mut first = true;
+        for (n, v) in dedup_latest(self.counters()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            escape_into(&mut out, n);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"gauges\":{");
+        first = true;
+        for (n, v) in dedup_latest(self.gauges()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            escape_into(&mut out, n);
+            let _ = write!(out, ":{v}");
+        }
+        out.push_str("},\"histograms\":{");
+        first = true;
+        for (n, h) in dedup_latest(self.histograms()) {
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            escape_into(&mut out, n);
+            out.push_str(":{\"le\":[");
+            for (i, b) in h.bounds.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                push_f64(&mut out, *b);
+            }
+            out.push_str("],\"counts\":[");
+            for (i, c) in h.counts.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                let _ = write!(out, "{c}");
+            }
+            let _ = write!(out, "],\"count\":{},\"sum\":", h.count);
+            push_f64(&mut out, h.sum);
+            out.push('}');
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition format
+    /// (version 0.0.4): metric names are prefixed `adhls_` and mangled to
+    /// `[a-zA-Z0-9_:]`, histograms become cumulative `_bucket{le=...}`
+    /// series plus `_sum` / `_count`.
+    #[must_use]
+    pub fn render_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (n, v) in dedup_latest(self.counters()) {
+            let name = mangle(n);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (n, v) in dedup_latest(self.gauges()) {
+            let name = mangle(n);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (n, h) in dedup_latest(self.histograms()) {
+            let name = mangle(n);
+            let _ = writeln!(out, "# TYPE {name} histogram");
+            let mut cumulative = 0u64;
+            for (b, c) in h.bounds.iter().zip(&h.counts) {
+                cumulative += c;
+                let mut le = String::new();
+                push_f64(&mut le, *b);
+                let _ = writeln!(out, "{name}_bucket{{le=\"{le}\"}} {cumulative}");
+            }
+            let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+            let mut sum = String::new();
+            push_f64(&mut sum, h.sum);
+            let _ = writeln!(out, "{name}_sum {sum}");
+            let _ = writeln!(out, "{name}_count {}", h.count);
+        }
+        out
+    }
+}
+
+/// Keeps only the latest occurrence of each name, preserving the order of
+/// those survivors — the renderer-side twin of the accessors' latest-wins
+/// rule.
+fn dedup_latest<'a, T: 'a>(
+    it: impl Iterator<Item = (&'a str, T)>,
+) -> impl Iterator<Item = (&'a str, T)> {
+    let all: Vec<(&str, T)> = it.collect();
+    let mut out: Vec<(&str, T)> = Vec::with_capacity(all.len());
+    for (n, v) in all {
+        if let Some(slot) = out.iter_mut().find(|(en, _)| *en == n) {
+            slot.1 = v;
+        } else {
+            out.push((n, v));
+        }
+    }
+    out.into_iter()
+}
+
+/// Prometheus metric name: `adhls_` prefix, every byte outside
+/// `[a-zA-Z0-9_:]` replaced with `_`.
+fn mangle(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 6);
+    out.push_str("adhls_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' || c == ':' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Appends `n` as a JSON number: shortest-roundtrip `Display`, with
+/// non-finite degraded to `null` (JSON cannot carry them).
+fn push_f64(out: &mut String, n: f64) {
+    if n.is_finite() {
+        let _ = write!(out, "{n}");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Appends `s` as a JSON string literal.
+fn escape_into(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Snapshot {
+        let mut s = Snapshot::new();
+        s.push_counter("cache.hits", 12);
+        s.push_gauge("pool.queue_depth", 3);
+        s.push_histogram(
+            "pipeline.schedule",
+            HistogramSnapshot {
+                bounds: vec![50.0, 100.0],
+                counts: vec![1, 2, 1],
+                count: 4,
+                sum: 260.5,
+            },
+        );
+        s
+    }
+
+    #[test]
+    fn json_roundtrips_structure() {
+        let text = sample().render_json();
+        assert!(text.starts_with('{') && text.ends_with('}'));
+        assert!(text.contains("\"cache.hits\":12"));
+        assert!(text.contains("\"pool.queue_depth\":3"));
+        assert!(text.contains("\"le\":[50,100]"));
+        assert!(text.contains("\"counts\":[1,2,1]"));
+        assert!(text.contains("\"count\":4"));
+        assert!(text.contains("\"sum\":260.5"));
+    }
+
+    #[test]
+    fn latest_push_wins_in_lookup_and_render() {
+        let mut s = Snapshot::new();
+        s.push_counter("c", 1);
+        s.push_counter("c", 9);
+        assert_eq!(s.counter("c"), Some(9));
+        let text = s.render_json();
+        assert!(text.contains("\"c\":9"), "{text}");
+        assert!(!text.contains("\"c\":1"), "{text}");
+    }
+
+    #[test]
+    fn prometheus_buckets_are_cumulative_and_mangled() {
+        let text = sample().render_prometheus();
+        assert!(text.contains("# TYPE adhls_cache_hits counter"));
+        assert!(text.contains("adhls_cache_hits 12"));
+        assert!(text.contains("adhls_pool_queue_depth 3"));
+        assert!(text.contains("adhls_pipeline_schedule_bucket{le=\"50\"} 1"));
+        assert!(text.contains("adhls_pipeline_schedule_bucket{le=\"100\"} 3"));
+        assert!(text.contains("adhls_pipeline_schedule_bucket{le=\"+Inf\"} 4"));
+        assert!(text.contains("adhls_pipeline_schedule_sum 260.5"));
+        assert!(text.contains("adhls_pipeline_schedule_count 4"));
+    }
+
+    #[test]
+    fn mean_handles_empty() {
+        let h = HistogramSnapshot {
+            bounds: vec![1.0],
+            counts: vec![0, 0],
+            count: 0,
+            sum: 0.0,
+        };
+        assert_eq!(h.mean(), None);
+    }
+}

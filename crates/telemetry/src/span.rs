@@ -1,0 +1,123 @@
+//! Wall-time span guards.
+
+use std::cell::RefCell;
+use std::time::Instant;
+
+use crate::registry::Registry;
+
+thread_local! {
+    /// Names of the spans currently open on this thread, outermost first.
+    static PATH: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// The dot-joined open-span names on this thread (see
+/// [`crate::span_path`]).
+pub(crate) fn path() -> String {
+    PATH.with(|p| p.borrow().join("."))
+}
+
+/// A guard timing a region of code: created by [`Registry::span`] (or the
+/// free [`crate::span`]), it records the elapsed wall-time in
+/// **microseconds** into the histogram it was named after when dropped.
+///
+/// Open spans form a per-thread parent/child stack, readable as
+/// [`crate::span_path`] — useful to label slow-request logs with where
+/// time was spent. When telemetry is disabled the span is inert: no clock
+/// read, no allocation.
+#[derive(Debug)]
+#[must_use = "the span records when it drops"]
+pub struct Span {
+    armed: Option<SpanInner>,
+}
+
+#[derive(Debug)]
+struct SpanInner {
+    registry: Registry,
+    name: String,
+    start: Instant,
+}
+
+impl Span {
+    pub(crate) fn inert() -> Self {
+        Span { armed: None }
+    }
+
+    pub(crate) fn armed(registry: Registry, name: String, start: Instant) -> Self {
+        PATH.with(|p| p.borrow_mut().push(name.clone()));
+        Span {
+            armed: Some(SpanInner {
+                registry,
+                name,
+                start,
+            }),
+        }
+    }
+
+    /// Elapsed wall-time so far in microseconds, or `None` when inert.
+    #[must_use]
+    pub fn elapsed_us(&self) -> Option<f64> {
+        self.armed
+            .as_ref()
+            .map(|s| s.start.elapsed().as_secs_f64() * 1e6)
+    }
+
+    /// Discards the span without recording (the parent/child path is still
+    /// unwound).
+    pub fn cancel(mut self) {
+        if let Some(_inner) = self.armed.take() {
+            PATH.with(|p| {
+                p.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(inner) = self.armed.take() {
+            let us = inner.start.elapsed().as_secs_f64() * 1e6;
+            inner.registry.observe(&inner.name, us);
+            PATH.with(|p| {
+                p.borrow_mut().pop();
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_records_elapsed_into_histogram() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let span = reg.span("work");
+        assert!(span.elapsed_us().is_some());
+        drop(span);
+        let snap = reg.snapshot();
+        let h = snap.histogram("work").expect("span histogram");
+        assert_eq!(h.count, 1);
+        assert!(h.sum >= 0.0);
+    }
+
+    #[test]
+    fn inert_span_is_free_and_recordless() {
+        let reg = Registry::new(); // disabled
+        let span = reg.span("work");
+        assert_eq!(span.elapsed_us(), None);
+        drop(span);
+        assert!(reg.snapshot().is_empty());
+    }
+
+    #[test]
+    fn cancel_skips_recording_and_unwinds_path() {
+        let reg = Registry::new();
+        reg.set_enabled(true);
+        let span = reg.span("aborted");
+        assert_eq!(path(), "aborted");
+        span.cancel();
+        assert_eq!(path(), "");
+        assert!(reg.snapshot().is_empty());
+    }
+}

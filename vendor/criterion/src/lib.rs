@@ -22,6 +22,8 @@ pub use std::hint::black_box;
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    /// `ADHLS_BENCH_SAMPLE_SIZE` was set: ignore `sample_size()` calls.
+    sample_size_pinned: bool,
     /// Full measurement (true under `cargo bench`) vs single-shot smoke.
     measure: bool,
 }
@@ -35,19 +37,30 @@ impl Default for Criterion {
         // "bench smoke" step.
         let smoke = args.iter().any(|a| a == "--test" || a == "--smoke");
         let measure = !smoke && args.iter().any(|a| a == "--bench");
+        // ADHLS_BENCH_SAMPLE_SIZE pins the sample count from outside
+        // (`benches/record.sh` uses it), overriding both this default and
+        // any later `sample_size()` call, so one knob scales every target.
+        let pinned = std::env::var("ADHLS_BENCH_SAMPLE_SIZE")
+            .ok()
+            .and_then(|v| v.parse::<usize>().ok())
+            .filter(|&n| n >= 1);
         Criterion {
-            sample_size: 20,
+            sample_size: pinned.unwrap_or(20),
+            sample_size_pinned: pinned.is_some(),
             measure,
         }
     }
 }
 
 impl Criterion {
-    /// Sets the number of samples per benchmark.
+    /// Sets the number of samples per benchmark (unless pinned by the
+    /// `ADHLS_BENCH_SAMPLE_SIZE` environment variable).
     #[must_use]
     pub fn sample_size(mut self, n: usize) -> Self {
         assert!(n >= 1, "sample_size must be at least 1");
-        self.sample_size = n;
+        if !self.sample_size_pinned {
+            self.sample_size = n;
+        }
         self
     }
 
@@ -167,6 +180,7 @@ mod tests {
     fn smoke_mode_runs_body_once() {
         let mut c = Criterion {
             sample_size: 3,
+            sample_size_pinned: false,
             measure: false,
         };
         let mut runs = 0;
@@ -181,6 +195,7 @@ mod tests {
     fn measure_mode_collects_samples() {
         let mut c = Criterion {
             sample_size: 3,
+            sample_size_pinned: false,
             measure: true,
         };
         let mut runs = 0;
