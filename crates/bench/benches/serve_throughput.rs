@@ -39,6 +39,7 @@ fn bench(c: &mut Criterion) {
             threads: 0,
             skip_infeasible: true,
             cache_bytes: Some(32 << 20),
+            incremental: true,
         },
         adhls_telemetry::global().clone(),
     ));
@@ -68,6 +69,7 @@ fn bench(c: &mut Criterion) {
                     threads: 0,
                     skip_infeasible: true,
                     cache_bytes: Some(32 << 20),
+                    incremental: true,
                 },
             ));
             black_box(roundtrip(&cold, SWEEP_REQ))

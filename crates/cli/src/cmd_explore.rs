@@ -50,8 +50,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--front-only",
             "--adaptive",
             "--profile",
+            "--incremental",
         ],
     )?;
+    // Prefix-artifact reuse across cells: on by default, `--incremental=off`
+    // falls back to from-scratch evaluation (rows are bit-identical either
+    // way — the switch exists for benchmarking and as an escape hatch).
+    let incremental = o.switch("--incremental", true)?;
     // Telemetry observes, never steers: enabling the global registry here
     // changes nothing about the rows or fronts below (the equivalence
     // tests hold the pipeline to that), it only starts the meters.
@@ -83,6 +88,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         EngineOptions {
             threads: o.num("--threads", 0usize)?,
             skip_infeasible: o.flag("--skip-infeasible"),
+            incremental,
         },
     );
     let t0 = std::time::Instant::now();
@@ -234,6 +240,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
     };
     let skip = o.flag("--skip-infeasible");
     let threads = o.num("--threads", 0usize)?;
+    let incremental = o.switch("--incremental", true)?;
     let t0 = std::time::Instant::now();
     // One plane uses the dedicated driver; several share one pass over
     // one evaluator (the same dispatch a `refine` request gets).
@@ -256,6 +263,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
             EngineOptions {
                 threads: 1,
                 skip_infeasible: skip,
+                incremental,
             },
         );
         run(&engine)
@@ -271,6 +279,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
                 PoolOptions {
                     threads,
                     skip_infeasible: skip,
+                    incremental,
                     ..Default::default()
                 },
                 adhls_telemetry::global().clone(),
@@ -282,6 +291,7 @@ fn run_adaptive(o: &Opts) -> Result<(), String> {
                 PoolOptions {
                     threads,
                     skip_infeasible: skip,
+                    incremental,
                     ..Default::default()
                 },
             )

@@ -21,7 +21,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--metrics-addr",
             "--slow-ms",
         ],
-        &["--stdio", "--strict"],
+        &["--stdio", "--strict", "--incremental"],
     )?;
     if !o.positional.is_empty() {
         return Err("serve takes no positional arguments".into());
@@ -37,6 +37,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
             // fail-fast CLI behavior.
             skip_infeasible: !o.flag("--strict"),
             cache_bytes,
+            incremental: o.switch("--incremental", true)?,
         },
     );
     let server = Server::new(pool);

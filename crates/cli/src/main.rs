@@ -58,6 +58,9 @@ EXPLORE OPTIONS:
                           staircases only show the feasible region
     --threads <N>         worker threads (0 = all cores)  [default: 0]
     --serial              force the serial reference evaluator
+    --incremental[=off]   reuse clock-independent prefix artifacts across
+                          a design's cells  [default: on]; `off` evaluates
+                          every point from scratch (same rows, slower)
     --skip-infeasible     drop unschedulable points instead of failing
     --front-only          print only the Pareto front
     --json <PATH>         write sweep + front JSON with its objective

@@ -20,6 +20,16 @@ impl Opts {
         let mut it = args.iter();
         while let Some(a) = it.next() {
             if let Some(key) = a.strip_prefix("--") {
+                // `--key=value` form, accepted for every valued option and
+                // for on/off switches (`--incremental=off`).
+                if let Some((k, v)) = a.split_once('=') {
+                    if valued.contains(&k) || bools.contains(&k) {
+                        o.pairs.push((k.to_string(), v.to_string()));
+                        continue;
+                    }
+                    let (name, _) = key.split_once('=').unwrap_or((key, ""));
+                    return Err(format!("unknown option --{name} (see `adhls help`)"));
+                }
                 if valued.contains(&a.as_str()) {
                     let v = it
                         .next()
@@ -59,6 +69,19 @@ impl Opts {
     /// Whether a boolean `--flag` was passed.
     pub fn flag(&self, key: &str) -> bool {
         self.flags.iter().any(|f| f == key)
+    }
+
+    /// Reads an on/off switch: bare `--key` and `--key=on` mean on,
+    /// `--key=off` means off, absent means `default`.
+    pub fn switch(&self, key: &str, default: bool) -> Result<bool, String> {
+        if let Some(v) = self.get(key) {
+            return match v {
+                "on" | "true" | "1" => Ok(true),
+                "off" | "false" | "0" => Ok(false),
+                other => Err(format!("{key}: `{other}` is not on/off")),
+            };
+        }
+        Ok(self.flag(key) || default)
     }
 
     /// Parses `--key` as `T`, with a default.
@@ -214,6 +237,30 @@ mod tests {
         .unwrap();
         assert_eq!(o.values("--constraint"), ["area<=1500", "power<=40"]);
         assert!(o.values("--missing").is_empty());
+    }
+
+    #[test]
+    fn equals_form_and_switches_parse() {
+        let o = Opts::parse(
+            &args(&["--clock=1500", "--incremental=off"]),
+            &["--clock"],
+            &["--incremental"],
+        )
+        .unwrap();
+        assert_eq!(o.get("--clock"), Some("1500"));
+        assert!(!o.switch("--incremental", true).unwrap());
+
+        let bare = Opts::parse(&args(&["--incremental"]), &[], &["--incremental"]).unwrap();
+        assert!(bare.switch("--incremental", false).unwrap());
+
+        let absent = Opts::parse(&args(&[]), &[], &["--incremental"]).unwrap();
+        assert!(absent.switch("--incremental", true).unwrap());
+
+        let bad = Opts::parse(&args(&["--incremental=maybe"]), &[], &["--incremental"]).unwrap();
+        assert!(bad.switch("--incremental", true).is_err());
+
+        let err = Opts::parse(&args(&["--clokc=1500"]), &["--clock"], &[]).unwrap_err();
+        assert!(err.contains("unknown option --clokc"), "{err}");
     }
 
     #[test]

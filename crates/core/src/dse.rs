@@ -6,8 +6,9 @@
 //! the power/throughput/area ranges quoted in the text.
 
 use crate::power::{estimate, PowerReport};
+use crate::prepare::PreparedDesign;
 use crate::report::Table;
-use crate::sched::{run_hls, Flow, HlsOptions};
+use crate::sched::{run_hls, run_hls_prepared, Flow, HlsOptions, HlsResult};
 use adhls_ir::{Design, Result};
 use adhls_reslib::Library;
 
@@ -165,16 +166,74 @@ pub fn grid_item_time_ps(clock_ps: u64, cycles_per_item: u32) -> f64 {
 /// shared by the serial [`explore`] driver here and the parallel engine in
 /// `adhls-explore`.
 ///
+/// Prepares the design's phase artifacts once and evaluates through
+/// [`evaluate_prepared`] — bit-identical to the pre-refactor monolithic
+/// evaluator (and to [`evaluate_point_from_scratch`]), just without
+/// elaborating twice. Callers holding a prefix cache (the exploration
+/// engine/pool) should prepare once per design and call
+/// [`evaluate_prepared`] directly.
+///
 /// # Errors
 ///
 /// Propagates scheduling failures (a point whose clock/latency combination
 /// is overconstrained).
 pub fn evaluate_point(p: &DsePoint, lib: &Library, base: &HlsOptions) -> Result<DseRow> {
-    // The whole-point span wraps both HLS runs and the power model, so a
-    // `metrics` snapshot attributes per-cell cost; note each point runs the
-    // pipeline twice (conventional + slack-based), so `pipeline.*` phase
-    // counts are 2x `pipeline.evaluate`.
     let _span = adhls_telemetry::span("pipeline.evaluate");
+    let prep = PreparedDesign::new(&p.design, lib)?;
+    assemble_row(p, base, |opts| run_hls_prepared(&prep, lib, opts))
+}
+
+/// [`evaluate_point`] over shared phase artifacts: both flow runs reuse the
+/// prepared clock-independent prefix (and each other's clock context), so
+/// neighboring grid cells of the same design skip elaboration entirely.
+/// `prep` must have been built from `p.design` with the same `lib` — the
+/// engine/pool prefix caches guarantee this by keying on the design
+/// fingerprint and holding one library for their lifetime.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (a point whose clock/latency combination
+/// is overconstrained).
+pub fn evaluate_prepared(
+    prep: &PreparedDesign,
+    p: &DsePoint,
+    lib: &Library,
+    base: &HlsOptions,
+) -> Result<DseRow> {
+    let _span = adhls_telemetry::span("pipeline.evaluate");
+    assemble_row(p, base, |opts| run_hls_prepared(prep, lib, opts))
+}
+
+/// The monolithic evaluator: every phase from scratch, per flow, with no
+/// shared artifacts. Reference implementation for the incremental ==
+/// from-scratch equivalence suite and the `--incremental=off` escape hatch;
+/// also the baseline the `explore_incremental` bench measures against.
+///
+/// # Errors
+///
+/// Propagates scheduling failures (a point whose clock/latency combination
+/// is overconstrained).
+pub fn evaluate_point_from_scratch(
+    p: &DsePoint,
+    lib: &Library,
+    base: &HlsOptions,
+) -> Result<DseRow> {
+    let _span = adhls_telemetry::span("pipeline.evaluate");
+    assemble_row(p, base, |opts| run_hls(&p.design, lib, opts))
+}
+
+/// Shared row assembly: run both flows through `run`, model power, derive
+/// the row. The whole-point `pipeline.evaluate` span (opened by the public
+/// entry points around this) wraps both HLS runs and the power model, so a
+/// `metrics` snapshot attributes per-cell cost; each HLS run opens its own
+/// `pipeline.flow.*` span, which is what reconciles per-phase counts with
+/// per-point ones (one `conventional` + one `slack` flow span per
+/// evaluate — see docs/OBSERVABILITY.md).
+fn assemble_row(
+    p: &DsePoint,
+    base: &HlsOptions,
+    mut run: impl FnMut(&HlsOptions) -> Result<HlsResult>,
+) -> Result<DseRow> {
     let mk_opts = |flow: Flow| HlsOptions {
         clock_ps: p.clock_ps,
         flow,
@@ -184,8 +243,8 @@ pub fn evaluate_point(p: &DsePoint, lib: &Library, base: &HlsOptions) -> Result<
     // Clamp a degenerate cycles_per_item of 0 up front: `estimate` asserts
     // positivity, and a zero item time would export an `inf` throughput.
     let cycles_per_item = p.cycles_per_item.max(1);
-    let conv = run_hls(&p.design, lib, &mk_opts(Flow::Conventional))?;
-    let slack = run_hls(&p.design, lib, &mk_opts(Flow::SlackBased))?;
+    let conv = run(&mk_opts(Flow::Conventional))?;
+    let slack = run(&mk_opts(Flow::SlackBased))?;
     let power = adhls_telemetry::timed("pipeline.power", || {
         estimate(
             &p.design,

@@ -18,6 +18,9 @@
 //!   steering-mux accounting,
 //! * [`area`] — the structural area model and continuous area recovery,
 //! * [`power`] — a simple switched-area dynamic power model,
+//! * [`prepare`] — staged, reusable phase artifacts ([`PreparedDesign`],
+//!   [`ClockContext`]) so exploration evaluates neighboring design points
+//!   incrementally yet bit-identically,
 //! * [`netlist`] — Verilog-flavored datapath/FSM emission,
 //! * [`dse`] — the design-space-exploration driver regenerating paper
 //!   Table 4,
@@ -57,10 +60,12 @@ pub mod dse;
 pub mod json;
 pub mod netlist;
 pub mod power;
+pub mod prepare;
 pub mod report;
 pub mod sched;
 pub mod schedule;
 
 pub use area::AreaReport;
-pub use sched::{run_hls, Flow, HlsOptions, HlsResult};
+pub use prepare::{ClockContext, PreparedDesign};
+pub use sched::{run_hls, run_hls_prepared, Flow, HlsOptions, HlsResult};
 pub use schedule::Schedule;

@@ -9,16 +9,29 @@
 //! to serial evaluation.
 
 use crate::fingerprint::{design_fingerprint, options_fingerprint, Fnv};
-use adhls_core::dse::{evaluate_point, DsePoint, DseRow};
+use adhls_core::dse::{evaluate_point_from_scratch, evaluate_prepared, DsePoint, DseRow};
 use adhls_core::sched::HlsOptions;
-use adhls_ir::{Error, Result};
+use adhls_core::PreparedDesign;
+use adhls_ir::{Design, Error, Result};
 use adhls_reslib::Library;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Number of independent cache shards (reduces lock contention).
 const CACHE_SHARDS: usize = 16;
+
+/// Named hit/miss counters — one shape for every cache surface (the
+/// engine's [`ResultCache`], the pool's evicting cache) so call sites can't
+/// transpose the two the way a bare `(u64, u64)` tuple silently allows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct HitMiss {
+    /// Lookups that avoided an evaluation. For the pool's evicting cache
+    /// this includes coalesced in-flight waits — both served a cached run.
+    pub hits: u64,
+    /// Lookups that had to run the evaluator.
+    pub misses: u64,
+}
 
 /// A sharded, thread-safe memo of evaluated (design, options) pairs.
 #[derive(Debug, Default)]
@@ -58,13 +71,13 @@ impl ResultCache {
             .insert(key, row);
     }
 
-    /// (hits, misses) since construction.
+    /// Hit/miss counters since construction.
     #[must_use]
-    pub fn stats(&self) -> (u64, u64) {
-        (
-            self.hits.load(Ordering::Relaxed),
-            self.misses.load(Ordering::Relaxed),
-        )
+    pub fn stats(&self) -> HitMiss {
+        HitMiss {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of cached rows.
@@ -80,6 +93,54 @@ impl ResultCache {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// A sharded cache of prepared phase-artifact prefixes, keyed by
+/// [`design_fingerprint`] — the clock/flow/II-independent half of the
+/// point key, so every cell of a sweep axis over one design (and every
+/// serve request touching it) shares one [`PreparedDesign`].
+///
+/// Soundness: prefix artifacts are a pure function of `(design, library)`;
+/// both the engine and the pool hold one library for their whole lifetime,
+/// so the design fingerprint alone identifies the prefix. The satellite
+/// proptests in `tests/incremental_equivalence.rs` pin the key contract
+/// (insensitive to clock/flow/II/latency knobs, sensitive to structure).
+///
+/// Consults count `pipeline.prefix.{hit,miss}` and retained artifact bytes
+/// move the `pipeline.prefix.bytes` gauge on the thread's registry —
+/// observational only, like every other `pipeline.*` metric.
+#[derive(Debug, Default)]
+pub(crate) struct PrefixCache {
+    shards: [Mutex<HashMap<u64, Arc<PreparedDesign>>>; CACHE_SHARDS],
+}
+
+impl PrefixCache {
+    /// The prepared prefix for `design`, elaborating and inserting on miss.
+    ///
+    /// Concurrent first touches of one design may prepare twice; the first
+    /// insert wins and both callers see the same artifacts thereafter (the
+    /// preparation is a pure function, so the race is benign and the rows
+    /// stay deterministic).
+    pub(crate) fn get_or_prepare(
+        &self,
+        design: &Design,
+        lib: &Library,
+    ) -> Result<Arc<PreparedDesign>> {
+        let key = design_fingerprint(design);
+        let shard = &self.shards[(key % CACHE_SHARDS as u64) as usize];
+        if let Some(prep) = shard.lock().expect("prefix shard poisoned").get(&key) {
+            adhls_telemetry::counter_add("pipeline.prefix.hit", 1);
+            return Ok(Arc::clone(prep));
+        }
+        adhls_telemetry::counter_add("pipeline.prefix.miss", 1);
+        let prep = Arc::new(PreparedDesign::new(design, lib)?);
+        let mut guard = shard.lock().expect("prefix shard poisoned");
+        let entry = guard.entry(key).or_insert_with(|| {
+            adhls_telemetry::gauge_add("pipeline.prefix.bytes", prep.approx_bytes() as i64);
+            Arc::clone(&prep)
+        });
+        Ok(Arc::clone(entry))
     }
 }
 
@@ -106,13 +167,28 @@ pub(crate) fn point_key(base: &HlsOptions, p: &DsePoint) -> u64 {
 }
 
 /// Tuning knobs for [`Engine`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct EngineOptions {
     /// Worker threads; `0` = one per available core (capped by point count).
     pub threads: usize,
     /// Skip points that fail to schedule (recorded in
     /// [`SweepResult::skipped`]) instead of failing the whole sweep.
     pub skip_infeasible: bool,
+    /// Evaluate through shared phase-artifact prefixes (default). Rows are
+    /// bit-identical either way; `false` (the CLI's `--incremental=off`)
+    /// runs every phase from scratch per point — the escape hatch and the
+    /// benchmark baseline.
+    pub incremental: bool,
+}
+
+impl Default for EngineOptions {
+    fn default() -> Self {
+        EngineOptions {
+            threads: 0,
+            skip_infeasible: false,
+            incremental: true,
+        }
+    }
 }
 
 /// Outcome of one sweep evaluation.
@@ -157,6 +233,7 @@ pub struct Engine<'a> {
     base: HlsOptions,
     opts: EngineOptions,
     cache: ResultCache,
+    prefixes: PrefixCache,
 }
 
 impl<'a> Engine<'a> {
@@ -174,6 +251,7 @@ impl<'a> Engine<'a> {
             base,
             opts,
             cache: ResultCache::default(),
+            prefixes: PrefixCache::default(),
         }
     }
 
@@ -184,9 +262,9 @@ impl<'a> Engine<'a> {
         &self.base
     }
 
-    /// (hits, misses) across all evaluations so far.
+    /// Result-cache hit/miss counters across all evaluations so far.
     #[must_use]
-    pub fn cache_stats(&self) -> (u64, u64) {
+    pub fn cache_stats(&self) -> HitMiss {
         self.cache.stats()
     }
 
@@ -204,7 +282,12 @@ impl<'a> Engine<'a> {
             sweep_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(row);
         }
-        let row = evaluate_point(p, self.lib, &self.base)?;
+        let row = if self.opts.incremental {
+            let prep = self.prefixes.get_or_prepare(&p.design, self.lib)?;
+            evaluate_prepared(&prep, p, self.lib, &self.base)?
+        } else {
+            evaluate_point_from_scratch(p, self.lib, &self.base)?
+        };
         self.cache.insert(key, row.clone());
         Ok(row)
     }
@@ -452,9 +535,9 @@ mod tests {
         let good = point("good", 3, 1400);
         let engine = Engine::new(&lib, HlsOptions::default());
         assert!(engine.evaluate_serial(&[bad, good]).is_err());
-        let (_, misses) = engine.cache_stats();
         assert_eq!(
-            misses, 1,
+            engine.cache_stats().misses,
+            1,
             "the point after the failure must not be evaluated"
         );
     }

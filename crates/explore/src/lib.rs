@@ -70,7 +70,7 @@ pub mod server;
 pub mod sweep;
 
 pub use constraint::{Constraint, ConstraintOp};
-pub use engine::{Engine, EngineOptions, SweepResult};
+pub use engine::{Engine, EngineOptions, HitMiss, SweepResult};
 pub use pareto::{
     dominates, objectives, pareto_front, pareto_front_in, pareto_front_in_constrained,
     pareto_indices, pareto_indices_in, pareto_indices_in_constrained, staircase_indices,
@@ -80,9 +80,9 @@ pub use pareto::{
 };
 pub use pool::{EvaluatorPool, PoolOptions};
 pub use refine::{
-    refine, refine_multi, refine_multi_with_progress, refine_with_progress, warm_start_cells,
-    Evaluator, MultiRefineResult, MultiRoundTrace, RefineOptions, RefineResult, RoundTrace,
-    WarmStart,
+    descend, refine, refine_multi, refine_multi_with_progress, refine_with_progress,
+    warm_start_cells, DescentOptions, DescentResult, DescentRungTrace, Evaluator,
+    MultiRefineResult, MultiRoundTrace, RefineOptions, RefineResult, RoundTrace, WarmStart,
 };
 pub use server::{CacheStats, Server};
 pub use sweep::{SweepCell, SweepGrid};
@@ -94,7 +94,7 @@ pub use adhls_core::dse::{DsePoint, DseRow};
 /// The most common imports in one place.
 pub mod prelude {
     pub use crate::constraint::{Constraint, ConstraintOp};
-    pub use crate::engine::{Engine, EngineOptions, SweepResult};
+    pub use crate::engine::{Engine, EngineOptions, HitMiss, SweepResult};
     pub use crate::export::{
         front_to_json, front_to_json_constrained, front_to_json_in, fronts_to_json_multi,
         refine_multi_to_json, refine_to_json, rows_to_csv, rows_to_json,
@@ -106,9 +106,9 @@ pub mod prelude {
     };
     pub use crate::pool::{EvaluatorPool, PoolOptions};
     pub use crate::refine::{
-        refine, refine_multi, refine_multi_with_progress, refine_with_progress, warm_start_cells,
-        Evaluator, MultiRefineResult, MultiRoundTrace, RefineOptions, RefineResult, RoundTrace,
-        WarmStart,
+        descend, refine, refine_multi, refine_multi_with_progress, refine_with_progress,
+        warm_start_cells, DescentOptions, DescentResult, DescentRungTrace, Evaluator,
+        MultiRefineResult, MultiRoundTrace, RefineOptions, RefineResult, RoundTrace, WarmStart,
     };
     pub use crate::server::{CacheStats, Server, WorkloadSpec};
     pub use crate::sweep::{SweepCell, SweepGrid};

@@ -20,9 +20,9 @@
 //! behaves exactly like the serial engine) and submitters cannot deadlock
 //! waiting on a saturated pool.
 
-use crate::engine::{point_key, SweepResult};
+use crate::engine::{point_key, HitMiss, PrefixCache, SweepResult};
 use crate::server::eviction::{CacheStats, EvictingCache, Outcome};
-use adhls_core::dse::{evaluate_point, DsePoint, DseRow};
+use adhls_core::dse::{evaluate_point_from_scratch, evaluate_prepared, DsePoint, DseRow};
 use adhls_core::sched::HlsOptions;
 use adhls_reslib::Library;
 use adhls_telemetry::{Registry, Snapshot};
@@ -35,7 +35,7 @@ use std::time::Instant;
 use adhls_ir::{Error, Result};
 
 /// Tuning knobs for [`EvaluatorPool`].
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PoolOptions {
     /// Total evaluation threads per batch, counting the submitter; `0` =
     /// one per available core. `1` means no background workers at all
@@ -48,6 +48,23 @@ pub struct PoolOptions {
     /// (`None` = unbounded, the one-shot CLI default). Long-lived servers
     /// should set this; see [`crate::server::eviction`].
     pub cache_bytes: Option<usize>,
+    /// Reuse clock-independent prefix artifacts
+    /// ([`PreparedDesign`](adhls_core::PreparedDesign)) across the cells of
+    /// a design (default). `false` re-elaborates every point from scratch —
+    /// the escape hatch and the benchmark baseline; rows are bit-identical
+    /// either way.
+    pub incremental: bool,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            threads: 0,
+            skip_infeasible: false,
+            cache_bytes: None,
+            incremental: true,
+        }
+    }
 }
 
 /// One submitted sweep: its points, result slots, and completion state.
@@ -138,6 +155,11 @@ struct Shared {
     lib: Library,
     base: HlsOptions,
     cache: EvictingCache,
+    /// Prefix artifacts shared across batches (see
+    /// [`PreparedDesign`](adhls_core::PreparedDesign)); unused when
+    /// [`PoolOptions::incremental`] is off.
+    prefixes: PrefixCache,
+    incremental: bool,
     queue: Mutex<VecDeque<Arc<Batch>>>,
     work_ready: Condvar,
     shutdown: AtomicBool,
@@ -164,7 +186,12 @@ impl Shared {
         let key = point_key(&self.base, p);
         let (result, outcome) = self.cache.get_or_compute(key, || {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                evaluate_point(p, &self.lib, &self.base)
+                if self.incremental {
+                    let prep = self.prefixes.get_or_prepare(&p.design, &self.lib)?;
+                    evaluate_prepared(&prep, p, &self.lib, &self.base)
+                } else {
+                    evaluate_point_from_scratch(p, &self.lib, &self.base)
+                }
             }))
             .unwrap_or_else(|panic| {
                 let msg = panic
@@ -331,6 +358,8 @@ impl EvaluatorPool {
             lib,
             base,
             cache: EvictingCache::new(opts.cache_bytes),
+            prefixes: PrefixCache::default(),
+            incremental: opts.incremental,
             queue: Mutex::new(VecDeque::new()),
             work_ready: Condvar::new(),
             shutdown: AtomicBool::new(false),
@@ -439,13 +468,12 @@ impl EvaluatorPool {
         })
     }
 
-    /// (hits, misses) across the pool's lifetime, all batches combined.
-    /// "Hits" include coalesced in-flight waits — both avoided an HLS run.
+    /// Hit/miss totals across the pool's lifetime, all batches combined.
+    /// Hits include coalesced in-flight waits — both avoided an HLS run.
     /// See [`EvaluatorPool::cache_metrics`] for the full breakdown.
     #[must_use]
-    pub fn cache_stats(&self) -> (u64, u64) {
-        let s = self.shared.cache.stats();
-        (s.hits + s.coalesced, s.misses)
+    pub fn cache_stats(&self) -> HitMiss {
+        self.shared.cache.stats().hit_miss()
     }
 
     /// Full cache counters and gauges (hits, coalesced waits, misses,

@@ -22,6 +22,7 @@
 //! recomputed on the next miss. The proptest in `tests/pool_eviction.rs`
 //! pins this down against the unbudgeted pool.
 
+use crate::engine::HitMiss;
 use adhls_core::dse::DseRow;
 use adhls_ir::{Error, Result};
 use std::collections::{BTreeMap, HashMap};
@@ -70,6 +71,19 @@ pub struct CacheStats {
     pub bytes: usize,
     /// The configured byte budget (`None` = unbounded).
     pub capacity_bytes: Option<usize>,
+}
+
+impl CacheStats {
+    /// Collapses the counters to the named hit/miss pair every cache
+    /// surface shares (see [`HitMiss`]). Coalesced in-flight waits count as
+    /// hits: from the caller's perspective both avoided an HLS run.
+    #[must_use]
+    pub fn hit_miss(&self) -> HitMiss {
+        HitMiss {
+            hits: self.hits + self.coalesced,
+            misses: self.misses,
+        }
+    }
 }
 
 struct Entry {

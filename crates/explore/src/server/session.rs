@@ -880,6 +880,7 @@ mod tests {
                 threads,
                 skip_infeasible: true,
                 cache_bytes,
+                ..Default::default()
             },
         ))
     }

@@ -61,6 +61,7 @@ fn random_fleet_parallel_equals_serial_with_skips() {
             EngineOptions {
                 threads,
                 skip_infeasible: true,
+                ..Default::default()
             },
         )
     };

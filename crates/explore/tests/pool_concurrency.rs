@@ -91,6 +91,7 @@ fn concurrent_adaptive_refinements_share_one_pool_bit_identically() {
         EngineOptions {
             threads: 1,
             skip_infeasible: true,
+            ..Default::default()
         },
     );
     let reference = refine(&serial_engine, &interp_grid(), "interp", interp_cell, &opts)
@@ -143,13 +144,13 @@ fn pool_cache_survives_across_refinements() {
     );
     let opts = RefineOptions::default();
     let first = refine(&pool, &interp_grid(), "interp", interp_cell, &opts).unwrap();
-    let (h0, m0) = pool.cache_stats();
+    let s0 = pool.cache_stats();
     let second = refine(&pool, &interp_grid(), "interp", interp_cell, &opts).unwrap();
-    let (h1, m1) = pool.cache_stats();
+    let s1 = pool.cache_stats();
     assert_eq!(first, second, "refinement must be reproducible");
-    assert_eq!(m1, m0, "no new HLS runs on the second pass");
+    assert_eq!(s1.misses, s0.misses, "no new HLS runs on the second pass");
     assert_eq!(
-        h1 - h0,
+        s1.hits - s0.hits,
         first.evaluated as u64,
         "every resubmitted cell is a cache hit"
     );

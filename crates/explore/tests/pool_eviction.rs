@@ -58,6 +58,7 @@ fn pool(cache_bytes: Option<usize>, threads: usize) -> EvaluatorPool {
             threads,
             skip_infeasible: false,
             cache_bytes,
+            ..Default::default()
         },
     )
 }

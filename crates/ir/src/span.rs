@@ -237,23 +237,22 @@ impl SpanAnalysis {
                 late[o.0 as usize] = early[o.0 as usize];
                 continue;
             }
-            let users: Vec<OpId> = dfg.forward_users(o).map(|(u, _)| u).collect();
             let eo = early[o.0 as usize].expect("early computed in forward sweep");
             let mut found = None;
             for &e in self.legal(o).iter().rev() {
                 if !info.reaches(eo, e) {
                     continue; // must stay within [early, ...]
                 }
-                let ok = users
-                    .iter()
-                    .all(|&u| late[u.0 as usize].is_some_and(|ul| info.reaches(e, ul)));
+                let ok = dfg
+                    .forward_users(o)
+                    .all(|(u, _)| late[u.0 as usize].is_some_and(|ul| info.reaches(e, ul)));
                 if ok {
                     found = Some(e);
                     break;
                 }
             }
             // No users (dead value): collapse to early.
-            if users.is_empty() {
+            if dfg.forward_users(o).next().is_none() {
                 found = Some(found.unwrap_or(eo));
             }
             late[o.0 as usize] = Some(found.ok_or_else(|| {

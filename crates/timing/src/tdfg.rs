@@ -102,6 +102,58 @@ impl TimedDfg {
         })
     }
 
+    /// Recomputes every edge and sink weight in place from new `early`/`late`
+    /// mappings, leaving the structure (timed set, adjacency, topological
+    /// order) untouched.
+    ///
+    /// A timed DFG's *structure* depends only on the underlying DFG — the
+    /// bounds mappings contribute nothing but weights — so when bounds move
+    /// (e.g. the scheduler re-budgets after pinning an edge) the graph built
+    /// by [`TimedDfg::build_with`] over the new bounds equals this one with
+    /// refreshed weights. Reweighting skips the DFG traversal, the
+    /// topological sort, and all adjacency allocations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::MalformedDfg`] under the same conditions as
+    /// [`TimedDfg::build`].
+    pub fn reweight(
+        &mut self,
+        info: &CfgInfo,
+        early: impl Fn(OpId) -> adhls_ir::EdgeId,
+        late: impl Fn(OpId) -> adhls_ir::EdgeId,
+    ) -> Result<()> {
+        for oi in 0..self.n_ids {
+            if !self.timed[oi] {
+                continue;
+            }
+            let o = OpId(oi as u32);
+            let eo = early(o);
+            for (p, w) in &mut self.preds[oi] {
+                *w = info.latency(early(*p), eo).ok_or_else(|| {
+                    Error::MalformedDfg(format!(
+                        "dependency {p} -> {o} has undefined latency ({} to {})",
+                        early(*p),
+                        eo
+                    ))
+                })?;
+            }
+            for (s, w) in &mut self.succs[oi] {
+                *w = info.latency(eo, early(*s)).ok_or_else(|| {
+                    Error::MalformedDfg(format!(
+                        "dependency {o} -> {s} has undefined latency ({} to {})",
+                        eo,
+                        early(*s)
+                    ))
+                })?;
+            }
+            self.sink_w[oi] = info.latency(eo, late(o)).ok_or_else(|| {
+                Error::MalformedDfg(format!("span of {o} has undefined internal latency"))
+            })?;
+        }
+        Ok(())
+    }
+
     /// Dense id-space size (index [`OpId`]s up to this).
     #[must_use]
     pub fn len_ids(&self) -> usize {
@@ -206,6 +258,31 @@ mod tests {
         assert_eq!(w_to_write, 1);
         // m's sink weight: early == late (no movement possible) -> 0.
         assert_eq!(t.sink_weight(m), 0);
+    }
+
+    #[test]
+    fn reweight_matches_fresh_build_after_bounds_move() {
+        // Two soft states give the mul room to move; pinning it to a later
+        // edge changes edge and sink weights but never the structure.
+        let mut b = DesignBuilder::new("rw");
+        let x = b.input("x", 8);
+        let m = b.binop(OpKind::Mul, x, x, 8);
+        b.soft_waits(2);
+        let a = b.binop(OpKind::Add, m, m, 16);
+        b.write("y", a);
+        let d = b.finish().unwrap();
+        let info = d.validate().unwrap();
+        let analysis = adhls_ir::span::SpanAnalysis::new(&d.dfg, &info).unwrap();
+        let free = analysis.bounds_pinned(&d.dfg, &info, |_| None).unwrap();
+        let pin = analysis
+            .bounds_pinned(&d.dfg, &info, |o| (o == m).then(|| free.late(m)))
+            .unwrap();
+        let mut t =
+            TimedDfg::build_with(&d.dfg, &info, |o| free.early(o), |o| free.late(o)).unwrap();
+        t.reweight(&info, |o| pin.early(o), |o| pin.late(o))
+            .unwrap();
+        let fresh = TimedDfg::build_with(&d.dfg, &info, |o| pin.early(o), |o| pin.late(o)).unwrap();
+        assert_eq!(format!("{t:?}"), format!("{fresh:?}"));
     }
 
     #[test]
