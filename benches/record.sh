@@ -4,7 +4,7 @@
 # telemetry metering on, then assemble the timings and each bench
 # binary's registry snapshot into one BENCH_<n>.json at the repo root.
 #
-# Usage:   benches/record.sh [out.json]     default: BENCH_7.json
+# Usage:   benches/record.sh [out.json]     default: BENCH_8.json
 # Knobs:   ADHLS_BENCH_SAMPLE_SIZE=<n>      samples per benchmark, pinned
 #                                           across every target (default 5)
 #
@@ -15,7 +15,7 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_7.json}"
+OUT="${1:-BENCH_8.json}"
 SAMPLES="${ADHLS_BENCH_SAMPLE_SIZE:-5}"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT

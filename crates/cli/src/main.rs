@@ -5,7 +5,7 @@
 //! adhls schedule <file.dsl> [--clock PS] [--flow conv|slow|slack] [--netlist PATH]
 //! adhls explore  --workload <name> [axes...] [--json PATH] [--csv PATH]
 //! adhls explore  <file.dsl> --clocks 1500,2000,2600
-//! adhls serve    [--addr HOST:PORT | --stdio] [--cache-bytes N]
+//! adhls serve    [--addr HOST:PORT | --stdio] [--cache-bytes N] [--workers N]
 //! adhls report   [table4|table2]
 //! ```
 //!
@@ -103,7 +103,15 @@ SERVE OPTIONS (line-delimited JSON protocol; see docs/PROTOCOL.md):
                           over HTTP on this address (port 0 picks a free
                           port, printed on stdout)
     --slow-ms <MS>        log requests slower than this threshold to
-                          stderr (0 disables)           [default: off]
+                          stderr (0 disables; single-pool mode only)
+                                                        [default: off]
+    --workers <N>         route requests over N worker backends with
+                          consistent-hashed cache sharding (0 = classic
+                          single-pool mode)             [default: 0]
+    --worker-mode <M>     worker backend kind: `thread` (in-process) or
+                          `process` (spawned children)  [default: thread]
+    --queue-cap <N>       per-worker in-flight cap; overflow gets a
+                          structured `busy` result      [default: 64]
 
 Exploring a DSL file sweeps --clocks only (the file fixes its own states).
 `schedule` evaluates one point; `report` prints the paper's tables over the

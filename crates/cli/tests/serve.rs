@@ -57,6 +57,18 @@ impl Serve {
             addr
         };
         let addr = announced(&mut reader, "serve announces its address");
+        if extra.contains(&"--workers") {
+            // Router mode inserts its banner between the address and
+            // metrics announcements.
+            let mut line = String::new();
+            reader
+                .read_line(&mut line)
+                .expect("router announces its workers");
+            assert!(
+                line.contains("routing over"),
+                "unexpected router banner: {line}"
+            );
+        }
         let metrics_addr = extra
             .contains(&"--metrics-addr")
             .then(|| announced(&mut reader, "serve announces its metrics address"));
@@ -399,4 +411,84 @@ fn stdio_transport_answers_ping_and_sweep() {
             .map(<[Value]>::len),
         Some(1)
     );
+}
+
+/// The multi-worker acceptance path against the release binary over real
+/// TCP: `--workers 2` routes concurrent refinements to sharded workers,
+/// the fronts stay bit-identical to a direct `Engine` run, a `cancel`
+/// with nothing in flight yields the documented structured error, and
+/// the aggregated `stats` surface counts every client request once.
+#[test]
+fn routed_concurrent_requests_match_direct_runs_and_aggregate_stats() {
+    let serve = Serve::start(&["--workers", "2", "--threads", "2"]);
+    let req = |id: usize| {
+        format!(
+            "{{\"id\":{id},\"cmd\":\"refine\",\"workload\":\"idct\",\
+             \"clocks\":[2200,3000],\"cycles\":[12,16,24],\"gap_tol\":{GAP_TOL}}}"
+        )
+    };
+
+    let (resp_a, resp_b) = std::thread::scope(|scope| {
+        let a = scope.spawn(|| serve.request(&req(1)));
+        let b = scope.spawn(|| serve.request(&req(2)));
+        (a.join().expect("client A"), b.join().expect("client B"))
+    });
+
+    let expected_front = direct_front_json();
+    for (who, resp) in [("A", &resp_a), ("B", &resp_b)] {
+        let result = resp.last().expect("terminal message");
+        assert_eq!(
+            result.get("ok"),
+            Some(&Value::Bool(true)),
+            "client {who}: {}",
+            result.render()
+        );
+        assert!(
+            resp.len() >= 2,
+            "client {who} saw no relayed rounds: {} messages",
+            resp.len()
+        );
+        let served = result.render();
+        assert!(
+            served.contains(&format!("\"front\":{expected_front}")),
+            "client {who}'s routed front diverged from the direct run\n\
+             served: {served}\nexpected front: {expected_front}"
+        );
+    }
+
+    // A cancel with nothing in flight is answered by the router with the
+    // same structured error a single-pool server gives.
+    let cancel = serve.request("{\"id\":7,\"cmd\":\"cancel\",\"target\":1}");
+    assert_eq!(cancel[0].get("ok"), Some(&Value::Bool(false)));
+    assert!(
+        cancel[0]
+            .get("error")
+            .and_then(Value::as_str)
+            .is_some_and(|e| e.contains("no in-flight request")),
+        "unexpected cancel error: {}",
+        cancel[0].render()
+    );
+
+    // Aggregated metrics: the router counts each client request exactly
+    // once (two refines, the cancel, this metrics request) even though
+    // the workers also served forwarded copies, and the workers gauge
+    // reports both backends alive.
+    let resp = serve.request("{\"id\":9,\"cmd\":\"metrics\"}");
+    let m = resp[0].get("metrics").expect("metrics payload");
+    assert_eq!(
+        m.get("counters")
+            .and_then(|c| c.get("serve.requests"))
+            .and_then(Value::as_u64),
+        Some(4),
+        "router double-counted or dropped requests: {}",
+        resp[0].render()
+    );
+    assert_eq!(
+        m.get("gauges")
+            .and_then(|g| g.get("serve.workers"))
+            .and_then(Value::as_u64),
+        Some(2)
+    );
+
+    serve.shutdown();
 }

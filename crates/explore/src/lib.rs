@@ -79,12 +79,13 @@ pub use pareto::{
     Objectives, Sense,
 };
 pub use pool::{EvaluatorPool, PoolOptions};
+pub use refine::CancelToken;
 pub use refine::{
     descend, refine, refine_multi, refine_multi_with_progress, refine_with_progress,
     warm_start_cells, DescentOptions, DescentResult, DescentRungTrace, Evaluator,
     MultiRefineResult, MultiRoundTrace, RefineOptions, RefineResult, RoundTrace, WarmStart,
 };
-pub use server::{CacheStats, Server};
+pub use server::{CacheStats, Router, RouterOptions, Server};
 pub use sweep::{SweepCell, SweepGrid};
 
 // Re-exported so downstream code can name the point/row types without a
@@ -105,12 +106,13 @@ pub mod prelude {
         ObjectiveSpace, Objectives, Sense,
     };
     pub use crate::pool::{EvaluatorPool, PoolOptions};
+    pub use crate::refine::CancelToken;
     pub use crate::refine::{
         descend, refine, refine_multi, refine_multi_with_progress, refine_with_progress,
         warm_start_cells, DescentOptions, DescentResult, DescentRungTrace, Evaluator,
         MultiRefineResult, MultiRoundTrace, RefineOptions, RefineResult, RoundTrace, WarmStart,
     };
-    pub use crate::server::{CacheStats, Server, WorkloadSpec};
+    pub use crate::server::{CacheStats, Router, RouterOptions, Server, WorkloadSpec};
     pub use crate::sweep::{SweepCell, SweepGrid};
     pub use adhls_core::dse::{DsePoint, DseRow};
 }

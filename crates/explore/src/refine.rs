@@ -153,6 +153,10 @@ pub struct RefineOptions {
     /// unconstrained refinement, bit-identical to pre-constraint
     /// behavior.
     pub constraints: Vec<Constraint>,
+    /// Cooperative cancellation token, checked **between rounds** (never
+    /// mid-round, so rows and trace stay a prefix of the uncancelled
+    /// run's). `None` = not cancellable. See [`CancelToken`].
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for RefineOptions {
@@ -164,7 +168,50 @@ impl Default for RefineOptions {
             warm_start: Vec::new(),
             objectives: ObjectiveSpace::default(),
             constraints: Vec::new(),
+            cancel: None,
         }
+    }
+}
+
+/// A shared cooperative cancellation flag for in-flight refinements.
+///
+/// Cloning shares the flag; once [`CancelToken::cancel`] fires, every
+/// holder observes it. The refinement drivers consult the token only at
+/// **round boundaries** — a fired token stops the run before the next
+/// round is planned, so the partial [`RefineResult`] (rows, trace, front)
+/// is exactly a prefix-of-rounds of the uncancelled run, never a torn
+/// round. The exploration server's `cancel` verb fires these between a
+/// client's streamed round events.
+///
+/// Equality is *identity*: two tokens compare equal when they share one
+/// flag (so an options struct holding a token stays `PartialEq` without
+/// pretending distinct tokens in identical states are interchangeable).
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken(std::sync::Arc<std::sync::atomic::AtomicBool>);
+
+impl CancelToken {
+    /// A fresh, unfired token.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fires the token: every pending round-boundary check from now on
+    /// sees the cancellation.
+    pub fn cancel(&self) {
+        self.0.store(true, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Whether [`CancelToken::cancel`] has fired.
+    #[must_use]
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(std::sync::atomic::Ordering::Acquire)
+    }
+}
+
+impl PartialEq for CancelToken {
+    fn eq(&self, other: &Self) -> bool {
+        std::sync::Arc::ptr_eq(&self.0, &other.0)
     }
 }
 
@@ -309,6 +356,10 @@ pub struct RefineResult {
     /// over the deduplicated axes (duplicate axis entries name the same
     /// cells and don't inflate the count).
     pub grid_cells: usize,
+    /// Whether a [`CancelToken`] stopped the run at a round boundary
+    /// before it converged. When true, `rows` and `trace` are a valid
+    /// prefix of the uncancelled run's (cancellation never tears a round).
+    pub cancelled: bool,
 }
 
 /// A cell as (clock index, cycles index, pipeline-mode index) into the
@@ -974,6 +1025,7 @@ where
             evaluated: 0,
             pruned: 0,
             grid_cells,
+            cancelled: false,
         });
     }
 
@@ -996,7 +1048,15 @@ where
     }];
     observe(&trace[0]);
 
+    let mut cancelled = false;
     for round in 1..=opts.max_rounds {
+        // The round boundary is the one cancellation point: rows and trace
+        // integrated so far are a valid prefix of the uncancelled run.
+        if opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            cancelled = true;
+            adhls_telemetry::counter_add("refine.cancelled", 1);
+            break;
+        }
         let stairs = driver.staircase(&opts.objectives);
         if stairs.is_empty() {
             break;
@@ -1071,6 +1131,7 @@ where
         evaluated,
         pruned: driver.pruned,
         grid_cells,
+        cancelled,
     })
 }
 
@@ -1417,6 +1478,9 @@ pub struct MultiRefineResult {
     pub pruned: usize,
     /// Cell count of the deduplicated exhaustive grid.
     pub grid_cells: usize,
+    /// Whether a [`CancelToken`] stopped the pass at a round boundary (see
+    /// [`RefineResult::cancelled`]; mirrored into every plane's result).
+    pub cancelled: bool,
 }
 
 /// Refines **several objective planes in one pass** over one shared
@@ -1512,6 +1576,7 @@ where
                 evaluated: 0,
                 pruned: 0,
                 grid_cells,
+                cancelled: false,
             })
             .collect(),
         trace: Vec::new(),
@@ -1522,6 +1587,7 @@ where
         evaluated: 0,
         pruned: 0,
         grid_cells,
+        cancelled: false,
     };
     if driver.clocks.is_empty() || driver.cycles.is_empty() || driver.modes.is_empty() {
         return Ok(empty_result(planes));
@@ -1563,7 +1629,15 @@ where
         .collect();
     observe(&merged[0]);
 
+    let mut cancelled = false;
     for round in 1..=opts.max_rounds {
+        // Same cancellation point as the single-plane driver: between
+        // rounds, so the merged trace is a prefix of the uncancelled one.
+        if opts.cancel.as_ref().is_some_and(CancelToken::is_cancelled) {
+            cancelled = true;
+            adhls_telemetry::counter_add("refine.cancelled", 1);
+            break;
+        }
         // One shared pending set: a cell several planes want this round is
         // queued once, credited to the first plane that asked.
         let mut pending: HashSet<Cell> = HashSet::new();
@@ -1668,6 +1742,7 @@ where
             evaluated,
             pruned: driver.pruned,
             grid_cells,
+            cancelled,
         })
         .collect();
     Ok(MultiRefineResult {
@@ -1680,6 +1755,7 @@ where
         evaluated,
         pruned: driver.pruned,
         grid_cells,
+        cancelled,
     })
 }
 

@@ -13,7 +13,15 @@
 //!   threads, and the TCP / reader-writer (stdio) front-ends,
 //! * [`eviction`] — cache lifecycle for long-lived processes: a byte
 //!   budget with per-shard cost-aware LRU eviction, plus in-flight
-//!   coalescing so concurrent requests for the same cell run HLS once.
+//!   coalescing so concurrent requests for the same cell run HLS once,
+//! * [`worker`] — worker backends for multi-worker serving: the
+//!   [`WorkerLink`] transport trait with in-process (pipe + thread) and
+//!   child-process (TCP) implementations,
+//! * [`router`] — the multi-worker front-end: consistent-hash routing of
+//!   requests across workers (so each worker's cache shard stays warm),
+//!   fault recovery by respawn/reassignment, `cancel` forwarding,
+//!   queue-cap backpressure, and cross-worker `stats`/`metrics`
+//!   aggregation.
 //!
 //! Determinism carries through from the pool: a request's rows and front
 //! are bit-identical to a direct serial [`Engine`](crate::engine::Engine)
@@ -25,11 +33,17 @@
 
 pub mod eviction;
 pub mod protocol;
+pub mod router;
 pub mod session;
+pub mod worker;
 
 pub use eviction::{CacheStats, EvictingCache, Outcome};
 pub use protocol::{Command, WorkloadSpec};
+pub use router::{Router, RouterOptions};
 pub use session::{
-    refine_spaces, sweep_points, sweep_spaces, validate_spec_constraints, workload_grid, BuildFn,
-    Server,
+    refine_spaces, routing_fingerprint, sweep_points, sweep_spaces, validate_spec_constraints,
+    workload_grid, BuildFn, Server,
+};
+pub use worker::{
+    in_process_factory, spawn_process_worker, WorkerFactory, WorkerGuard, WorkerHandle, WorkerLink,
 };

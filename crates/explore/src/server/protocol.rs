@@ -89,6 +89,14 @@ pub enum Command {
     /// Return the full telemetry registry snapshot (counters, gauges,
     /// per-phase histograms).
     Metrics,
+    /// Abort an in-flight `refine` (identified by its request `id`) at its
+    /// next round boundary. Issued from any connection — typically a
+    /// second one, since the refining connection is busy streaming.
+    Cancel {
+        /// The `id` of the in-flight request to cancel (a number or
+        /// string, exactly as the original request chose it).
+        target: Value,
+    },
     /// Liveness probe.
     Ping,
     /// Stop accepting connections and exit the serve loop.
@@ -104,6 +112,7 @@ impl Command {
             Command::Refine { .. } => "refine",
             Command::Stats => "stats",
             Command::Metrics => "metrics",
+            Command::Cancel { .. } => "cancel",
             Command::Ping => "ping",
             Command::Shutdown => "shutdown",
         }
@@ -176,10 +185,15 @@ fn parse_command(doc: &Value) -> Result<Command, String> {
         }
         "stats" => Ok(Command::Stats),
         "metrics" => Ok(Command::Metrics),
+        "cancel" => match doc.get("target") {
+            Some(t @ (Value::Num(_) | Value::Str(_))) => Ok(Command::Cancel { target: t.clone() }),
+            Some(_) => Err("`target` must be the number or string `id` of the request".into()),
+            None => Err("`cancel` needs a `target` — the `id` of the in-flight request".into()),
+        },
         "ping" => Ok(Command::Ping),
         "shutdown" => Ok(Command::Shutdown),
         other => Err(format!(
-            "unknown cmd `{other}` (sweep | refine | stats | metrics | ping | shutdown)"
+            "unknown cmd `{other}` (sweep | refine | stats | metrics | cancel | ping | shutdown)"
         )),
     }
 }
@@ -307,6 +321,34 @@ pub fn render_error(id: Option<&Value>, msg: &str) -> String {
     out
 }
 
+/// A terminal backpressure rejection: like [`render_error`] but flagged
+/// `"busy":true` so clients can distinguish "retry later" from a request
+/// that is wrong and will never succeed. Emitted by the router when a
+/// worker's queue cap or the connection bound is exceeded.
+#[must_use]
+pub fn render_busy(id: Option<&Value>, msg: &str) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    out.push_str(",\"event\":\"result\",\"ok\":false,\"busy\":true,\"error\":");
+    escape_into(&mut out, msg);
+    out.push('}');
+    out
+}
+
+/// The terminal message for a successful `cancel` request: the fired
+/// target's id is echoed so a client multiplexing several refines knows
+/// which one will stop. (A `cancel` naming no in-flight request is a
+/// plain [`render_error`].)
+#[must_use]
+pub fn render_cancel_result(id: Option<&Value>, target: &Value) -> String {
+    let mut out = String::new();
+    open_envelope(&mut out, id);
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"cancel\",\"target\":");
+    target.render_into(&mut out);
+    out.push('}');
+    out
+}
+
 /// Appends one round trace's fields (no surrounding braces) — the one
 /// definition behind both streamed `round` events and the `refine.rounds`
 /// audit block, so the two can never drift apart.
@@ -426,7 +468,13 @@ pub fn render_sweep_result(
 pub fn render_refine_result(id: Option<&Value>, r: &RefineResult) -> String {
     let mut out = String::new();
     open_envelope(&mut out, id);
-    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",\"objectives\":");
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",");
+    if r.cancelled {
+        // Omitted entirely (not `false`) when the run converged, keeping
+        // uncancelled responses byte-identical to pre-cancel servers.
+        out.push_str("\"cancelled\":true,");
+    }
+    out.push_str("\"objectives\":");
     out.push_str(&objectives_to_json(&r.objectives));
     if !r.constraints.is_empty() {
         out.push_str(",\"constraints\":");
@@ -507,7 +555,11 @@ pub fn render_refine_multi_result(id: Option<&Value>, r: &MultiRefineResult) -> 
             ))
         })
         .collect();
-    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",\"objectives\":");
+    out.push_str(",\"event\":\"result\",\"ok\":true,\"cmd\":\"refine\",");
+    if r.cancelled {
+        out.push_str("\"cancelled\":true,");
+    }
+    out.push_str("\"objectives\":");
     out.push_str(&objectives_to_json(&first.objectives));
     if !r.constraints.is_empty() {
         out.push_str(",\"constraints\":");

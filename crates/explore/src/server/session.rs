@@ -15,18 +15,22 @@
 //! terminal `result` line.
 
 use crate::constraint::validate_constraints;
+use crate::fingerprint::design_fingerprint;
 use crate::pareto::{pareto_front_in_constrained, ObjectiveSpace};
 use crate::pool::EvaluatorPool;
-use crate::refine::{refine_multi_with_progress, refine_with_progress, RefineOptions};
+use crate::refine::{refine_multi_with_progress, refine_with_progress, CancelToken, RefineOptions};
 use crate::server::protocol::{self, Command, WorkloadSpec};
 use crate::sweep::{SweepCell, SweepGrid};
 use adhls_core::dse::DsePoint;
+use adhls_core::json::Value;
 use adhls_ir::{frontend, Design};
 use adhls_telemetry::Snapshot;
 use adhls_workloads::{idct, interpolation, matmul, sweep};
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// A per-cell design builder, boxed so grids for different workloads share
@@ -206,6 +210,23 @@ fn dsl_points(spec: &WorkloadSpec, source: &str) -> Result<Vec<DsePoint>, String
         .collect())
 }
 
+/// The stable routing key the multi-worker router consistent-hashes a
+/// request's spec with: the [`design_fingerprint`] of the spec's first
+/// expanded point. Every request over the same workload family lands on
+/// the same worker, so that worker's point cache and incremental prefix
+/// artifacts stay warm for the whole grid — and the key survives worker
+/// restarts, because it depends only on the spec.
+///
+/// # Errors
+///
+/// The same spec-validation message the serving worker would produce
+/// (callers route such requests anywhere; the worker repeats the
+/// validation and answers the client with the error).
+pub fn routing_fingerprint(spec: &WorkloadSpec) -> Result<u64, String> {
+    let points = sweep_points(spec)?;
+    Ok(points.first().map_or(0, |p| design_fingerprint(&p.design)))
+}
+
 /// The grid, point-name prefix, and cell builder a `refine` request (or
 /// `adhls explore --adaptive`, which delegates here) refines.
 ///
@@ -291,6 +312,11 @@ pub struct Server {
     /// Requests slower than this (milliseconds) are logged to stderr;
     /// `0` disables slow-request logging.
     slow_ms: AtomicU64,
+    /// In-flight cancellable requests, keyed by the *rendered* request
+    /// `id` (so `7`, `"a1"` and `7.0` resolve exactly as the wire echoes
+    /// them). A `cancel` from any connection fires the matching token;
+    /// the refining request deregisters itself when it finishes.
+    cancels: Mutex<HashMap<String, CancelToken>>,
 }
 
 impl std::fmt::Debug for Server {
@@ -320,7 +346,52 @@ impl Server {
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             slow_ms: AtomicU64::new(0),
+            cancels: Mutex::new(HashMap::new()),
         }
+    }
+
+    /// Fires the cancellation token of the in-flight request whose `id`
+    /// renders as `target` renders, returning whether one was found. The
+    /// cancelled refinement stops at its next round boundary; its rows and
+    /// trace stay a valid prefix of the uncancelled run's.
+    pub fn cancel_request(&self, target: &Value) -> bool {
+        let key = target.render();
+        let cancels = self.cancels.lock().expect("cancel registry poisoned");
+        match cancels.get(&key) {
+            Some(token) => {
+                token.cancel();
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Registers a cancellable in-flight request under its rendered `id`
+    /// and hands back a deregistration guard. Requests without an `id`
+    /// cannot be addressed by `cancel` and are not registered.
+    fn register_cancel(&self, id: Option<&Value>) -> (Option<CancelToken>, CancelGuard<'_>) {
+        let Some(id) = id else {
+            return (
+                None,
+                CancelGuard {
+                    server: self,
+                    key: None,
+                },
+            );
+        };
+        let token = CancelToken::new();
+        let key = id.render();
+        self.cancels
+            .lock()
+            .expect("cancel registry poisoned")
+            .insert(key.clone(), token.clone());
+        (
+            Some(token),
+            CancelGuard {
+                server: self,
+                key: Some(key),
+            },
+        )
     }
 
     /// The wrapped pool (e.g. to inspect cache metrics out of band).
@@ -447,6 +518,15 @@ impl Server {
                 let line = protocol::render_metrics(id, &self.metrics_snapshot());
                 writeln!(out, "{line}")?;
             }
+            Ok(Command::Cancel { target }) => {
+                if self.cancel_request(&target) {
+                    writeln!(out, "{}", protocol::render_cancel_result(id, &target))?;
+                } else {
+                    let msg = format!("no in-flight request with id {}", target.render());
+                    writeln!(out, "{}", protocol::render_error(id, &msg))?;
+                    ok = false;
+                }
+            }
             Ok(Command::Sweep(spec)) => {
                 let spaces = sweep_spaces(&spec);
                 let prep =
@@ -530,12 +610,17 @@ impl Server {
                             pipeline_ii,
                         })
                         .collect();
+                    // Register for `cancel` before the first round runs, so
+                    // a cancel racing the refine's start still lands. The
+                    // guard deregisters on every exit path.
+                    let (cancel, _cancel_guard) = self.register_cancel(id);
                     let opts = RefineOptions {
                         budget,
                         gap_tol,
                         warm_start,
                         objectives: spaces[0].clone(),
                         constraints: spec.constraints.clone(),
+                        cancel,
                         ..Default::default()
                     };
                     let mut stream_err: Option<std::io::Error> = None;
@@ -555,7 +640,12 @@ impl Server {
                                     }
                                 }
                             })
-                            .map(|r| protocol::render_refine_result(id, &r))
+                            .map(|r| {
+                                if r.cancelled {
+                                    adhls_telemetry::counter_add("serve.cancelled", 1);
+                                }
+                                protocol::render_refine_result(id, &r)
+                            })
                         } else {
                             refine_multi_with_progress(
                                 &self.pool,
@@ -575,7 +665,12 @@ impl Server {
                                     }
                                 },
                             )
-                            .map(|r| protocol::render_refine_multi_result(id, &r))
+                            .map(|r| {
+                                if r.cancelled {
+                                    adhls_telemetry::counter_add("serve.cancelled", 1);
+                                }
+                                protocol::render_refine_multi_result(id, &r)
+                            })
                         }
                     };
                     if let Some(e) = stream_err {
@@ -809,12 +904,31 @@ struct Handled {
     ok: bool,
 }
 
+/// Removes a request's cancellation-registry entry when the request
+/// finishes — on every path, including stream-error early returns.
+struct CancelGuard<'a> {
+    server: &'a Server,
+    key: Option<String>,
+}
+
+impl Drop for CancelGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(key) = self.key.take() {
+            self.server
+                .cancels
+                .lock()
+                .expect("cancel registry poisoned")
+                .remove(&key);
+        }
+    }
+}
+
 /// Largest accepted request line. Inline DSL sources fit comfortably; a
 /// client streaming bytes with no newline must not grow server memory
 /// without bound.
 pub const MAX_REQUEST_BYTES: usize = 4 << 20;
 
-enum LineStatus {
+pub(crate) enum LineStatus {
     /// A full newline-terminated line is in the buffer (newline stripped).
     Complete,
     /// End of stream with nothing further buffered.
@@ -827,7 +941,10 @@ enum LineStatus {
 /// `read_line` working in raw bytes so no single call can balloon memory.
 /// Returns `Err` (e.g. `WouldBlock` on a read timeout) with any partial
 /// data retained in `buf` for the next call.
-fn fill_line(reader: &mut impl BufRead, buf: &mut Vec<u8>) -> std::io::Result<LineStatus> {
+pub(crate) fn fill_line(
+    reader: &mut impl BufRead,
+    buf: &mut Vec<u8>,
+) -> std::io::Result<LineStatus> {
     loop {
         let (newline_at, available) = {
             let chunk = reader.fill_buf()?;

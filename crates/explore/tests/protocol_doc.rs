@@ -111,6 +111,10 @@ fn every_protocol_md_request_replays_against_the_server() {
         requests.iter().any(|r| r.contains(';')),
         "no multi-plane example found in PROTOCOL.md"
     );
+    assert!(
+        requests.iter().any(|r| r.contains("\"cancel\"")),
+        "no cancel example found in PROTOCOL.md"
+    );
 
     // One pool for every replay: repeated doc examples over the same
     // grids answer from cache, like a long-lived `adhls serve` would.
@@ -141,11 +145,134 @@ fn every_protocol_md_request_replays_against_the_server() {
             Some("result"),
             "doc example did not end in a terminal result: {req} -> {last}"
         );
-        assert_eq!(
-            v.get("ok"),
-            Some(&Value::Bool(true)),
-            "doc example was rejected by the server it documents: {req} -> {last}"
+        if req.contains("\"cmd\":\"cancel\"") {
+            // On a fresh connection nothing is in flight, so the documented
+            // cancel must answer with the documented *structured* error —
+            // the live two-connection path is exercised by
+            // `the_docs_cancel_example_aborts_an_in_flight_refine` below.
+            assert_eq!(v.get("ok"), Some(&Value::Bool(false)), "{req} -> {last}");
+            assert!(
+                v.get("error")
+                    .and_then(Value::as_str)
+                    .is_some_and(|e| e.contains("no in-flight request")),
+                "cancel with no target in flight must say so: {req} -> {last}"
+            );
+        } else {
+            assert_eq!(
+                v.get("ok"),
+                Some(&Value::Bool(true)),
+                "doc example was rejected by the server it documents: {req} -> {last}"
+            );
+        }
+    }
+}
+
+/// Runs the document's cancel walkthrough as written: its `refine`
+/// example streams on one connection while its `cancel` example fires
+/// from a second, and both connections resolve exactly as the document
+/// promises (for whichever way the race lands).
+#[test]
+fn the_docs_cancel_example_aborts_an_in_flight_refine() {
+    use adhls_explore::server::worker::pipe;
+    use std::io::{BufRead, BufReader, Write};
+    use std::sync::Arc;
+
+    let doc = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../docs/PROTOCOL.md"
+    ))
+    .expect("docs/PROTOCOL.md is readable from the workspace");
+    let requests = extract_requests(&doc);
+    let cancel = requests
+        .iter()
+        .find(|r| r.contains("\"cmd\":\"cancel\""))
+        .expect("PROTOCOL.md documents a cancel request");
+    let target = Value::parse(cancel)
+        .expect("doc cancel parses")
+        .get("target")
+        .expect("doc cancel names a target")
+        .render();
+    let refine = requests
+        .iter()
+        .find(|r| {
+            r.contains("\"cmd\":\"refine\"")
+                && Value::parse(r)
+                    .ok()
+                    .and_then(|v| v.get("id").map(Value::render))
+                    == Some(target.clone())
+        })
+        .expect("the doc's cancel target is one of its refine examples");
+
+    let srv = Arc::new(Server::new(EvaluatorPool::new(
+        tsmc90::library(),
+        HlsOptions::default(),
+        PoolOptions {
+            threads: 1,
+            skip_infeasible: true,
+            ..Default::default()
+        },
+    )));
+    let connect = |srv: &Arc<Server>| {
+        let (req_tx, req_rx) = pipe();
+        let (resp_tx, resp_rx) = pipe();
+        let server = Arc::clone(srv);
+        std::thread::spawn(move || {
+            let _ = server.serve_connection(BufReader::new(req_rx), resp_tx);
+        });
+        (req_tx, BufReader::new(resp_rx))
+    };
+
+    let (mut refine_tx, mut refine_rx) = connect(&srv);
+    refine_tx
+        .write_all(format!("{refine}\n").as_bytes())
+        .expect("refine request");
+    let mut first = String::new();
+    refine_rx.read_line(&mut first).expect("first round event");
+    assert!(
+        first.contains("\"event\":\"round\""),
+        "refine streams: {first}"
+    );
+
+    let (mut cancel_tx, mut cancel_rx) = connect(&srv);
+    cancel_tx
+        .write_all(format!("{cancel}\n").as_bytes())
+        .expect("cancel request");
+    let mut ack = String::new();
+    cancel_rx.read_line(&mut ack).expect("cancel response");
+    let ack = Value::parse(ack.trim_end()).expect("cancel ack is JSON");
+
+    let terminal = loop {
+        let mut line = String::new();
+        assert_ne!(
+            refine_rx.read_line(&mut line).expect("refine stream"),
+            0,
+            "refine connection closed without a terminal result"
         );
+        if line.contains("\"event\":\"result\"") {
+            break line;
+        }
+    };
+    assert!(
+        terminal.contains("\"ok\":true"),
+        "refine result: {terminal}"
+    );
+    if ack.get("ok") == Some(&Value::Bool(true)) {
+        // The documented happy path: acknowledged on one connection,
+        // truncated-but-valid on the other.
+        assert_eq!(ack.get("cmd").and_then(Value::as_str), Some("cancel"));
+        assert!(
+            terminal.contains("\"cancelled\":true"),
+            "an acknowledged cancel must truncate the refine: {terminal}"
+        );
+    } else {
+        // The documented race loss: the refinement finished first.
+        assert!(
+            ack.get("error")
+                .and_then(Value::as_str)
+                .is_some_and(|e| e.contains("no in-flight request")),
+            "losing the race must yield the documented error: {ack:?}"
+        );
+        assert!(!terminal.contains("\"cancelled\":true"));
     }
 }
 
