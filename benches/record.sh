@@ -1,10 +1,10 @@
 #!/usr/bin/env bash
 # Record a per-PR performance snapshot (the ROADMAP's perf-trajectory
-# item): run the six exploration benches in full-measurement mode with
+# item): run the seven exploration benches in full-measurement mode with
 # telemetry metering on, then assemble the timings and each bench
 # binary's registry snapshot into one BENCH_<n>.json at the repo root.
 #
-# Usage:   benches/record.sh [out.json]     default: BENCH_8.json
+# Usage:   benches/record.sh [out.json]     default: BENCH_9.json
 # Knobs:   ADHLS_BENCH_SAMPLE_SIZE=<n>      samples per benchmark, pinned
 #                                           across every target (default 5)
 #
@@ -15,12 +15,12 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-OUT="${1:-BENCH_8.json}"
+OUT="${1:-BENCH_9.json}"
 SAMPLES="${ADHLS_BENCH_SAMPLE_SIZE:-5}"
 DIR="$(mktemp -d)"
 trap 'rm -rf "$DIR"' EXIT
 
-BENCHES="explore_parallel explore_adaptive explore_power serve_throughput explore_constrained explore_incremental"
+BENCHES="explore_parallel explore_adaptive explore_power serve_throughput explore_constrained explore_incremental explore_recovery"
 for b in $BENCHES; do
   echo "== $b ($SAMPLES samples) =="
   ADHLS_BENCH_METRICS_DIR="$DIR" ADHLS_BENCH_SAMPLE_SIZE="$SAMPLES" \

@@ -60,6 +60,7 @@ fn engine(lib: &adhls_reslib::Library, incremental: bool) -> Engine<'_> {
             threads: 1,
             skip_infeasible: false,
             incremental,
+            ..Default::default()
         },
     )
 }

@@ -51,6 +51,7 @@ fn bench(c: &mut Criterion) {
             skip_infeasible: true,
             cache_bytes: Some(32 << 20),
             incremental: true,
+            ..Default::default()
         },
         adhls_telemetry::global().clone(),
     ));
@@ -128,6 +129,7 @@ fn bench(c: &mut Criterion) {
             skip_infeasible: true,
             cache_bytes: None,
             incremental: true,
+            ..Default::default()
         },
     ));
     let mut shard_bytes = [0i64; 2];
@@ -158,6 +160,7 @@ fn bench(c: &mut Criterion) {
                 skip_infeasible: true,
                 cache_bytes: Some(budget),
                 incremental: true,
+                ..Default::default()
             },
         )
     };
@@ -216,6 +219,7 @@ fn bench(c: &mut Criterion) {
                     skip_infeasible: true,
                     cache_bytes: Some(32 << 20),
                     incremental: true,
+                    ..Default::default()
                 },
             ));
             black_box(roundtrip(&cold, SWEEP_REQ))

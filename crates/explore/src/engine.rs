@@ -9,9 +9,10 @@
 //! to serial evaluation.
 
 use crate::fingerprint::{design_fingerprint, options_fingerprint, Fnv};
-use adhls_core::dse::{evaluate_point_from_scratch, evaluate_prepared, DsePoint, DseRow};
+use adhls_core::dse::{DsePoint, DseRow};
+use adhls_core::recover::{evaluate_mode_point, evaluate_mode_prepared};
 use adhls_core::sched::HlsOptions;
-use adhls_core::PreparedDesign;
+use adhls_core::{PointMode, PreparedDesign};
 use adhls_ir::{Design, Error, Result};
 use adhls_reslib::Library;
 use std::collections::HashMap;
@@ -152,7 +153,15 @@ impl PrefixCache {
 /// panic) and, in release, wrapped `Some(u32::MAX)` onto the same word as
 /// `None` — a silent key collision between a pipelined and a sequential
 /// point.
-pub(crate) fn point_key(base: &HlsOptions, p: &DsePoint) -> u64 {
+///
+/// The evaluation mode is part of the key (its one-byte
+/// [`PointMode::cache_tag`]): full, recover, and auto rows are distinct
+/// results for the same point, so they may never alias in any result
+/// cache. The *prefix* cache deliberately stays mode-blind — elaboration
+/// artifacts are identical across modes and recovery must never
+/// re-elaborate (see
+/// [`crate::fingerprint::prefix_options_fingerprint`]).
+pub(crate) fn point_key(base: &HlsOptions, p: &DsePoint, mode: PointMode) -> u64 {
     let mut h = Fnv::default();
     h.u64(design_fingerprint(&p.design));
     h.u64(options_fingerprint(base));
@@ -163,6 +172,7 @@ pub(crate) fn point_key(base: &HlsOptions, p: &DsePoint) -> u64 {
     };
     h.u64(u64::from(p.cycles_per_item));
     h.str(&p.name);
+    h.u64(u64::from(mode.cache_tag()));
     h.digest()
 }
 
@@ -179,6 +189,10 @@ pub struct EngineOptions {
     /// runs every phase from scratch per point — the escape hatch and the
     /// benchmark baseline.
     pub incremental: bool,
+    /// How points are evaluated when no per-call mode is given: the full
+    /// two-flow synthesis (default), the slack-recovery generator, or a
+    /// per-cell automatic choice (see [`PointMode`]).
+    pub point_mode: PointMode,
 }
 
 impl Default for EngineOptions {
@@ -187,6 +201,7 @@ impl Default for EngineOptions {
             threads: 0,
             skip_infeasible: false,
             incremental: true,
+            point_mode: PointMode::Full,
         }
     }
 }
@@ -269,40 +284,59 @@ impl<'a> Engine<'a> {
     }
 
     /// Memo key for one point under the engine's base options.
-    fn point_key(&self, p: &DsePoint) -> u64 {
-        point_key(&self.base, p)
+    fn point_key(&self, p: &DsePoint, mode: PointMode) -> u64 {
+        point_key(&self.base, p, mode)
     }
 
     /// Evaluates one point through the cache, crediting a hit to the
     /// caller's per-sweep counter (not the engine-lifetime stats, which
     /// other concurrent sweeps also move).
-    fn evaluate_one(&self, p: &DsePoint, sweep_hits: &AtomicU64) -> Result<DseRow> {
-        let key = self.point_key(p);
+    fn evaluate_one(
+        &self,
+        p: &DsePoint,
+        mode: PointMode,
+        sweep_hits: &AtomicU64,
+    ) -> Result<DseRow> {
+        let key = self.point_key(p, mode);
         if let Some(row) = self.cache.get(key) {
             sweep_hits.fetch_add(1, Ordering::Relaxed);
             return Ok(row);
         }
         let row = if self.opts.incremental {
             let prep = self.prefixes.get_or_prepare(&p.design, self.lib)?;
-            evaluate_prepared(&prep, p, self.lib, &self.base)?
+            evaluate_mode_prepared(mode, &prep, p, self.lib, &self.base)?
         } else {
-            evaluate_point_from_scratch(p, self.lib, &self.base)?
+            evaluate_mode_point(mode, p, self.lib, &self.base)?
         };
         self.cache.insert(key, row.clone());
         Ok(row)
     }
 
-    /// Serial reference evaluation (also cache-aware).
+    /// Serial reference evaluation (also cache-aware), in the engine's
+    /// configured [`EngineOptions::point_mode`].
     ///
     /// # Errors
     ///
     /// Returns the first point's scheduling error unless
     /// [`EngineOptions::skip_infeasible`] is set.
     pub fn evaluate_serial(&self, points: &[DsePoint]) -> Result<SweepResult> {
+        self.evaluate_serial_mode(points, self.opts.point_mode)
+    }
+
+    /// [`Engine::evaluate_serial`] with an explicit per-call mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::evaluate_serial`].
+    pub fn evaluate_serial_mode(
+        &self,
+        points: &[DsePoint],
+        mode: PointMode,
+    ) -> Result<SweepResult> {
         let hits = AtomicU64::new(0);
         let mut results: Vec<Result<DseRow>> = Vec::with_capacity(points.len());
         for p in points {
-            let r = self.evaluate_one(p, &hits);
+            let r = self.evaluate_one(p, mode, &hits);
             // In strict mode one failure fails the whole sweep — don't burn
             // HLS runs on the remaining points.
             let bail = r.is_err() && !self.opts.skip_infeasible;
@@ -315,7 +349,8 @@ impl<'a> Engine<'a> {
     }
 
     /// Parallel evaluation: bit-identical rows to
-    /// [`Engine::evaluate_serial`], in input order.
+    /// [`Engine::evaluate_serial`], in input order, in the engine's
+    /// configured [`EngineOptions::point_mode`].
     ///
     /// # Errors
     ///
@@ -326,9 +361,22 @@ impl<'a> Engine<'a> {
     ///
     /// Panics if a worker thread itself panics (propagated).
     pub fn evaluate(&self, points: &[DsePoint]) -> Result<SweepResult> {
+        self.evaluate_mode(points, self.opts.point_mode)
+    }
+
+    /// [`Engine::evaluate`] with an explicit per-call mode.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::evaluate`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker thread itself panics (propagated).
+    pub fn evaluate_mode(&self, points: &[DsePoint], mode: PointMode) -> Result<SweepResult> {
         let workers = self.worker_count(points.len());
         if workers <= 1 {
-            return self.evaluate_serial(points);
+            return self.evaluate_serial_mode(points, mode);
         }
         let hits = AtomicU64::new(0);
         let next = AtomicUsize::new(0);
@@ -345,7 +393,7 @@ impl<'a> Engine<'a> {
                     }
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     let Some(p) = points.get(i) else { break };
-                    let out = self.evaluate_one(p, &hits);
+                    let out = self.evaluate_one(p, mode, &hits);
                     if out.is_err() {
                         failed.store(true, Ordering::Relaxed);
                     }
@@ -548,16 +596,54 @@ mod tests {
         // panic in debug); the tag+value encoding must keep them distinct
         // without overflowing.
         let base = HlsOptions::default();
+        let m = PointMode::Full;
         let seq = point("k", 2, 1100);
         let mut max_ii = seq.clone();
         max_ii.pipeline_ii = Some(u32::MAX);
-        assert_ne!(point_key(&base, &seq), point_key(&base, &max_ii));
+        assert_ne!(point_key(&base, &seq, m), point_key(&base, &max_ii, m));
         let mut ii0 = seq.clone();
         ii0.pipeline_ii = Some(0);
-        assert_ne!(point_key(&base, &seq), point_key(&base, &ii0));
-        assert_ne!(point_key(&base, &max_ii), point_key(&base, &ii0));
+        assert_ne!(point_key(&base, &seq, m), point_key(&base, &ii0, m));
+        assert_ne!(point_key(&base, &max_ii, m), point_key(&base, &ii0, m));
         // Same point, same key — the memo still works.
-        assert_eq!(point_key(&base, &max_ii), point_key(&base, &max_ii.clone()));
+        assert_eq!(
+            point_key(&base, &max_ii, m),
+            point_key(&base, &max_ii.clone(), m)
+        );
+    }
+
+    #[test]
+    fn point_key_distinguishes_modes() {
+        // Full, recover, and auto rows for one point are distinct results;
+        // a shared cache must never serve one for another.
+        let base = HlsOptions::default();
+        let p = point("k", 2, 1100);
+        let keys = [
+            point_key(&base, &p, PointMode::Full),
+            point_key(&base, &p, PointMode::Recover),
+            point_key(&base, &p, PointMode::Auto),
+        ];
+        assert_ne!(keys[0], keys[1]);
+        assert_ne!(keys[0], keys[2]);
+        assert_ne!(keys[1], keys[2]);
+    }
+
+    #[test]
+    fn recover_mode_rows_dominate_full_mode_baseline() {
+        // Engine-level recovery: same grid in both modes; every recovered
+        // row's reported implementation must not exceed its own
+        // conventional baseline, and the baselines must agree bit-for-bit
+        // with full mode's.
+        let lib = tsmc90::library();
+        let pts = fleet();
+        let engine = Engine::new(&lib, HlsOptions::default());
+        let full = engine.evaluate_mode(&pts, PointMode::Full).unwrap();
+        let rec = engine.evaluate_mode(&pts, PointMode::Recover).unwrap();
+        assert_eq!(full.rows.len(), rec.rows.len());
+        for (f, r) in full.rows.iter().zip(&rec.rows) {
+            assert_eq!(f.a_conv, r.a_conv, "shared conventional baseline");
+            assert!(r.a_slack <= r.a_conv, "recovered area exceeds baseline");
+        }
     }
 
     #[test]

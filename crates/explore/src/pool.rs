@@ -22,8 +22,10 @@
 
 use crate::engine::{point_key, HitMiss, PrefixCache, SweepResult};
 use crate::server::eviction::{CacheStats, EvictingCache, Outcome};
-use adhls_core::dse::{evaluate_point_from_scratch, evaluate_prepared, DsePoint, DseRow};
+use adhls_core::dse::{DsePoint, DseRow};
+use adhls_core::recover::{evaluate_mode_point, evaluate_mode_prepared};
 use adhls_core::sched::HlsOptions;
+use adhls_core::PointMode;
 use adhls_reslib::Library;
 use adhls_telemetry::{Registry, Snapshot};
 use std::collections::VecDeque;
@@ -54,6 +56,12 @@ pub struct PoolOptions {
     /// the escape hatch and the benchmark baseline; rows are bit-identical
     /// either way.
     pub incremental: bool,
+    /// Evaluation mode for batches submitted without a per-call mode
+    /// ([`EvaluatorPool::evaluate`]): full two-flow synthesis (default),
+    /// slack recovery, or per-cell auto (see [`PointMode`]). Per-request
+    /// modes ([`EvaluatorPool::evaluate_mode`]) share the same workers and
+    /// cache — the mode is part of every row's cache key.
+    pub point_mode: PointMode,
 }
 
 impl Default for PoolOptions {
@@ -63,6 +71,7 @@ impl Default for PoolOptions {
             skip_infeasible: false,
             cache_bytes: None,
             incremental: true,
+            point_mode: PointMode::Full,
         }
     }
 }
@@ -75,6 +84,9 @@ impl Default for PoolOptions {
 /// makes pool results bit-identical to serial evaluation.
 struct Batch {
     points: Vec<DsePoint>,
+    /// Evaluation mode for every point in this batch; batches with
+    /// different modes coexist on one pool.
+    mode: PointMode,
     skip_infeasible: bool,
     next: AtomicUsize,
     filled: AtomicUsize,
@@ -92,10 +104,11 @@ struct Batch {
 }
 
 impl Batch {
-    fn new(points: Vec<DsePoint>, skip_infeasible: bool, timed: bool) -> Self {
+    fn new(points: Vec<DsePoint>, mode: PointMode, skip_infeasible: bool, timed: bool) -> Self {
         let slots = (0..points.len()).map(|_| OnceLock::new()).collect();
         Batch {
             points,
+            mode,
             skip_infeasible,
             next: AtomicUsize::new(0),
             filled: AtomicUsize::new(0),
@@ -182,15 +195,20 @@ impl Shared {
     /// worker, and a claimed-but-never-filled slot would leave the
     /// submitter waiting forever (the scoped-thread engine propagates such
     /// panics at join; a pool has no equivalent joining point per batch).
-    fn evaluate_one(&self, p: &DsePoint, batch_hits: &AtomicU64) -> Result<DseRow> {
-        let key = point_key(&self.base, p);
+    fn evaluate_one(
+        &self,
+        p: &DsePoint,
+        mode: PointMode,
+        batch_hits: &AtomicU64,
+    ) -> Result<DseRow> {
+        let key = point_key(&self.base, p, mode);
         let (result, outcome) = self.cache.get_or_compute(key, || {
             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 if self.incremental {
                     let prep = self.prefixes.get_or_prepare(&p.design, &self.lib)?;
-                    evaluate_prepared(&prep, p, &self.lib, &self.base)
+                    evaluate_mode_prepared(mode, &prep, p, &self.lib, &self.base)
                 } else {
-                    evaluate_point_from_scratch(p, &self.lib, &self.base)
+                    evaluate_mode_point(mode, p, &self.lib, &self.base)
                 }
             }))
             .unwrap_or_else(|panic| {
@@ -232,7 +250,7 @@ impl Shared {
                     );
                 }
             }
-            let out = self.evaluate_one(&batch.points[i], &batch.hits);
+            let out = self.evaluate_one(&batch.points[i], batch.mode, &batch.hits);
             if out.is_err() {
                 batch.failed.store(true, Ordering::Relaxed);
             }
@@ -397,11 +415,24 @@ impl EvaluatorPool {
     /// Returns the first (by input order) point's scheduling error unless
     /// [`PoolOptions::skip_infeasible`] is set.
     pub fn evaluate(&self, points: &[DsePoint]) -> Result<SweepResult> {
+        self.evaluate_mode(points, self.opts.point_mode)
+    }
+
+    /// [`EvaluatorPool::evaluate`] with an explicit per-batch evaluation
+    /// mode, so one shared server pool serves full, recover, and auto
+    /// requests concurrently (rows never alias — the mode is in the cache
+    /// key).
+    ///
+    /// # Errors
+    ///
+    /// As [`EvaluatorPool::evaluate`].
+    pub fn evaluate_mode(&self, points: &[DsePoint], mode: PointMode) -> Result<SweepResult> {
         // Route the submitting thread's own evaluations (it always helps
         // drain) to the pool registry, like the background workers.
         let _telemetry = adhls_telemetry::install(&self.shared.registry);
         let batch = Arc::new(Batch::new(
             points.to_vec(),
+            mode,
             self.opts.skip_infeasible,
             self.shared.registry.is_enabled(),
         ));
@@ -755,6 +786,32 @@ mod tests {
         );
         assert_eq!(quiet.evaluate(&pts).unwrap().rows, r.rows);
         assert!(quiet.metrics_snapshot().counter("pool.batches").is_none());
+    }
+
+    #[test]
+    fn mixed_mode_batches_share_one_pool_without_aliasing() {
+        // One pool, three modes over the same grid: rows must come from the
+        // right evaluator (recover rows report the recovered binding, full
+        // rows the slack flow) and repeats must hit per mode.
+        let pool = EvaluatorPool::new(
+            tsmc90::library(),
+            HlsOptions::default(),
+            PoolOptions {
+                threads: 2,
+                ..Default::default()
+            },
+        );
+        let pts = fleet();
+        let full = pool.evaluate_mode(&pts, PointMode::Full).unwrap();
+        let rec = pool.evaluate_mode(&pts, PointMode::Recover).unwrap();
+        assert_eq!(rec.cache_hits, 0, "modes never alias in the cache");
+        for (f, r) in full.rows.iter().zip(&rec.rows) {
+            assert_eq!(f.a_conv, r.a_conv);
+            assert!(r.a_slack <= r.a_conv);
+        }
+        let rec2 = pool.evaluate_mode(&pts, PointMode::Recover).unwrap();
+        assert_eq!(rec2.cache_hits, pts.len() as u64);
+        assert_eq!(rec2.rows, rec.rows);
     }
 
     #[test]

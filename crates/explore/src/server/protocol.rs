@@ -23,6 +23,7 @@ use crate::pareto::{tradeoff_staircase_in_constrained, ObjectiveSpace};
 use crate::refine::{MultiRefineResult, MultiRoundTrace, RefineResult, RoundTrace};
 use adhls_core::dse::{summarize, DseRow};
 use adhls_core::json::{escape_into, Value};
+use adhls_core::PointMode;
 use adhls_telemetry::Snapshot;
 use std::fmt::Write as _;
 
@@ -65,6 +66,12 @@ pub struct WorkloadSpec {
     /// front/staircase honors and adaptive refinement clips to. Each
     /// bound's axis must be selected by the active objective space(s).
     pub constraints: Vec<Constraint>,
+    /// How the request's points are evaluated (`mode` field:
+    /// `"full" | "recover" | "auto"`, default full). Recover replaces the
+    /// slack-based flow with post-binding slack recovery; auto chooses per
+    /// cell. One shared pool serves mixed-mode requests — the mode is part
+    /// of every row's cache key.
+    pub mode: PointMode,
 }
 
 /// One parsed request.
@@ -230,7 +237,21 @@ fn parse_spec(doc: &Value) -> Result<WorkloadSpec, String> {
         },
         objectives: parse_objectives(doc)?,
         constraints: parse_constraints_field(doc)?,
+        mode: parse_mode(doc)?,
     })
+}
+
+/// Parses the `mode` request field through the one shared definition
+/// ([`PointMode`]'s `FromStr`, the same grammar as CLI `--mode`).
+fn parse_mode(doc: &Value) -> Result<PointMode, String> {
+    match doc.get("mode") {
+        None => Ok(PointMode::Full),
+        Some(v) => v
+            .as_str()
+            .ok_or("`mode` must be a string (full | recover | auto)")?
+            .parse::<PointMode>()
+            .map_err(|e| format!("`mode`: {e}")),
+    }
 }
 
 /// Parses the `objectives` request field through the one shared

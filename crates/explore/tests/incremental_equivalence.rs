@@ -55,6 +55,7 @@ fn engine(lib: &adhls_reslib::Library, threads: usize, incremental: bool) -> Eng
             threads,
             skip_infeasible: true,
             incremental,
+            ..Default::default()
         },
     )
 }

@@ -115,6 +115,14 @@ fn every_protocol_md_request_replays_against_the_server() {
         requests.iter().any(|r| r.contains("\"cancel\"")),
         "no cancel example found in PROTOCOL.md"
     );
+    for needle in ["\"recover\"", "\"auto\""] {
+        assert!(
+            requests
+                .iter()
+                .any(|r| r.contains("\"mode\"") && r.contains(needle)),
+            "no mode:{needle} example found in PROTOCOL.md"
+        );
+    }
 
     // One pool for every replay: repeated doc examples over the same
     // grids answer from cache, like a long-lived `adhls serve` would.
